@@ -1,0 +1,80 @@
+// ebsn-eval evaluates a saved run directory (from ebsn-train) under the
+// paper's protocols and the library's full-ranking metrics, and reports
+// the current training objective — everything a model-quality dashboard
+// would poll.
+//
+// Usage:
+//
+//	ebsn-eval -run ./run
+//	ebsn-eval -run ./run -cases 5000 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ebsn"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "ebsn-run", "run directory from ebsn-train")
+		cases = flag.Int("cases", 2000, "max evaluation cases per protocol")
+		full  = flag.Bool("full", true, "also compute full-ranking metrics (MRR/NDCG)")
+	)
+	flag.Parse()
+
+	rec, err := ebsn.Open(*run, ebsn.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rec.DescribeDataset())
+	fmt.Println()
+
+	ns := []int{1, 5, 10, 15, 20}
+	cold, err := rec.EvaluateColdStart(ns, *cases)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("cold-start event recommendation (1000 sampled negatives):")
+	printAccuracy(cold)
+
+	partner, err := rec.EvaluatePartner(ns, *cases)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("joint event-partner recommendation (500+500 negatives):")
+	printAccuracy(partner)
+
+	if *full {
+		m, err := rec.EvaluateFullRanking([]int{1, 5, 10, 20}, *cases)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("full-ranking metrics (no negative sampling):")
+		fmt.Printf("  %s\n\n", m)
+	}
+
+	obj, err := rec.TrainingObjective(20000)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("training objective estimate: %.4f over %d samples\n", obj.Total, obj.Samples)
+	for name, v := range obj.PerRelation {
+		fmt.Printf("  %-16s %.4f\n", name, v)
+	}
+}
+
+func printAccuracy(res ebsn.EvalResult) {
+	fmt.Print(" ")
+	for i, n := range res.Ns {
+		fmt.Printf("  acc@%d=%.3f", n, res.Accuracy[i])
+	}
+	fmt.Printf("   (%d cases)\n\n", res.Cases)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebsn-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// ebsn-train generates (or imports) an EBSN dataset, trains a GEM model
+// on it, and saves the dataset and learned embeddings for ebsn-recommend.
+//
+// Usage:
+//
+//	ebsn-train -city small -out ./run            # generate + train
+//	ebsn-train -data ./run/dataset -out ./run    # retrain on saved data
+//	ebsn-train -city tiny -variant pte -steps 500000 -out ./run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ebsn"
+)
+
+func main() {
+	var (
+		city    = flag.String("city", "small", "dataset scale: tiny small beijing shanghai")
+		data    = flag.String("data", "", "existing dataset directory (skips generation)")
+		out     = flag.String("out", "ebsn-run", "output directory")
+		variant = flag.String("variant", "gem-a", "model variant: gem-a gem-p pte")
+		seed    = flag.Uint64("seed", 1, "generation/training seed")
+		steps   = flag.Int64("steps", 0, "training budget N (0 = ~25 samples per edge)")
+		k       = flag.Int("k", 60, "embedding dimension")
+		threads = flag.Int("threads", 4, "Hogwild training threads")
+	)
+	flag.Parse()
+
+	v, err := ebsn.ParseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := ebsn.Config{
+		Seed:       *seed,
+		Variant:    v,
+		K:          *k,
+		TrainSteps: *steps,
+		Threads:    *threads,
+	}
+
+	var dataset *ebsn.Dataset
+	if *data != "" {
+		fmt.Printf("loading dataset from %s...\n", *data)
+		dataset, err = ebsn.LoadDatasetCSV(*data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cityID, err := ebsn.ParseCity(*city)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generating %s dataset (seed %d)...\n", cityID, *seed)
+		dataset, err = ebsn.GenerateDataset(ebsn.GeneratorConfigFor(cityID, *seed))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Println("dataset:", dataset.Stats())
+
+	start := time.Now()
+	rec, err := ebsn.Build(dataset, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %s in %.1fs (%d steps)\n", v, time.Since(start).Seconds(), rec.Model().Steps())
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	dataDir := filepath.Join(*out, "dataset")
+	if err := ebsn.SaveDatasetCSV(rec.Dataset(), dataDir); err != nil {
+		fatal(err)
+	}
+	modelPath := filepath.Join(*out, "model.gob")
+	if err := rec.SaveModel(modelPath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved filtered dataset to %s and model to %s\n", dataDir, modelPath)
+	fmt.Println("next: ebsn-recommend -run", *out, "-user 0")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebsn-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,552 @@
+// Package ebsn is the public API of the joint event-partner
+// recommendation library, a reproduction of "Joint Event-Partner
+// Recommendation in Event-based Social Networks" (ICDE 2018).
+//
+// The package wires the full pipeline behind one type, Recommender:
+// synthetic EBSN generation (or CSV import), the chronological cold-start
+// split, the five relation graphs of the paper, GEM training (GEM-A,
+// GEM-P or the PTE baseline), and the two online recommendation paths —
+// direct event ranking and TA-accelerated joint event-partner ranking.
+//
+// Quick start:
+//
+//	rec, err := ebsn.New(ebsn.Config{City: ebsn.CityTiny, Seed: 1})
+//	...
+//	events := rec.TopEvents(user, 10)
+//	pairs, _ := rec.TopEventPartners(user, 10)
+package ebsn
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ebsn/internal/core"
+	"ebsn/internal/datagen"
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/eval"
+	"ebsn/internal/geo"
+	"ebsn/internal/ta"
+	"ebsn/internal/vecmath"
+)
+
+// Re-exported building blocks for callers that need to go deeper than the
+// Recommender facade.
+type (
+	// Dataset is an event-based social network snapshot.
+	Dataset = ebsnet.Dataset
+	// Event is one social event.
+	Event = ebsnet.Event
+	// Split is the chronological train/validation/test partition.
+	Split = ebsnet.Split
+	// Graphs bundles the five relation graphs.
+	Graphs = ebsnet.Graphs
+	// Model is a trainable GEM instance.
+	Model = core.Model
+	// ModelConfig is the full GEM hyper-parameter set.
+	ModelConfig = core.Config
+	// GeneratorConfig parameterizes the synthetic city generator.
+	GeneratorConfig = datagen.Config
+)
+
+// City selects a built-in synthetic dataset scale.
+type City int
+
+// Built-in scales. CityBeijing and CityShanghai mirror the paper's
+// Table I shapes; CityTiny and CitySmall are for tests and quick runs.
+const (
+	CityTiny City = iota
+	CitySmall
+	CityBeijing
+	CityShanghai
+)
+
+func (c City) String() string {
+	switch c {
+	case CityTiny:
+		return "tiny"
+	case CitySmall:
+		return "small"
+	case CityBeijing:
+		return "beijing"
+	case CityShanghai:
+		return "shanghai"
+	default:
+		return fmt.Sprintf("City(%d)", int(c))
+	}
+}
+
+// ParseCity converts a name ("tiny", "small", "beijing", "shanghai") to a
+// City.
+func ParseCity(s string) (City, error) {
+	switch s {
+	case "tiny":
+		return CityTiny, nil
+	case "small":
+		return CitySmall, nil
+	case "beijing":
+		return CityBeijing, nil
+	case "shanghai":
+		return CityShanghai, nil
+	default:
+		return 0, fmt.Errorf("ebsn: unknown city %q", s)
+	}
+}
+
+// GeneratorConfigFor returns the generator preset for a city.
+func GeneratorConfigFor(city City, seed uint64) GeneratorConfig {
+	switch city {
+	case CitySmall:
+		return datagen.SmallConfig(seed)
+	case CityBeijing:
+		return datagen.BeijingConfig(seed)
+	case CityShanghai:
+		return datagen.ShanghaiConfig(seed)
+	default:
+		return datagen.TinyConfig(seed)
+	}
+}
+
+// Variant selects the trained model family.
+type Variant int
+
+// Model variants, in the paper's naming.
+const (
+	// GEMA is the full model with the adaptive adversarial noise sampler.
+	GEMA Variant = iota
+	// GEMP replaces the adaptive sampler with the degree-based one.
+	GEMP
+	// PTE is the baseline: unidirectional sampling, uniform graph choice.
+	PTE
+)
+
+func (v Variant) String() string {
+	switch v {
+	case GEMA:
+		return "GEM-A"
+	case GEMP:
+		return "GEM-P"
+	case PTE:
+		return "PTE"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ParseVariant converts "gem-a", "gem-p" or "pte" to a Variant.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "gem-a", "gema", "GEM-A":
+		return GEMA, nil
+	case "gem-p", "gemp", "GEM-P":
+		return GEMP, nil
+	case "pte", "PTE":
+		return PTE, nil
+	default:
+		return 0, fmt.Errorf("ebsn: unknown variant %q", s)
+	}
+}
+
+func (v Variant) preset() core.Config {
+	switch v {
+	case GEMP:
+		return core.GEMPConfig()
+	case PTE:
+		return core.PTEConfig()
+	default:
+		return core.GEMAConfig()
+	}
+}
+
+// Config parameterizes the full pipeline.
+type Config struct {
+	// City selects the synthetic dataset scale (ignored when a Dataset is
+	// supplied explicitly to Build).
+	City City
+	// Seed drives dataset generation, training and evaluation.
+	Seed uint64
+	// Variant selects the model family (default GEM-A).
+	Variant Variant
+	// K is the embedding dimension; 0 means the paper's 60.
+	K int
+	// TrainSteps is the SGD budget N; 0 picks a scale-appropriate default
+	// (≈25 samples per relation edge).
+	TrainSteps int64
+	// Threads is the Hogwild worker count; 0 means 4.
+	Threads int
+	// MinEventsPerUser filters out sparse users as the paper does;
+	// 0 means 5.
+	MinEventsPerUser int
+}
+
+func (c *Config) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.K == 0 {
+		c.K = 60
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.MinEventsPerUser == 0 {
+		c.MinEventsPerUser = 5
+	}
+}
+
+// Recommendation is one scored event for a target user.
+type Recommendation struct {
+	Event int32
+	Score float32
+}
+
+// PairRecommendation is one scored event-partner pair.
+type PairRecommendation struct {
+	Event   int32
+	Partner int32
+	Score   float32
+}
+
+// Recommender is the assembled pipeline.
+//
+// Concurrency: query methods (TopEvents, TopEventsBatch,
+// TopEventPartners, Explain, the evaluation methods) are safe to call
+// from multiple goroutines once the structures they use exist. Methods
+// that build state lazily or mutate it — PrepareJoint, FoldInEvent's
+// first call, IngestColdEvent, CompactLiveEvents — must be serialized by
+// the caller; a service typically calls PrepareJoint once at startup and
+// funnels ingestion through one goroutine.
+type Recommender struct {
+	cfg     Config
+	dataset *ebsnet.Dataset
+	split   *ebsnet.Split
+	graphs  *ebsnet.Graphs
+	model   *core.Model
+
+	// Lazily built TA machinery for the joint task.
+	taIndex  *ta.FastIndex
+	taSet    *ta.CandidateSet
+	taPruneK int
+
+	// Lazily captured snapshot for fold-in scoring; the model is frozen
+	// after Build/Open, so one capture suffices.
+	snap *core.Snapshot
+
+	// Live-ingestion state (serving.go).
+	taDynamic  *ta.Dynamic
+	liveEvents int
+}
+
+// New generates a synthetic city per cfg and runs the full pipeline.
+func New(cfg Config) (*Recommender, error) {
+	cfg.fill()
+	d, err := datagen.Generate(GeneratorConfigFor(cfg.City, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return Build(d, cfg)
+}
+
+// Build runs the pipeline on a caller-supplied dataset (e.g. one imported
+// with LoadDatasetCSV). The dataset must be finalized.
+func Build(d *ebsnet.Dataset, cfg Config) (*Recommender, error) {
+	cfg.fill()
+	filtered, err := d.FilterMinEvents(cfg.MinEventsPerUser)
+	if err != nil {
+		return nil, err
+	}
+	if filtered.NumUsers == 0 {
+		return nil, fmt.Errorf("ebsn: no users survive the %d-event filter", cfg.MinEventsPerUser)
+	}
+	split, err := ebsnet.ChronologicalSplit(filtered, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		return nil, err
+	}
+	graphs, err := ebsnet.BuildGraphs(filtered, split, ebsnet.DefaultGraphsConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	steps := cfg.TrainSteps
+	if steps == 0 {
+		total := 0
+		for _, g := range graphs.All() {
+			total += g.NumEdges()
+		}
+		steps = int64(total) * 25
+	}
+	mc := cfg.Variant.preset()
+	mc.K = cfg.K
+	mc.Seed = cfg.Seed
+	mc.Threads = cfg.Threads
+	mc.TotalSteps = steps
+	model, err := core.NewModel(graphs, mc)
+	if err != nil {
+		return nil, err
+	}
+	model.TrainSteps(steps)
+
+	return &Recommender{cfg: cfg, dataset: filtered, split: split, graphs: graphs, model: model}, nil
+}
+
+// Dataset returns the filtered dataset the recommender was built on.
+func (r *Recommender) Dataset() *ebsnet.Dataset { return r.dataset }
+
+// Split returns the chronological split.
+func (r *Recommender) Split() *ebsnet.Split { return r.split }
+
+// RelationGraphs returns the trained-on relation graphs.
+func (r *Recommender) RelationGraphs() *ebsnet.Graphs { return r.graphs }
+
+// Model returns the trained model.
+func (r *Recommender) Model() *core.Model { return r.model }
+
+// TopEvents ranks the cold (test) events for the user and returns the
+// top n. These are exactly the events the paper's recommendation service
+// would surface: future events with no attendance history.
+func (r *Recommender) TopEvents(user int32, n int) ([]Recommendation, error) {
+	if int(user) < 0 || int(user) >= r.dataset.NumUsers {
+		return nil, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("ebsn: n must be positive")
+	}
+	type se struct {
+		x int32
+		s float32
+	}
+	best := make([]se, 0, n)
+	for _, x := range r.split.TestEvents {
+		s := r.model.ScoreUserEvent(user, x)
+		if len(best) < n {
+			best = append(best, se{x, s})
+			up := len(best) - 1
+			for up > 0 && best[up].s > best[up-1].s {
+				best[up], best[up-1] = best[up-1], best[up]
+				up--
+			}
+		} else if s > best[n-1].s {
+			best[n-1] = se{x, s}
+			up := n - 1
+			for up > 0 && best[up].s > best[up-1].s {
+				best[up], best[up-1] = best[up-1], best[up]
+				up--
+			}
+		}
+	}
+	out := make([]Recommendation, len(best))
+	for i, e := range best {
+		out[i] = Recommendation{Event: e.x, Score: e.s}
+	}
+	return out, nil
+}
+
+// PrepareJoint builds the transformed candidate space and TA index for
+// joint event-partner recommendation, pruning to each partner's top
+// pruneK test events (0 keeps the full space). It is called implicitly by
+// TopEventPartners but exposed so services can pay the build cost at
+// startup.
+func (r *Recommender) PrepareJoint(pruneK int) error {
+	events := make([][]float32, len(r.split.TestEvents))
+	for i, x := range r.split.TestEvents {
+		events[i] = r.model.EventVec(x)
+	}
+	partners := make([][]float32, r.dataset.NumUsers)
+	for u := range partners {
+		partners[u] = r.model.UserVec(int32(u))
+	}
+	set, err := ta.BuildCandidates(events, partners, ta.BuildConfig{TopKEvents: pruneK, Workers: r.cfg.Threads})
+	if err != nil {
+		return err
+	}
+	r.taSet = set
+	r.taIndex = ta.NewFastIndex(set)
+	r.taPruneK = pruneK
+	// A rebuilt candidate space invalidates the live-ingestion delta;
+	// callers re-ingest (or compact before re-preparing).
+	r.taDynamic = nil
+	return nil
+}
+
+// TopEventPartners returns the top-n event-partner pairs for the user via
+// the TA index over the transformed space. Event IDs in the result are
+// dataset event IDs; partners are user IDs.
+func (r *Recommender) TopEventPartners(user int32, n int) ([]PairRecommendation, error) {
+	if int(user) < 0 || int(user) >= r.dataset.NumUsers {
+		return nil, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("ebsn: n must be positive")
+	}
+	if r.taIndex == nil {
+		// Default pruning: 5% of test events per partner, the point where
+		// Figure 7 shows the approximation ratio reaching ~1.
+		k := len(r.split.TestEvents) / 20
+		if k < 1 {
+			k = 1
+		}
+		if err := r.PrepareJoint(k); err != nil {
+			return nil, err
+		}
+	}
+	res, _ := r.taIndex.TopNExcluding(r.model.UserVec(user), n, user)
+	out := make([]PairRecommendation, 0, len(res))
+	for _, rr := range res {
+		out = append(out, PairRecommendation{
+			Event:   r.split.TestEvents[rr.Event],
+			Partner: rr.Partner,
+			Score:   rr.Score,
+		})
+	}
+	return out, nil
+}
+
+// LoadDatasetCSV imports a dataset directory written by SaveDatasetCSV.
+func LoadDatasetCSV(dir string) (*Dataset, error) { return ebsnet.ImportCSV(dir) }
+
+// SaveDatasetCSV exports the dataset as CSV files under dir.
+func SaveDatasetCSV(d *Dataset, dir string) error { return ebsnet.ExportCSV(d, dir) }
+
+// SaveModel writes the trained embeddings to path (encoding/gob).
+func (r *Recommender) SaveModel(path string) error {
+	return r.model.Snapshot().SaveFile(path)
+}
+
+// GenerateDataset synthesizes a city dataset without building a pipeline.
+func GenerateDataset(cfg GeneratorConfig) (*Dataset, error) { return datagen.Generate(cfg) }
+
+// Open rebuilds a Recommender from a directory written by cmd/ebsn-train:
+// dataset/ (CSV) plus model.gob. No training happens; the saved
+// embeddings are restored into a model built over the same graphs. The
+// snapshot's dimension overrides cfg.K.
+func Open(dir string, cfg Config) (*Recommender, error) {
+	cfg.fill()
+	d, err := ebsnet.ImportCSV(dir + "/dataset")
+	if err != nil {
+		return nil, err
+	}
+	snap, err := core.LoadSnapshotFile(dir + "/model.gob")
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := d.FilterMinEvents(cfg.MinEventsPerUser)
+	if err != nil {
+		return nil, err
+	}
+	split, err := ebsnet.ChronologicalSplit(filtered, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		return nil, err
+	}
+	graphs, err := ebsnet.BuildGraphs(filtered, split, ebsnet.DefaultGraphsConfig())
+	if err != nil {
+		return nil, err
+	}
+	mc := snap.Cfg
+	model, err := core.NewModel(graphs, mc)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.RestoreSnapshot(snap); err != nil {
+		return nil, err
+	}
+	cfg.K = mc.K
+	return &Recommender{cfg: cfg, dataset: filtered, split: split, graphs: graphs, model: model}, nil
+}
+
+// EvalResult is an Accuracy@n evaluation outcome.
+type EvalResult = eval.Result
+
+// EvaluateColdStart runs the paper's cold-start event protocol (1000
+// sampled negatives per held-out attendance) on the test split. maxCases
+// caps the evaluated cases (0 = all).
+func (r *Recommender) EvaluateColdStart(ns []int, maxCases int) (EvalResult, error) {
+	cfg := eval.DefaultConfig()
+	if len(ns) > 0 {
+		cfg.Ns = ns
+	}
+	cfg.MaxCases = maxCases
+	cfg.Seed = r.cfg.Seed ^ 0xeea1
+	return eval.EventRecommendation(r.model, r.dataset, r.split, ebsnet.Test, cfg)
+}
+
+// EvaluatePartner runs the paper's joint event-partner protocol (500
+// negative events + 500 negative partners per ground-truth triple).
+func (r *Recommender) EvaluatePartner(ns []int, maxCases int) (EvalResult, error) {
+	cfg := eval.DefaultConfig()
+	if len(ns) > 0 {
+		cfg.Ns = ns
+	}
+	cfg.MaxCases = maxCases
+	cfg.Seed = r.cfg.Seed ^ 0xeea2
+	triples := ebsnet.PartnerGroundTruth(r.dataset, r.split, ebsnet.Test)
+	return eval.PartnerRecommendation(r.model, r.dataset, r.split, triples, ebsnet.Test, cfg)
+}
+
+// FoldInEvent synthesizes an embedding for a brand-new event that did not
+// exist at training time, from its tokenized description, venue and start
+// time — the live-service path for events arriving after the last
+// retrain. The region is inherited from events at the same venue, or from
+// the geographically nearest event when the venue is new.
+func (r *Recommender) FoldInEvent(words []string, venue int32, start time.Time) ([]float32, error) {
+	if int(venue) < 0 || int(venue) >= len(r.dataset.Venues) {
+		return nil, fmt.Errorf("ebsn: venue %d out of range [0,%d)", venue, len(r.dataset.Venues))
+	}
+	region := int32(-1)
+	for x, e := range r.dataset.Events {
+		if e.Venue == venue {
+			region = int32(r.graphs.EventRegion[x])
+			break
+		}
+	}
+	if region < 0 {
+		// New venue: adopt the region of the geographically nearest event.
+		p := r.dataset.Venues[venue]
+		best := -1
+		bestKm := math.Inf(1)
+		for x, e := range r.dataset.Events {
+			if km := geo.EquirectKm(p, r.dataset.Venues[e.Venue]); km < bestKm {
+				bestKm = km
+				best = x
+			}
+		}
+		region = int32(r.graphs.EventRegion[best])
+	}
+	if r.snap == nil {
+		r.snap = r.model.Snapshot()
+	}
+	return r.snap.FoldIn(r.graphs.Vocab, core.ColdEvent{Words: words, Region: region, Start: start})
+}
+
+// ScoreColdEvent scores a folded-in event vector for a user.
+func (r *Recommender) ScoreColdEvent(user int32, eventVec []float32) float32 {
+	return vecmath.Dot(r.model.UserVec(user), eventVec)
+}
+
+// RankingMetrics is the full-ranking metric set (MRR, mean rank,
+// Recall@n, NDCG@n).
+type RankingMetrics = eval.RankingMetrics
+
+// EvaluateFullRanking ranks every held-out attendance's true event
+// against the whole cold-event pool — no negative sampling — and reports
+// MRR, mean rank, Recall@n and NDCG@n. Slower than EvaluateColdStart but
+// sampling-noise free.
+func (r *Recommender) EvaluateFullRanking(ns []int, maxCases int) (RankingMetrics, error) {
+	return eval.EventRecommendationFullRanking(r.model, r.dataset, r.split, ebsnet.Test, eval.FullRankingConfig{
+		Ns:       ns,
+		MaxCases: maxCases,
+		Workers:  r.cfg.Threads,
+	})
+}
+
+// TrainingObjective estimates the current value of the negative-sampling
+// objective the trainer descends, overall and per relation graph — the
+// number to watch on a training dashboard.
+func (r *Recommender) TrainingObjective(samples int) (core.ObjectiveEstimate, error) {
+	return r.model.EstimateObjective(samples, r.cfg.Seed^0x0b9e)
+}
+
+// DescribeDataset returns the distributional profile of the underlying
+// dataset (activity, popularity and social-degree statistics).
+func (r *Recommender) DescribeDataset() ebsnet.Description {
+	return ebsnet.Describe(r.dataset)
+}

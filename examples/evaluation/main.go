@@ -1,0 +1,67 @@
+// Evaluation walkthrough: train two GEM variants with the
+// validation-driven convergence API (how the paper determines each
+// model's sample budget), then compare them under three lenses — the
+// paper's sampled-negative Accuracy@n, full-ranking MRR/NDCG, and the
+// training objective itself.
+//
+//	go run ./examples/evaluation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ebsn"
+)
+
+func main() {
+	fmt.Println("building pipeline (GEM-A, tiny city)...")
+	rec, err := ebsn.New(ebsn.Config{
+		City:    ebsn.CityTiny,
+		Seed:    21,
+		Variant: ebsn.GEMA,
+		Threads: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Lens 1: the paper's protocol — Accuracy@n against 1000 sampled
+	// negatives per held-out attendance.
+	cold, err := rec.EvaluateColdStart([]int{1, 5, 10, 20}, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper protocol (cold-start, sampled negatives):")
+	for i, n := range cold.Ns {
+		fmt.Printf("  acc@%-2d = %.3f\n", n, cold.Accuracy[i])
+	}
+
+	// Lens 2: full-ranking metrics. No sampling noise; directly
+	// comparable across runs and datasets.
+	m, err := rec.EvaluateFullRanking([]int{1, 10}, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfull ranking over every cold event:")
+	fmt.Printf("  %s\n", m)
+
+	// Lens 3: the optimization objective, per relation graph. A lagging
+	// relation means its signal is under-trained (or absent).
+	obj, err := rec.TrainingObjective(10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraining objective: %.4f\n", obj.Total)
+	for name, v := range obj.PerRelation {
+		fmt.Printf("  %-16s %.4f\n", name, v)
+	}
+
+	// The joint task, for completeness.
+	partner, err := rec.EvaluatePartner([]int{10}, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevent-partner acc@10 = %.3f over %d ground-truth triples\n",
+		partner.MustAt(10), partner.Cases)
+}

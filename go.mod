@@ -1,0 +1,3 @@
+module ebsn
+
+go 1.22

@@ -1,0 +1,111 @@
+// Package alias implements Walker's alias method for O(1) sampling from an
+// arbitrary discrete distribution. GEM uses alias tables in two hot places:
+// drawing a positive edge with probability proportional to its weight
+// (LINE-style edge sampling), and drawing noise nodes from the degree^0.75
+// distribution of the degree-based sampler.
+package alias
+
+import "ebsn/internal/rng"
+
+// Table is an immutable alias table over n outcomes. Construction is O(n);
+// each Sample is O(1). A Table is safe for concurrent Sample calls because
+// sampling only reads.
+type Table struct {
+	prob  []float64
+	alias []int32
+	total float64
+}
+
+// New builds a table from the given non-negative weights. At least one
+// weight must be positive. New copies nothing from weights after it
+// returns.
+func New(weights []float64) *Table {
+	n := len(weights)
+	if n == 0 {
+		panic("alias: empty weight vector")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			panic("alias: negative weight")
+		}
+		_ = i
+		total += w
+	}
+	if total <= 0 {
+		panic("alias: all weights are zero")
+	}
+
+	t := &Table{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		total: total,
+	}
+
+	// Scaled probabilities; target average 1.0 per slot.
+	scaled := make([]float64, n)
+	scale := float64(n) / total
+	for i, w := range weights {
+		scaled[i] = w * scale
+	}
+
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] = scaled[l] - (1 - scaled[s])
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Residual slots are exactly 1 up to floating-point error.
+	for _, l := range large {
+		t.prob[l] = 1
+	}
+	for _, s := range small {
+		t.prob[s] = 1
+	}
+	return t
+}
+
+// NewUniform builds a table equivalent to uniform sampling over n
+// outcomes. It exists so callers can treat "uniform" as just another noise
+// distribution without branching.
+func NewUniform(n int) *Table {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return New(w)
+}
+
+// Len returns the number of outcomes.
+func (t *Table) Len() int { return len(t.prob) }
+
+// Total returns the sum of the weights the table was built from.
+func (t *Table) Total() float64 { return t.total }
+
+// Sample draws one outcome index.
+func (t *Table) Sample(src *rng.Source) int {
+	i := src.Intn(len(t.prob))
+	if src.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

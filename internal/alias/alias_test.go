@@ -1,0 +1,213 @@
+package alias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ebsn/internal/rng"
+)
+
+func TestSingleOutcome(t *testing.T) {
+	tab := New([]float64{3.5})
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if tab.Sample(src) != 0 {
+			t.Fatal("single-outcome table sampled nonzero index")
+		}
+	}
+}
+
+func TestZeroWeightNeverSampled(t *testing.T) {
+	tab := New([]float64{1, 0, 1, 0})
+	src := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		v := tab.Sample(src)
+		if v == 1 || v == 3 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestEmpiricalDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	tab := New(weights)
+	src := rng.New(3)
+	const draws = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tab.Sample(src)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Errorf("outcome %d: observed %d, expected ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestHeavilySkewedDistribution(t *testing.T) {
+	weights := []float64{1e-6, 1e6}
+	tab := New(weights)
+	src := rng.New(5)
+	zeros := 0
+	for i := 0; i < 100000; i++ {
+		if tab.Sample(src) == 0 {
+			zeros++
+		}
+	}
+	// P(0) = 1e-12; with 1e5 draws seeing it even once would be remarkable.
+	if zeros > 1 {
+		t.Errorf("sampled probability-1e-12 outcome %d times", zeros)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tab := NewUniform(5)
+	src := rng.New(7)
+	const draws = 100000
+	counts := make([]int, 5)
+	for i := 0; i < draws; i++ {
+		counts[tab.Sample(src)]++
+	}
+	want := float64(draws) / 5
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("outcome %d: observed %d, expected ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { New(nil) },
+		"negative": func() { New([]float64{1, -1}) },
+		"allZero":  func() { New([]float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTotalAndLen(t *testing.T) {
+	tab := New([]float64{1, 2, 3})
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tab.Len())
+	}
+	if tab.Total() != 6 {
+		t.Errorf("Total = %v, want 6", tab.Total())
+	}
+}
+
+// Property: for random weight vectors, every sampled index has positive
+// weight and lies in range.
+func TestSampleValidityProperty(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			weights[i] = float64(r)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true // all-zero is a documented panic, tested above
+		}
+		tab := New(weights)
+		src := rng.New(seed)
+		for i := 0; i < 200; i++ {
+			v := tab.Sample(src)
+			if v < 0 || v >= len(weights) || weights[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: empirical mean of sampled weights is close to the
+// weight-squared expectation, a strong distributional check on random
+// inputs. We compare the empirical frequency of the heaviest outcome to
+// its true probability.
+func TestHeaviestOutcomeFrequencyProperty(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		heaviest := 0
+		for i, r := range raw {
+			weights[i] = float64(r) + 0.01 // keep strictly positive
+			total += weights[i]
+			if weights[i] > weights[heaviest] {
+				heaviest = i
+			}
+		}
+		tab := New(weights)
+		src := rng.New(seed)
+		const draws = 20000
+		hit := 0
+		for i := 0; i < draws; i++ {
+			if tab.Sample(src) == heaviest {
+				hit++
+			}
+		}
+		p := weights[heaviest] / total
+		tol := 6*math.Sqrt(p*(1-p)*draws) + 1
+		return math.Abs(float64(hit)-p*draws) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	weights := make([]float64, 100000)
+	for i := range weights {
+		weights[i] = float64(i%97) + 1
+	}
+	tab := New(weights)
+	src := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Sample(src)
+	}
+}
+
+// BenchmarkNaiveWeightedScan is the ablation point of comparison: linear
+// cumulative scan per draw, which alias tables replace.
+func BenchmarkNaiveWeightedScan(b *testing.B) {
+	weights := make([]float64, 100000)
+	var total float64
+	for i := range weights {
+		weights[i] = float64(i%97) + 1
+		total += weights[i]
+	}
+	src := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := src.Float64() * total
+		var cum float64
+		for j, w := range weights {
+			cum += w
+			if cum >= u {
+				_ = j
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/rng"
+	"ebsn/internal/vecmath"
+)
+
+// DeepWalkConfig parameterizes the homogeneous-embedding baseline.
+type DeepWalkConfig struct {
+	K            int
+	WalkLength   int
+	WalksPerNode int
+	Window       int
+	// Negatives per skip-gram pair.
+	Negatives    int
+	LearningRate float32
+	Seed         uint64
+}
+
+// DefaultDeepWalkConfig follows the DeepWalk paper's common settings
+// scaled to the shared budget.
+func DefaultDeepWalkConfig() DeepWalkConfig {
+	return DeepWalkConfig{
+		K: 60, WalkLength: 40, WalksPerNode: 10, Window: 5,
+		Negatives: 2, LearningRate: 0.025, Seed: 1,
+	}
+}
+
+// DeepWalk is the homogeneous network-embedding family of the paper's
+// related work (Section VI-C: DeepWalk/LINE/node2vec "can only handle
+// single homogeneous networks"). It flattens the EBSN into one untyped
+// node space — users, events, regions, time slots and words all become
+// plain vertices — runs truncated random walks, and trains skip-gram with
+// degree-based negative sampling. Included to let the harness demonstrate
+// the related-work claim: treating the heterogeneous graphs homogeneously
+// discards the relation semantics GEM exploits, and cold events in
+// particular are reachable only through low-weight content/context edges
+// that the uniform walk underuses.
+type DeepWalk struct {
+	cfg DeepWalkConfig
+
+	// Unified node space offsets.
+	userBase, eventBase, regionBase, timeBase, wordBase int32
+	numNodes                                            int
+
+	adj   [][]int32 // flattened adjacency
+	emb   []float32 // node embeddings (input vectors)
+	noise []int32   // degree^0.75 sampling table (prebuilt permutation-free)
+}
+
+// NewDeepWalk flattens the relation graphs and trains.
+func NewDeepWalk(g *ebsnet.Graphs, cfg DeepWalkConfig) (*DeepWalk, error) {
+	if cfg.K <= 0 || cfg.WalkLength < 2 || cfg.WalksPerNode <= 0 || cfg.Window <= 0 || cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("baselines: invalid DeepWalk config %+v", cfg)
+	}
+	dw := &DeepWalk{cfg: cfg}
+	nu := g.UserEvent.NumA()
+	nx := g.UserEvent.NumB()
+	nr := g.EventLocation.NumB()
+	nt := g.EventTime.NumB()
+	nw := g.EventWord.NumB()
+	dw.userBase = 0
+	dw.eventBase = int32(nu)
+	dw.regionBase = dw.eventBase + int32(nx)
+	dw.timeBase = dw.regionBase + int32(nr)
+	dw.wordBase = dw.timeBase + int32(nt)
+	dw.numNodes = nu + nx + nr + nt + nw
+
+	dw.adj = make([][]int32, dw.numNodes)
+	addBoth := func(a, b int32) {
+		dw.adj[a] = append(dw.adj[a], b)
+		dw.adj[b] = append(dw.adj[b], a)
+	}
+	for _, e := range g.UserEvent.Edges() {
+		addBoth(dw.userBase+e.A, dw.eventBase+e.B)
+	}
+	for _, e := range g.EventLocation.Edges() {
+		addBoth(dw.eventBase+e.A, dw.regionBase+e.B)
+	}
+	for _, e := range g.EventTime.Edges() {
+		addBoth(dw.eventBase+e.A, dw.timeBase+e.B)
+	}
+	for _, e := range g.EventWord.Edges() {
+		addBoth(dw.eventBase+e.A, dw.wordBase+e.B)
+	}
+	for _, e := range g.UserUser.Edges() {
+		// Symmetric graphs store both directions; add each once.
+		if e.A < e.B {
+			addBoth(dw.userBase+e.A, dw.userBase+e.B)
+		}
+	}
+
+	src := rng.New(cfg.Seed)
+	dw.emb = make([]float32, dw.numNodes*cfg.K)
+	ctx := make([]float32, dw.numNodes*cfg.K)
+	for i := range dw.emb {
+		dw.emb[i] = float32(src.Gaussian(0, 0.01))
+	}
+
+	// Degree-proportional noise table (unigram^0.75 bucketing).
+	const noiseTable = 1 << 18
+	dw.noise = make([]int32, 0, noiseTable)
+	var total float64
+	pows := make([]float64, dw.numNodes)
+	for v, nbrs := range dw.adj {
+		if len(nbrs) == 0 {
+			continue
+		}
+		pows[v] = math.Pow(float64(len(nbrs)), 0.75)
+		total += pows[v]
+	}
+	for v := range dw.adj {
+		n := int(pows[v] / total * noiseTable)
+		for i := 0; i < n; i++ {
+			dw.noise = append(dw.noise, int32(v))
+		}
+	}
+	if len(dw.noise) == 0 {
+		return nil, fmt.Errorf("baselines: DeepWalk flattened graph has no edges")
+	}
+
+	dw.train(src, ctx)
+	return dw, nil
+}
+
+func (dw *DeepWalk) row(buf []float32, v int32) []float32 {
+	return buf[int(v)*dw.cfg.K : (int(v)+1)*dw.cfg.K]
+}
+
+// train runs truncated random walks and skip-gram with negative sampling.
+func (dw *DeepWalk) train(src *rng.Source, ctx []float32) {
+	k := dw.cfg.K
+	walk := make([]int32, 0, dw.cfg.WalkLength)
+	grad := make([]float32, k)
+	lr := dw.cfg.LearningRate
+	for rep := 0; rep < dw.cfg.WalksPerNode; rep++ {
+		for start := 0; start < dw.numNodes; start++ {
+			if len(dw.adj[start]) == 0 {
+				continue
+			}
+			walk = walk[:0]
+			cur := int32(start)
+			for len(walk) < dw.cfg.WalkLength {
+				walk = append(walk, cur)
+				nbrs := dw.adj[cur]
+				if len(nbrs) == 0 {
+					break
+				}
+				cur = nbrs[src.Intn(len(nbrs))]
+			}
+			// Skip-gram over the walk.
+			for i, center := range walk {
+				lo := i - dw.cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + dw.cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				cv := dw.row(dw.emb, center)
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					target := walk[j]
+					for f := range grad {
+						grad[f] = 0
+					}
+					// Positive pair.
+					tv := dw.row(ctx, target)
+					g := lr * (1 - vecmath.FastSigmoid(vecmath.Dot(cv, tv)))
+					vecmath.Axpy(g, tv, grad)
+					vecmath.Axpy(g, cv, tv)
+					// Negatives.
+					for t := 0; t < dw.cfg.Negatives; t++ {
+						neg := dw.noise[src.Intn(len(dw.noise))]
+						if neg == target {
+							continue
+						}
+						nv := dw.row(ctx, neg)
+						gn := -lr * vecmath.FastSigmoid(vecmath.Dot(cv, nv))
+						vecmath.Axpy(gn, nv, grad)
+						vecmath.Axpy(gn, cv, nv)
+					}
+					vecmath.Axpy(1, grad, cv)
+				}
+			}
+		}
+	}
+}
+
+// UserVec and EventVec expose embeddings in the unified space.
+func (dw *DeepWalk) UserVec(u int32) []float32 { return dw.row(dw.emb, dw.userBase+u) }
+
+// EventVec returns the event's embedding.
+func (dw *DeepWalk) EventVec(x int32) []float32 { return dw.row(dw.emb, dw.eventBase+x) }
+
+// ScoreUserEvent is the skip-gram inner product.
+func (dw *DeepWalk) ScoreUserEvent(u, x int32) float32 {
+	return vecmath.Dot(dw.UserVec(u), dw.EventVec(x))
+}
+
+// ScoreTriple applies the shared pairwise extension framework.
+func (dw *DeepWalk) ScoreTriple(u, partner, x int32) float32 {
+	return dw.ScoreUserEvent(u, x) + dw.ScoreUserEvent(partner, x) +
+		vecmath.Dot(dw.UserVec(u), dw.UserVec(partner))
+}

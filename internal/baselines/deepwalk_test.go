@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestDeepWalkLearnsSignal(t *testing.T) {
+	_, _, g := testEnv(t)
+	cfg := DefaultDeepWalkConfig()
+	cfg.K = 16
+	cfg.WalksPerNode = 6
+	cfg.WalkLength = 20
+	dw, err := NewDeepWalk(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := marginOverRandom(dw, g); m <= 0 {
+		t.Errorf("DeepWalk margin over random = %.2f, want positive", m)
+	}
+}
+
+func TestDeepWalkNodeSpaces(t *testing.T) {
+	_, _, g := testEnv(t)
+	cfg := DefaultDeepWalkConfig()
+	cfg.K = 8
+	cfg.WalksPerNode = 1
+	cfg.WalkLength = 5
+	dw, err := NewDeepWalk(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.numNodes != g.UserEvent.NumA()+g.UserEvent.NumB()+g.EventLocation.NumB()+g.EventTime.NumB()+g.EventWord.NumB() {
+		t.Errorf("unified node space size %d", dw.numNodes)
+	}
+	// Vector accessors must address disjoint rows.
+	u0 := dw.UserVec(0)
+	x0 := dw.EventVec(0)
+	u0[0] = 42
+	if x0[0] == 42 {
+		t.Error("user and event vectors alias")
+	}
+}
+
+func TestDeepWalkTripleDecomposition(t *testing.T) {
+	_, _, g := testEnv(t)
+	cfg := DefaultDeepWalkConfig()
+	cfg.K = 8
+	cfg.WalksPerNode = 1
+	cfg.WalkLength = 5
+	dw, err := NewDeepWalk(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var social float32
+	for f, v := range dw.UserVec(1) {
+		social += v * dw.UserVec(2)[f]
+	}
+	want := dw.ScoreUserEvent(1, 3) + dw.ScoreUserEvent(2, 3) + social
+	if got := dw.ScoreTriple(1, 2, 3); got != want {
+		t.Errorf("ScoreTriple = %v, want %v", got, want)
+	}
+}
+
+func TestDeepWalkRejectsBadConfig(t *testing.T) {
+	_, _, g := testEnv(t)
+	if _, err := NewDeepWalk(g, DeepWalkConfig{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := NewDeepWalk(g, DeepWalkConfig{K: 4, WalkLength: 1, WalksPerNode: 1, Window: 2, LearningRate: 0.1}); err == nil {
+		t.Error("walk length 1 accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package baselines
+
+import (
+	"math"
+
+	"ebsn/internal/ebsnet"
+)
+
+// Random is the chance-level reference scorer: a deterministic hash of
+// the pair, independent of any signal. Under the paper's protocol with R
+// negatives it scores Accuracy@n ≈ n/(R+1); any model below it is broken.
+type Random struct {
+	// Salt decorrelates independent Random instances.
+	Salt uint32
+}
+
+func hashScore(a, b, salt uint32) float32 {
+	h := a*2654435761 ^ b*40503 ^ salt*2246822519
+	h ^= h >> 15
+	h *= 2654435761
+	h ^= h >> 13
+	return float32(h%1_000_003) / 1_000_003
+}
+
+// ScoreUserEvent returns a pair-deterministic pseudo-random score.
+func (r Random) ScoreUserEvent(u, x int32) float32 {
+	return hashScore(uint32(u), uint32(x), r.Salt)
+}
+
+// ScoreTriple returns a triple-deterministic pseudo-random score.
+func (r Random) ScoreTriple(u, partner, x int32) float32 {
+	return hashScore(uint32(u)^uint32(partner)<<8, uint32(x), r.Salt^0x9e37)
+}
+
+// Popularity ranks events by training attendance volume — the classic
+// non-personalized baseline. It is structurally blind on the paper's
+// task: cold events have zero training attendance, so every test event
+// ties at the bottom and the protocol (ties lose) scores it at zero.
+// Including it makes the cold-start framing concrete: popularity, the
+// strongest baseline on warm catalogs, is the weakest possible one here.
+type Popularity struct {
+	counts []float32
+	social [][]int32 // friends per user for the partner term
+}
+
+// NewPopularity counts training attendance per event.
+func NewPopularity(d *ebsnet.Dataset, s *ebsnet.Split) *Popularity {
+	p := &Popularity{counts: make([]float32, d.NumEvents())}
+	for _, a := range s.TrainAttendance {
+		p.counts[a[1]]++
+	}
+	p.social = make([][]int32, d.NumUsers)
+	for u := int32(0); int(u) < d.NumUsers; u++ {
+		p.social[u] = d.Friends(u)
+	}
+	return p
+}
+
+// ScoreUserEvent returns log(1 + training attendance of x), identical
+// for all users.
+func (p *Popularity) ScoreUserEvent(u, x int32) float32 {
+	return float32(math.Log1p(float64(p.counts[x])))
+}
+
+// ScoreTriple adds a friend-count partner prior to the popularity score:
+// recommend popular events with popular friends.
+func (p *Popularity) ScoreTriple(u, partner, x int32) float32 {
+	social := float32(0)
+	for _, f := range p.social[u] {
+		if f == partner {
+			social = 1
+			break
+		}
+	}
+	return p.ScoreUserEvent(u, x) + social + float32(math.Log1p(float64(len(p.social[partner]))))*0.1
+}

@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/eval"
+)
+
+func TestRandomIsDeterministicAndSpread(t *testing.T) {
+	r := Random{Salt: 1}
+	if r.ScoreUserEvent(3, 7) != r.ScoreUserEvent(3, 7) {
+		t.Fatal("Random not deterministic")
+	}
+	if (Random{Salt: 1}).ScoreUserEvent(3, 7) == (Random{Salt: 2}).ScoreUserEvent(3, 7) {
+		t.Error("salts do not decorrelate")
+	}
+	// Scores should spread over [0,1): check moments.
+	var sum, sq float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := float64(r.ScoreUserEvent(int32(i), int32(i*31+5)))
+		if v < 0 || v >= 1 {
+			t.Fatalf("score %v out of range", v)
+		}
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("random score mean %v", mean)
+	}
+	if variance := sq/n - mean*mean; math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("random score variance %v, want ~1/12", variance)
+	}
+}
+
+func TestRandomNearChanceUnderProtocol(t *testing.T) {
+	d, s, _ := testEnv(t)
+	cfg := eval.Config{Ns: []int{10}, NegativeEvents: 100, MaxCases: 400, Seed: 5}
+	res, err := eval.EventRecommendation(Random{Salt: 3}, d, s, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 / 101.0
+	if math.Abs(res.MustAt(10)-want) > 0.06 {
+		t.Errorf("Random acc@10 = %v, want ~%v", res.MustAt(10), want)
+	}
+}
+
+func TestPopularityCountsTrainingOnly(t *testing.T) {
+	d, s, _ := testEnv(t)
+	p := NewPopularity(d, s)
+	// Every cold (test) event must score exactly zero.
+	for _, x := range s.TestEvents {
+		if p.ScoreUserEvent(0, x) != 0 {
+			t.Fatalf("cold event %d has popularity %v", x, p.ScoreUserEvent(0, x))
+		}
+	}
+	// Training events with attendance score positive.
+	found := false
+	for _, x := range s.TrainEvents {
+		if len(d.EventUsers(x)) > 0 && p.ScoreUserEvent(0, x) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no training event has positive popularity")
+	}
+}
+
+func TestPopularityFailsColdStartProtocol(t *testing.T) {
+	// The illustrative point: the classic warm-catalog baseline scores
+	// zero on the paper's task because all test events tie at zero.
+	d, s, _ := testEnv(t)
+	p := NewPopularity(d, s)
+	cfg := eval.Config{Ns: []int{20}, NegativeEvents: 100, MaxCases: 200, Seed: 7}
+	res, err := eval.EventRecommendation(p, d, s, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MustAt(20) != 0 {
+		t.Errorf("popularity acc@20 = %v on cold events, want 0", res.MustAt(20))
+	}
+}
+
+func TestPopularityUserIndependent(t *testing.T) {
+	d, s, _ := testEnv(t)
+	p := NewPopularity(d, s)
+	for x := int32(0); x < 10; x++ {
+		if p.ScoreUserEvent(0, x) != p.ScoreUserEvent(5, x) {
+			t.Fatal("popularity depends on the user")
+		}
+	}
+}
+
+func TestPopularityTripleFavorsFriends(t *testing.T) {
+	d, s, _ := testEnv(t)
+	p := NewPopularity(d, s)
+	// Find a user with at least one friend.
+	for u := int32(0); int(u) < d.NumUsers; u++ {
+		friends := d.Friends(u)
+		if len(friends) == 0 {
+			continue
+		}
+		friend := friends[0]
+		// A stranger with the same friend count as the friend.
+		for v := int32(0); int(v) < d.NumUsers; v++ {
+			if v == u || v == friend || d.AreFriends(u, v) {
+				continue
+			}
+			if len(d.Friends(v)) == len(d.Friends(friend)) {
+				if p.ScoreTriple(u, friend, 0) <= p.ScoreTriple(u, v, 0) {
+					t.Errorf("friend does not outrank equal-degree stranger")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no comparable friend/stranger pair in fixture")
+}

@@ -1,0 +1,198 @@
+package core
+
+import "fmt"
+
+// SamplerKind selects the noise-node distribution used to build negative
+// edges.
+type SamplerKind int
+
+const (
+	// SamplerDegree is P_n(v) ∝ deg(v)^0.75, the word2vec/LINE default
+	// used by GEM-P and PTE.
+	SamplerDegree SamplerKind = iota
+	// SamplerUniform draws noise nodes uniformly, the PCMF-style
+	// strawman.
+	SamplerUniform
+	// SamplerAdaptive is the paper's rank-based adversarial sampler in
+	// its fast approximate form (Algorithm 1): sample a rank from the
+	// Geometric distribution, sample a dimension from p(f|v_c) ∝
+	// v_{c,f}·σ_f, and return the node at that rank in the per-dimension
+	// ranking.
+	SamplerAdaptive
+	// SamplerAdaptiveExact is the exact implementation of Eqn. 6 — it
+	// ranks all nodes by σ(v_c·v_k) for every draw. O(|V|·K) per sample,
+	// usable only on small graphs; kept for the approximation-quality
+	// ablation.
+	SamplerAdaptiveExact
+)
+
+func (s SamplerKind) String() string {
+	switch s {
+	case SamplerDegree:
+		return "degree"
+	case SamplerUniform:
+		return "uniform"
+	case SamplerAdaptive:
+		return "adaptive"
+	case SamplerAdaptiveExact:
+		return "adaptive-exact"
+	default:
+		return fmt.Sprintf("SamplerKind(%d)", int(s))
+	}
+}
+
+// GraphSampling selects how Algorithm 2 picks which bipartite graph to
+// draw the next positive edge from.
+type GraphSampling int
+
+const (
+	// GraphProportional samples a graph with probability proportional to
+	// its edge count — the paper's joint training (Algorithm 2, Line 3).
+	GraphProportional GraphSampling = iota
+	// GraphUniform gives every graph equal probability, the PTE behaviour
+	// the paper criticizes for over-exploiting small graphs.
+	GraphUniform
+)
+
+func (g GraphSampling) String() string {
+	if g == GraphProportional {
+		return "proportional"
+	}
+	return "uniform"
+}
+
+// Config holds every hyper-parameter of GEM training. Zero values are
+// replaced with the paper's tuned defaults by Validate.
+type Config struct {
+	// K is the embedding dimension; the paper settles on 60 (Table IV).
+	K int
+	// LearningRate is the SGD step size α; the paper uses 0.05.
+	LearningRate float32
+	// NegativeSamples is M, the noise nodes drawn per side per positive
+	// edge; the paper uses 2.
+	NegativeSamples int
+	// Lambda is the Geometric density parameter λ of the adaptive
+	// sampler; the paper settles on 200 (Table V).
+	Lambda float64
+	// InitStdDev is the Gaussian initialization scale (paper: 0.01).
+	InitStdDev float64
+
+	Sampler       SamplerKind
+	Bidirectional bool
+	GraphSampling GraphSampling
+
+	// TotalSteps, when positive, enables the standard LINE/word2vec
+	// linear learning-rate decay: the effective rate at step t is
+	// LearningRate·max(1e-4, 1 − t/TotalSteps). The paper optimizes "following
+	// [15], [21]" (Hogwild and LINE), both of which decay the rate; a
+	// fixed rate never stops churning the embeddings under adversarial
+	// negatives. Zero disables decay.
+	TotalSteps int64
+
+	// NonNegative applies the rectifier projection after each update, as
+	// the paper describes. Our reproduction defaults it OFF: with every
+	// vector clamped non-negative, every inner product is ≥ 0, so
+	// σ(v·v_k) ≥ 0.5 for every sampled noise pair — the repulsive
+	// gradient never vanishes and the only fixed point is the zero
+	// embedding. Empirically the projection collapses all norms to ~0.02
+	// and accuracy to chance (see BenchmarkAblationReLU and DESIGN.md);
+	// without it the model learns as the paper reports. The adaptive
+	// sampler and the TA index are sign-aware, so nothing downstream
+	// needs the projection.
+	NonNegative bool
+	// RejectObserved skips noise nodes that form an actually observed
+	// edge with the context node, honoring the definition of negative
+	// edges as unobserved ones. Costs one hash lookup per noise node.
+	RejectObserved bool
+
+	// Threads is the asynchronous-SGD worker count; 1 means sequential.
+	Threads int
+	Seed    uint64
+}
+
+// DefaultConfig returns the paper's tuned GEM-A hyper-parameters.
+func DefaultConfig() Config {
+	return Config{
+		K:               60,
+		LearningRate:    0.05,
+		NegativeSamples: 2,
+		Lambda:          200,
+		InitStdDev:      0.01,
+		Sampler:         SamplerAdaptive,
+		Bidirectional:   true,
+		GraphSampling:   GraphProportional,
+		NonNegative:     false,
+		RejectObserved:  true,
+		Threads:         1,
+		Seed:            1,
+	}
+}
+
+// GEMAConfig is the full model with the adaptive adversarial sampler.
+func GEMAConfig() Config { return DefaultConfig() }
+
+// GEMPConfig is GEM with the degree-based noise sampler (still
+// bidirectional, still edge-proportional joint training).
+func GEMPConfig() Config {
+	c := DefaultConfig()
+	c.Sampler = SamplerDegree
+	return c
+}
+
+// PTEConfig reproduces the PTE baseline: unidirectional degree-based
+// negative sampling and uniform graph selection in joint training.
+func PTEConfig() Config {
+	c := DefaultConfig()
+	c.Sampler = SamplerDegree
+	c.Bidirectional = false
+	c.GraphSampling = GraphUniform
+	return c
+}
+
+// Validate fills defaults and rejects nonsensical values.
+func (c *Config) Validate() error {
+	if c.K == 0 {
+		c.K = 60
+	}
+	if c.K < 0 {
+		return fmt.Errorf("core: K must be positive, got %d", c.K)
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.LearningRate < 0 {
+		return fmt.Errorf("core: LearningRate must be positive, got %v", c.LearningRate)
+	}
+	if c.NegativeSamples == 0 {
+		c.NegativeSamples = 2
+	}
+	if c.NegativeSamples < 0 {
+		return fmt.Errorf("core: NegativeSamples must be positive, got %d", c.NegativeSamples)
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 200
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("core: Lambda must be positive, got %v", c.Lambda)
+	}
+	if c.InitStdDev == 0 {
+		c.InitStdDev = 0.01
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("core: Threads must be positive, got %d", c.Threads)
+	}
+	switch c.Sampler {
+	case SamplerDegree, SamplerUniform, SamplerAdaptive, SamplerAdaptiveExact:
+	default:
+		return fmt.Errorf("core: unknown sampler %d", c.Sampler)
+	}
+	switch c.GraphSampling {
+	case GraphProportional, GraphUniform:
+	default:
+		return fmt.Errorf("core: unknown graph sampling %d", c.GraphSampling)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// ConvergenceConfig drives TrainUntilConverged: the paper determines each
+// model's required sample count N by training until the validation metric
+// stops improving (Tables II/III show exactly those plateaus), and this
+// API packages that procedure.
+type ConvergenceConfig struct {
+	// CheckEvery is the number of gradient steps between metric
+	// evaluations.
+	CheckEvery int64
+	// MaxSteps bounds the total budget (0 = 64 × CheckEvery).
+	MaxSteps int64
+	// Patience is how many consecutive non-improving checks are allowed
+	// before stopping (default 2 — the paper's tables flatline for
+	// several rows before the authors call it converged).
+	Patience int
+	// MinDelta is the improvement threshold; smaller gains count as a
+	// plateau (default 1e-4).
+	MinDelta float64
+}
+
+func (c *ConvergenceConfig) fill() error {
+	if c.CheckEvery <= 0 {
+		return fmt.Errorf("core: CheckEvery must be positive")
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 64 * c.CheckEvery
+	}
+	if c.MaxSteps < c.CheckEvery {
+		return fmt.Errorf("core: MaxSteps %d below CheckEvery %d", c.MaxSteps, c.CheckEvery)
+	}
+	if c.Patience <= 0 {
+		c.Patience = 2
+	}
+	if c.MinDelta == 0 {
+		c.MinDelta = 1e-4
+	}
+	return nil
+}
+
+// ConvergenceTrace records one metric checkpoint.
+type ConvergenceTrace struct {
+	Steps  int64
+	Metric float64
+}
+
+// TrainUntilConverged alternates TrainSteps(CheckEvery) with the caller's
+// metric (typically validation Accuracy@10) until Patience consecutive
+// checks fail to improve the best seen value by MinDelta, or MaxSteps is
+// reached. It returns the checkpoint trace; the model is left at its
+// final state. Learning-rate decay (Cfg.TotalSteps) is unchanged — for
+// this API a fixed rate (TotalSteps = 0) is the natural pairing, matching
+// the paper's fixed α = 0.05.
+func (m *Model) TrainUntilConverged(cfg ConvergenceConfig, metric func(m *Model) (float64, error)) ([]ConvergenceTrace, error) {
+	if metric == nil {
+		return nil, fmt.Errorf("core: nil metric")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	var trace []ConvergenceTrace
+	best := -1.0
+	bad := 0
+	for trained := int64(0); trained < cfg.MaxSteps; {
+		step := cfg.CheckEvery
+		if trained+step > cfg.MaxSteps {
+			step = cfg.MaxSteps - trained
+		}
+		m.TrainSteps(step)
+		trained += step
+		v, err := metric(m)
+		if err != nil {
+			return trace, err
+		}
+		trace = append(trace, ConvergenceTrace{Steps: m.Steps(), Metric: v})
+		if v > best+cfg.MinDelta {
+			best = v
+			bad = 0
+		} else {
+			bad++
+			if bad >= cfg.Patience {
+				break
+			}
+		}
+	}
+	return trace, nil
+}

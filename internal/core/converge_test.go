@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTrainUntilConvergedStopsOnPlateau(t *testing.T) {
+	m := newTestModel(t, nil)
+	// A metric that improves three times then flatlines.
+	calls := 0
+	metric := func(*Model) (float64, error) {
+		calls++
+		if calls <= 3 {
+			return float64(calls), nil
+		}
+		return 3, nil
+	}
+	trace, err := m.TrainUntilConverged(ConvergenceConfig{CheckEvery: 500, MaxSteps: 500 * 50, Patience: 2}, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 improving checks + 2 patience checks = 5 total.
+	if len(trace) != 5 {
+		t.Fatalf("trace length %d, want 5", len(trace))
+	}
+	if m.Steps() != 2500 {
+		t.Errorf("model trained %d steps, want 2500", m.Steps())
+	}
+	for i, tr := range trace {
+		if tr.Steps != int64(500*(i+1)) {
+			t.Errorf("trace[%d].Steps = %d", i, tr.Steps)
+		}
+	}
+}
+
+func TestTrainUntilConvergedRespectsMaxSteps(t *testing.T) {
+	m := newTestModel(t, nil)
+	// Always-improving metric: only MaxSteps stops it.
+	v := 0.0
+	metric := func(*Model) (float64, error) { v++; return v, nil }
+	trace, err := m.TrainUntilConverged(ConvergenceConfig{CheckEvery: 400, MaxSteps: 1000, Patience: 3}, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 1000 {
+		t.Errorf("trained %d steps, want exactly MaxSteps=1000", m.Steps())
+	}
+	if last := trace[len(trace)-1]; last.Steps != 1000 {
+		t.Errorf("final checkpoint at %d", last.Steps)
+	}
+}
+
+func TestTrainUntilConvergedMinDelta(t *testing.T) {
+	m := newTestModel(t, nil)
+	// Improvements below MinDelta count as plateau.
+	v := 1.0
+	metric := func(*Model) (float64, error) { v += 1e-6; return v, nil }
+	trace, err := m.TrainUntilConverged(ConvergenceConfig{CheckEvery: 300, MaxSteps: 30000, Patience: 2, MinDelta: 0.01}, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First check sets best; two more non-improving checks exhaust patience.
+	if len(trace) != 3 {
+		t.Fatalf("trace length %d, want 3", len(trace))
+	}
+}
+
+func TestTrainUntilConvergedPropagatesMetricError(t *testing.T) {
+	m := newTestModel(t, nil)
+	boom := errors.New("metric broke")
+	_, err := m.TrainUntilConverged(ConvergenceConfig{CheckEvery: 100}, func(*Model) (float64, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrainUntilConvergedValidation(t *testing.T) {
+	m := newTestModel(t, nil)
+	if _, err := m.TrainUntilConverged(ConvergenceConfig{}, func(*Model) (float64, error) { return 0, nil }); err == nil {
+		t.Error("CheckEvery=0 accepted")
+	}
+	if _, err := m.TrainUntilConverged(ConvergenceConfig{CheckEvery: 100, MaxSteps: 50}, func(*Model) (float64, error) { return 0, nil }); err == nil {
+		t.Error("MaxSteps < CheckEvery accepted")
+	}
+	if _, err := m.TrainUntilConverged(ConvergenceConfig{CheckEvery: 100}, nil); err == nil {
+		t.Error("nil metric accepted")
+	}
+}
+
+func TestTrainUntilConvergedRealMetric(t *testing.T) {
+	// End to end with a real (cheap) metric: margin of positive edges
+	// over shifted ones. It must improve from the untrained state.
+	g := testGraphs(t)
+	m := newTestModel(t, nil)
+	metric := func(m *Model) (float64, error) {
+		var pos, rnd float64
+		for i := 0; i < g.UserEvent.NumEdges(); i += 5 {
+			e := g.UserEvent.Edge(i)
+			pos += float64(m.ScoreUserEvent(e.A, e.B))
+			rnd += float64(m.ScoreUserEvent(e.A, int32((int(e.B)+11)%m.Events.N)))
+		}
+		return pos - rnd, nil
+	}
+	before, _ := metric(m)
+	trace, err := m.TrainUntilConverged(ConvergenceConfig{CheckEvery: 20000, MaxSteps: 200000, Patience: 2, MinDelta: 0.5}, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	best := trace[0].Metric
+	for _, tr := range trace {
+		if tr.Metric > best {
+			best = tr.Metric
+		}
+	}
+	if best <= before {
+		t.Errorf("metric did not improve: before %v, best %v", before, best)
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+
+	"ebsn/internal/datagen"
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/geo"
+	"ebsn/internal/text"
+)
+
+// testGraphs builds relation graphs from the tiny synthetic dataset,
+// shared (and cached) across the package's tests.
+var cachedGraphs *ebsnet.Graphs
+
+func testGraphs(t testing.TB) *ebsnet.Graphs {
+	t.Helper()
+	if cachedGraphs != nil {
+		return cachedGraphs
+	}
+	d, err := datagen.Generate(datagen.TinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ebsnet.ChronologicalSplit(d, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ebsnet.GraphsConfig{
+		DBSCAN:        geo.DBSCANConfig{EpsKm: 1.5, MinPts: 3},
+		NoiseAttachKm: 5,
+		Vocab:         text.VocabConfig{MinDocFreq: 2},
+	}
+	g, err := ebsnet.BuildGraphs(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedGraphs = g
+	return g
+}
+
+func newTestModel(t testing.TB, mutate func(*Config)) *Model {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.K = 16
+	cfg.Seed = 3
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := NewModel(testGraphs(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelShapes(t *testing.T) {
+	g := testGraphs(t)
+	m := newTestModel(t, nil)
+	if m.Users.N != g.UserEvent.NumA() || m.Events.N != g.UserEvent.NumB() {
+		t.Fatal("matrix sizes disagree with graphs")
+	}
+	if m.Words.N != g.Vocab.Size() {
+		t.Fatal("word matrix size mismatch")
+	}
+	if m.Locations.N != g.NumRegions {
+		t.Fatal("location matrix size mismatch")
+	}
+	if len(m.Relations) != 5 {
+		t.Fatalf("%d relations, want 5", len(m.Relations))
+	}
+	if m.K() != 16 {
+		t.Fatalf("K = %d", m.K())
+	}
+}
+
+func TestNonNegativeInitialization(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.NonNegative = true })
+	for _, v := range m.Users.Data {
+		if v < 0 {
+			t.Fatal("negative entry after non-negative init")
+		}
+	}
+}
+
+func TestNonNegativeTrainingKeepsProjection(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.NonNegative = true })
+	m.TrainSteps(5000)
+	for _, v := range m.Users.Data {
+		if v < 0 {
+			t.Fatal("projection violated during training")
+		}
+	}
+}
+
+func TestConfigValidateDefaults(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 60 || c.NegativeSamples != 2 || c.Lambda != 200 || c.LearningRate != 0.05 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := map[string]Config{
+		"negK":       {K: -1},
+		"negLR":      {LearningRate: -0.1},
+		"negM":       {NegativeSamples: -1},
+		"negLambda":  {Lambda: -5},
+		"negThreads": {Threads: -2},
+		"badSampler": {Sampler: SamplerKind(99)},
+		"badGraphS":  {GraphSampling: GraphSampling(99)},
+	}
+	for name, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTrainStepsAdvancesAndStaysFinite(t *testing.T) {
+	m := newTestModel(t, nil)
+	m.TrainSteps(20000)
+	if m.Steps() != 20000 {
+		t.Fatalf("Steps = %d", m.Steps())
+	}
+	for name, mat := range map[string]*Matrix{
+		"users": m.Users, "events": m.Events, "locations": m.Locations,
+		"times": m.Times, "words": m.Words,
+	} {
+		for _, v := range mat.Data {
+			if v != v { // NaN
+				t.Fatalf("%s matrix has invalid entry %v", name, v)
+			}
+		}
+	}
+}
+
+func TestTrainingMovesEmbeddings(t *testing.T) {
+	m := newTestModel(t, nil)
+	before := m.Users.Clone()
+	m.TrainSteps(5000)
+	moved := 0
+	for i := range before.Data {
+		if before.Data[i] != m.Users.Data[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("training did not change user embeddings")
+	}
+}
+
+func TestTrainingLearnsAttendanceSignal(t *testing.T) {
+	// After training, observed user-event edges should score higher than
+	// random pairs — the most basic learning check.
+	g := testGraphs(t)
+	for _, sampler := range []SamplerKind{SamplerDegree, SamplerAdaptive, SamplerUniform} {
+		m := newTestModel(t, func(c *Config) { c.Sampler = sampler })
+		m.TrainSteps(120000)
+		var pos, rnd float64
+		nEdges := g.UserEvent.NumEdges()
+		for i := 0; i < nEdges; i++ {
+			e := g.UserEvent.Edge(i)
+			pos += float64(m.ScoreUserEvent(e.A, e.B))
+			rnd += float64(m.ScoreUserEvent(e.A, int32((int(e.B)+7*i+13)%m.Events.N)))
+		}
+		if pos <= rnd*1.05+1e-6 {
+			t.Errorf("sampler %v: positive score sum %.2f not above random %.2f", sampler, pos, rnd)
+		}
+	}
+}
+
+func TestBidirectionalBeatsNothingBurns(t *testing.T) {
+	// Unidirectional training must also run cleanly (PTE mode).
+	m := newTestModel(t, func(c *Config) {
+		*c = PTEConfig()
+		c.K = 16
+		c.Seed = 3
+	})
+	m.TrainSteps(10000)
+	if m.Steps() != 10000 {
+		t.Fatal("PTE-mode training failed to advance")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	m1 := newTestModel(t, nil)
+	m2 := newTestModel(t, nil)
+	m1.TrainSteps(3000)
+	m2.TrainSteps(3000)
+	for i := range m1.Users.Data {
+		if m1.Users.Data[i] != m2.Users.Data[i] {
+			t.Fatal("sequential training is not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestHogwildParityWithSequential(t *testing.T) {
+	// Hogwild is racy, so exact parity is impossible; check that the
+	// learned quality is comparable: positive edges outscore random ones
+	// by a similar margin.
+	g := testGraphs(t)
+	quality := func(threads int) float64 {
+		m := newTestModel(t, func(c *Config) { c.Threads = threads })
+		m.TrainSteps(80000)
+		var pos, rnd float64
+		for i := 0; i < g.UserEvent.NumEdges(); i++ {
+			e := g.UserEvent.Edge(i)
+			pos += float64(m.ScoreUserEvent(e.A, e.B))
+			rnd += float64(m.ScoreUserEvent(e.A, int32((int(e.B)+11*i+5)%m.Events.N)))
+		}
+		return pos - rnd
+	}
+	seq := quality(1)
+	par := quality(4)
+	if par < seq*0.5 {
+		t.Errorf("hogwild margin %.2f far below sequential %.2f", par, seq)
+	}
+}
+
+func TestScoreTripleDecomposition(t *testing.T) {
+	m := newTestModel(t, nil)
+	m.TrainSteps(1000)
+	u, p, x := int32(1), int32(2), int32(3)
+	want := m.ScoreUserEvent(u, x) + m.ScoreUserEvent(p, x) + dotf(m.UserVec(u), m.UserVec(p))
+	got := m.ScoreTriple(u, p, x)
+	if diff := got - want; diff > 1e-4 || diff < -1e-4 {
+		t.Errorf("ScoreTriple = %v, want %v", got, want)
+	}
+}
+
+func dotf(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestGraphSamplingUniformRuns(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.GraphSampling = GraphUniform })
+	m.TrainSteps(5000)
+	if m.Steps() != 5000 {
+		t.Fatal("uniform graph sampling failed")
+	}
+}
+
+func TestAdaptiveExactRuns(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.Sampler = SamplerAdaptiveExact })
+	m.TrainSteps(300) // exact sampling is O(|V|K) per draw; keep it tiny
+	if m.Steps() != 300 {
+		t.Fatal("exact adaptive sampler failed")
+	}
+}
+
+func TestPresetConfigs(t *testing.T) {
+	a, p, pte := GEMAConfig(), GEMPConfig(), PTEConfig()
+	if a.Sampler != SamplerAdaptive || !a.Bidirectional || a.GraphSampling != GraphProportional {
+		t.Errorf("GEM-A preset wrong: %+v", a)
+	}
+	if p.Sampler != SamplerDegree || !p.Bidirectional {
+		t.Errorf("GEM-P preset wrong: %+v", p)
+	}
+	if pte.Sampler != SamplerDegree || pte.Bidirectional || pte.GraphSampling != GraphUniform {
+		t.Errorf("PTE preset wrong: %+v", pte)
+	}
+}
+
+func TestSamplerKindStrings(t *testing.T) {
+	for k, want := range map[SamplerKind]string{
+		SamplerDegree: "degree", SamplerUniform: "uniform",
+		SamplerAdaptive: "adaptive", SamplerAdaptiveExact: "adaptive-exact",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if GraphProportional.String() != "proportional" || GraphUniform.String() != "uniform" {
+		t.Error("GraphSampling strings wrong")
+	}
+}

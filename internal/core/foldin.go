@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ebsn/internal/text"
+	"ebsn/internal/timeslot"
+	"ebsn/internal/vecmath"
+)
+
+// ColdEvent describes an event that did not exist at training time: its
+// content words, its region, and its start time. FoldIn synthesizes an
+// embedding for it from the already-trained word/location/time vectors —
+// the same information channel that gives training-time cold events their
+// vectors, applied after the fact. This is the extension feature a live
+// recommendation service needs: new events arrive continuously and
+// retraining per event is not an option.
+type ColdEvent struct {
+	Words  []string
+	Region int32
+	Start  time.Time
+}
+
+// FoldIn returns an embedding for a cold event as the TF-IDF-weighted
+// average of its word vectors blended with its region and time-slot
+// vectors. The blend weights mirror the relative edge mass the three
+// context graphs contribute during training (one location edge, three
+// time edges, and the document's TF-IDF mass).
+func (s *Snapshot) FoldIn(vocab *text.Vocabulary, ev ColdEvent) ([]float32, error) {
+	if int(ev.Region) < 0 || int(ev.Region) >= s.Locations.N {
+		return nil, fmt.Errorf("core: fold-in region %d out of range [0,%d)", ev.Region, s.Locations.N)
+	}
+	k := s.Cfg.K
+	out := make([]float32, k)
+
+	// Content: TF-IDF-weighted mean of word vectors.
+	var contentMass float32
+	for _, ww := range vocab.TFIDF(ev.Words) {
+		vecmath.Axpy(ww.Weight, s.Words.Row(ww.Word), out)
+		contentMass += ww.Weight
+	}
+	if contentMass > 0 {
+		vecmath.Scale(1/contentMass, out)
+	}
+
+	// Context: region plus the three multi-scale time slots.
+	ctx := make([]float32, k)
+	vecmath.Axpy(1, s.Locations.Row(ev.Region), ctx)
+	for _, slot := range timeslot.Slots(ev.Start) {
+		vecmath.Axpy(1, s.Times.Row(slot), ctx)
+	}
+	vecmath.Scale(1.0/4.0, ctx)
+
+	// Content carries most of the cold-start signal; context refines it.
+	for f := range out {
+		out[f] = 0.7*out[f] + 0.3*ctx[f]
+	}
+	if s.Cfg.NonNegative {
+		vecmath.ClampNonNeg(out)
+	}
+	return out, nil
+}
+
+// ScoreUserColdEvent scores a folded-in event vector for user u.
+func (s *Snapshot) ScoreUserColdEvent(u int32, eventVec []float32) float32 {
+	return vecmath.Dot(s.Users.Row(u), eventVec)
+}

@@ -1,0 +1,51 @@
+// Package core implements GEM, the paper's graph-based embedding model:
+// the bipartite-graph likelihood objective (Eqn. 1-2), negative-sampling
+// SGD with the update rules of Eqn. 5, bidirectional negative sampling
+// (Eqn. 4), the adaptive adversarial noise sampler of Algorithm 1, the
+// edge-count-proportional joint training of Algorithm 2, and the Hogwild
+// asynchronous trainer. The PTE baseline and the GEM-P/GEM-A variants are
+// configurations of the same machinery, exactly as the paper frames them.
+package core
+
+import (
+	"fmt"
+
+	"ebsn/internal/rng"
+)
+
+// Matrix is a dense row-major embedding matrix: N node vectors of
+// dimension K. Matrices are shared between relations (the event matrix
+// serves the user-event, event-time, event-word and event-location graphs
+// simultaneously), which is what couples the graphs into one latent space.
+type Matrix struct {
+	N, K int
+	Data []float32
+}
+
+// NewMatrix allocates an N×K zero matrix.
+func NewMatrix(n, k int) *Matrix {
+	if n <= 0 || k <= 0 {
+		panic(fmt.Sprintf("core: invalid matrix size %dx%d", n, k))
+	}
+	return &Matrix{N: n, K: k, Data: make([]float32, n*k)}
+}
+
+// Row returns the vector of node i. The slice aliases the matrix storage.
+func (m *Matrix) Row(i int32) []float32 {
+	return m.Data[int(i)*m.K : (int(i)+1)*m.K]
+}
+
+// GaussianInit fills the matrix with N(mean, stddev) entries, the paper's
+// N(0, 0.01) initialization.
+func (m *Matrix) GaussianInit(src *rng.Source, mean, stddev float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(src.Gaussian(mean, stddev))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N, m.K)
+	copy(c.Data, m.Data)
+	return c
+}

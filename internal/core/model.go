@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"ebsn/internal/alias"
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/graph"
+	"ebsn/internal/rng"
+	"ebsn/internal/vecmath"
+)
+
+// Relation couples one bipartite graph with the embedding matrices of its
+// two sides.
+type Relation struct {
+	G *graph.Bipartite
+	A *Matrix
+	B *Matrix
+
+	// Adaptive-sampler state for noise drawn from each side; shared
+	// between relations whose sides use the same matrix.
+	rankA *dimRanking
+	rankB *dimRanking
+
+	geomA *rng.Geometric // exact-sampler rank distributions
+	geomB *rng.Geometric
+}
+
+// Model is a GEM instance: the five embedding matrices tied together by
+// the five relation graphs, plus all sampler state. A Model is created
+// untrained and advanced by TrainSteps, so callers can interleave training
+// with evaluation (Tables II and III checkpoint along one run).
+type Model struct {
+	Cfg Config
+
+	Users     *Matrix
+	Events    *Matrix
+	Locations *Matrix
+	Times     *Matrix
+	Words     *Matrix
+
+	Relations []Relation
+
+	graphPick *alias.Table // Algorithm 2 Line 3 distribution
+	steps     int64        // total gradient steps taken
+	src       *rng.Source  // sequential-trainer stream; workers split from it
+	workerSeq uint64
+}
+
+// NewModel builds an untrained model over the relation graphs. The graphs
+// must come from one ebsnet.BuildGraphs call so their node ID spaces
+// agree.
+func NewModel(g *ebsnet.Graphs, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{Cfg: cfg, src: rng.New(cfg.Seed)}
+
+	m.Users = NewMatrix(g.UserEvent.NumA(), cfg.K)
+	m.Events = NewMatrix(g.UserEvent.NumB(), cfg.K)
+	m.Locations = NewMatrix(g.EventLocation.NumB(), cfg.K)
+	m.Times = NewMatrix(g.EventTime.NumB(), cfg.K)
+	m.Words = NewMatrix(g.EventWord.NumB(), cfg.K)
+	init := rng.New(cfg.Seed ^ 0xe5b1)
+	for _, mat := range []*Matrix{m.Users, m.Events, m.Locations, m.Times, m.Words} {
+		mat.GaussianInit(init, 0, cfg.InitStdDev)
+		if cfg.NonNegative {
+			// Projection applies from the start so the adaptive sampler's
+			// dimension weights are non-negative on step one.
+			vecmath.ClampNonNeg(mat.Data)
+		}
+	}
+
+	m.Relations = []Relation{
+		{G: g.UserEvent, A: m.Users, B: m.Events},
+		{G: g.EventTime, A: m.Events, B: m.Times},
+		{G: g.EventWord, A: m.Events, B: m.Words},
+		{G: g.EventLocation, A: m.Events, B: m.Locations},
+		{G: g.UserUser, A: m.Users, B: m.Users},
+	}
+
+	if cfg.Sampler == SamplerAdaptive {
+		ranks := make(map[*Matrix]*dimRanking)
+		rankFor := func(mat *Matrix) *dimRanking {
+			if r, ok := ranks[mat]; ok {
+				return r
+			}
+			r := newDimRanking(mat, cfg.Lambda)
+			ranks[mat] = r
+			return r
+		}
+		for i := range m.Relations {
+			m.Relations[i].rankA = rankFor(m.Relations[i].A)
+			m.Relations[i].rankB = rankFor(m.Relations[i].B)
+		}
+	}
+	if cfg.Sampler == SamplerAdaptiveExact {
+		for i := range m.Relations {
+			m.Relations[i].geomA = rng.NewGeometric(cfg.Lambda, m.Relations[i].A.N)
+			m.Relations[i].geomB = rng.NewGeometric(cfg.Lambda, m.Relations[i].B.N)
+		}
+	}
+
+	// Algorithm 2, Line 3: graph selection distribution. Empty graphs get
+	// zero weight (a dataset with no friendships must still train). A
+	// symmetric graph stores each undirected link twice, but the paper
+	// counts friendship links once (Table I), so halve its stored count.
+	weights := make([]float64, len(m.Relations))
+	nonEmpty := false
+	for i, rel := range m.Relations {
+		switch cfg.GraphSampling {
+		case GraphProportional:
+			weights[i] = float64(rel.G.NumEdges())
+			if rel.G.Symmetric() {
+				weights[i] /= 2
+			}
+		case GraphUniform:
+			if rel.G.NumEdges() > 0 {
+				weights[i] = 1
+			}
+		}
+		if weights[i] > 0 {
+			nonEmpty = true
+		}
+	}
+	if !nonEmpty {
+		return nil, fmt.Errorf("core: all relation graphs are empty")
+	}
+	m.graphPick = alias.New(weights)
+	return m, nil
+}
+
+// Steps returns the number of gradient steps taken so far.
+func (m *Model) Steps() int64 { return m.steps }
+
+// K returns the embedding dimension.
+func (m *Model) K() int { return m.Cfg.K }
+
+// UserVec returns user u's embedding (aliases model storage).
+func (m *Model) UserVec(u int32) []float32 { return m.Users.Row(u) }
+
+// EventVec returns event x's embedding (aliases model storage).
+func (m *Model) EventVec(x int32) []float32 { return m.Events.Row(x) }
+
+// ScoreUserEvent returns the ranking score u·x for event recommendation.
+// Only ordering matters for top-n, so the sigmoid is omitted.
+func (m *Model) ScoreUserEvent(u, x int32) float32 {
+	return vecmath.Dot(m.Users.Row(u), m.Events.Row(x))
+}
+
+// ScoreTriple implements Eqn. 8's ranking part for the joint task: the
+// target user's preference for the event, the partner's preference for the
+// event, and the social proximity of the pair.
+func (m *Model) ScoreTriple(u, partner, x int32) float32 {
+	uv := m.Users.Row(u)
+	pv := m.Users.Row(partner)
+	xv := m.Events.Row(x)
+	return vecmath.Dot(uv, xv) + vecmath.Dot(pv, xv) + vecmath.Dot(uv, pv)
+}
+
+// noiseNode draws one noise node on the given side of rel for a context
+// vector on the opposite side, honoring the configured sampler. The
+// degree sampler is the fallback when the adaptive dimension distribution
+// degenerates (all-zero context).
+func (m *Model) noiseNode(rel *Relation, side graph.Side, ctx []float32, src *rng.Source) int32 {
+	switch m.Cfg.Sampler {
+	case SamplerUniform:
+		return int32(src.Intn(rel.G.NumNodes(side)))
+	case SamplerAdaptive:
+		r := rel.rankB
+		if side == graph.SideA {
+			r = rel.rankA
+		}
+		if v := r.sample(ctx, src); v >= 0 {
+			return v
+		}
+		return rel.G.SampleNoise(side, src)
+	case SamplerAdaptiveExact:
+		if side == graph.SideA {
+			return exactAdaptiveSample(ctx, rel.A, rel.geomA, src)
+		}
+		return exactAdaptiveSample(ctx, rel.B, rel.geomB, src)
+	default:
+		return rel.G.SampleNoise(side, src)
+	}
+}

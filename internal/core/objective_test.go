@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogSigmoidStable(t *testing.T) {
+	cases := map[float64]float64{
+		0:    math.Log(0.5),
+		2:    math.Log(1 / (1 + math.Exp(-2))),
+		-2:   math.Log(1 / (1 + math.Exp(2))),
+		700:  0,
+		-700: -700,
+	}
+	for x, want := range cases {
+		got := logSigmoid(x)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("logSigmoid(%v) = %v, want %v", x, got, want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("logSigmoid(%v) not finite: %v", x, got)
+		}
+	}
+}
+
+func TestEstimateObjectiveDecreasesWithTraining(t *testing.T) {
+	m := newTestModel(t, nil)
+	before, err := m.EstimateObjective(4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TrainSteps(150_000)
+	after, err := m.EstimateObjective(4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Total >= before.Total {
+		t.Errorf("objective did not decrease: %.4f -> %.4f", before.Total, after.Total)
+	}
+	if after.Samples != 4000 {
+		t.Errorf("Samples = %d", after.Samples)
+	}
+	// Every relation that received samples reports a finite positive loss.
+	for name, v := range after.PerRelation {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("relation %s loss = %v", name, v)
+		}
+	}
+	if len(after.PerRelation) < 4 {
+		t.Errorf("only %d relations sampled", len(after.PerRelation))
+	}
+}
+
+func TestEstimateObjectiveDeterministic(t *testing.T) {
+	m := newTestModel(t, nil)
+	m.TrainSteps(5000)
+	a, err := m.EstimateObjective(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstimateObjective(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Errorf("same seed, different estimates: %v vs %v", a.Total, b.Total)
+	}
+}
+
+func TestEstimateObjectiveValidation(t *testing.T) {
+	m := newTestModel(t, nil)
+	if _, err := m.EstimateObjective(0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+}
+
+func TestEstimateObjectiveUntrainedNearLog2(t *testing.T) {
+	// At near-zero initialization every dot is ~0, σ ≈ 0.5, so the loss
+	// per term is ~log 2: total ≈ (1 + 2M) log 2 for bidirectional M
+	// negatives a side (up to skipped self-collisions).
+	m := newTestModel(t, nil)
+	est, err := m.EstimateObjective(3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(1+2*m.Cfg.NegativeSamples) * math.Ln2
+	if math.Abs(est.Total-want) > 0.15*want {
+		t.Errorf("untrained objective %.4f, want ≈ %.4f", est.Total, want)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ebsn/internal/vecmath"
+)
+
+// Snapshot is the serializable state of a trained model: the learned
+// embeddings plus the config they were trained with. Sampler state and
+// graphs are rebuildable and deliberately excluded — a snapshot is what a
+// recommendation service loads.
+type Snapshot struct {
+	Cfg       Config
+	Steps     int64
+	Users     *Matrix
+	Events    *Matrix
+	Locations *Matrix
+	Times     *Matrix
+	Words     *Matrix
+}
+
+// Snapshot captures the model's current embeddings (deep copies).
+func (m *Model) Snapshot() *Snapshot {
+	return &Snapshot{
+		Cfg:       m.Cfg,
+		Steps:     m.steps,
+		Users:     m.Users.Clone(),
+		Events:    m.Events.Clone(),
+		Locations: m.Locations.Clone(),
+		Times:     m.Times.Clone(),
+		Words:     m.Words.Clone(),
+	}
+}
+
+// Encode writes the snapshot with encoding/gob.
+func (s *Snapshot) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot written by Encode and validates its
+// shape.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	for name, mat := range map[string]*Matrix{
+		"users": s.Users, "events": s.Events, "locations": s.Locations,
+		"times": s.Times, "words": s.Words,
+	} {
+		if mat == nil {
+			return nil, fmt.Errorf("core: snapshot missing %s matrix", name)
+		}
+		if mat.K != s.Cfg.K || len(mat.Data) != mat.N*mat.K {
+			return nil, fmt.Errorf("core: snapshot %s matrix malformed: N=%d K=%d len=%d (cfg K=%d)",
+				name, mat.N, mat.K, len(mat.Data), s.Cfg.K)
+		}
+	}
+	return &s, nil
+}
+
+// SaveFile writes the snapshot to path.
+func (s *Snapshot) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	if err := s.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshotFile reads a snapshot from path.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load snapshot: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+// ScoreUserEvent mirrors Model.ScoreUserEvent for loaded snapshots.
+func (s *Snapshot) ScoreUserEvent(u, x int32) float32 {
+	return vecmath.Dot(s.Users.Row(u), s.Events.Row(x))
+}
+
+// ScoreTriple mirrors Model.ScoreTriple for loaded snapshots.
+func (s *Snapshot) ScoreTriple(u, partner, x int32) float32 {
+	uv, pv, xv := s.Users.Row(u), s.Users.Row(partner), s.Events.Row(x)
+	return vecmath.Dot(uv, xv) + vecmath.Dot(pv, xv) + vecmath.Dot(uv, pv)
+}
+
+// RestoreSnapshot copies saved embeddings into a freshly constructed
+// model, replacing its random initialization. The snapshot's matrix
+// shapes must match the model's graphs.
+func (m *Model) RestoreSnapshot(s *Snapshot) error {
+	for _, pair := range []struct {
+		name string
+		dst  *Matrix
+		src  *Matrix
+	}{
+		{"users", m.Users, s.Users},
+		{"events", m.Events, s.Events},
+		{"locations", m.Locations, s.Locations},
+		{"times", m.Times, s.Times},
+		{"words", m.Words, s.Words},
+	} {
+		if pair.src == nil || pair.src.N != pair.dst.N || pair.src.K != pair.dst.K {
+			return fmt.Errorf("core: snapshot %s matrix shape mismatch", pair.name)
+		}
+		copy(pair.dst.Data, pair.src.Data)
+	}
+	m.steps = s.Steps
+	return nil
+}

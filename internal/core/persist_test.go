@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := newTestModel(t, nil)
+	m.TrainSteps(2000)
+	snap := m.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != 2000 || got.Cfg.K != m.Cfg.K {
+		t.Errorf("metadata mismatch: steps=%d K=%d", got.Steps, got.Cfg.K)
+	}
+	for i := range snap.Users.Data {
+		if got.Users.Data[i] != snap.Users.Data[i] {
+			t.Fatal("user embeddings corrupted in round trip")
+		}
+	}
+	// Scores must agree between live model and snapshot.
+	if got.ScoreTriple(1, 2, 3) != m.ScoreTriple(1, 2, 3) {
+		t.Error("snapshot triple score differs from model")
+	}
+	if got.ScoreUserEvent(0, 1) != m.ScoreUserEvent(0, 1) {
+		t.Error("snapshot event score differs from model")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	m := newTestModel(t, nil)
+	snap := m.Snapshot()
+	before := snap.Users.Data[0]
+	m.TrainSteps(2000)
+	if snap.Users.Data[0] != before {
+		t.Fatal("snapshot aliases live model storage")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	m := newTestModel(t, nil)
+	m.TrainSteps(500)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := m.Snapshot().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != 500 {
+		t.Errorf("Steps = %d", got.Steps)
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadSnapshotRejectsMalformedShape(t *testing.T) {
+	m := newTestModel(t, nil)
+	snap := m.Snapshot()
+	snap.Users.K = snap.Users.K + 1 // corrupt
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(&buf); err == nil {
+		t.Fatal("malformed matrix shape accepted")
+	}
+}
+
+func TestLoadSnapshotMissingFile(t *testing.T) {
+	if _, err := LoadSnapshotFile(filepath.Join(t.TempDir(), "absent.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFoldInColdEvent(t *testing.T) {
+	g := testGraphs(t)
+	m := newTestModel(t, nil)
+	m.TrainSteps(50000)
+	snap := m.Snapshot()
+
+	// Fold in a synthetic cold event that copies an existing event's
+	// context; its vector should land near that event's trained vector in
+	// score space.
+	ref := int32(5)
+	refWords := make([]string, 0)
+	nbrs, _ := g.EventWord.Neighbors(0, ref)
+	for _, w := range nbrs {
+		refWords = append(refWords, g.Vocab.Word(w))
+	}
+	cold := ColdEvent{
+		Words:  refWords,
+		Region: int32(g.EventRegion[ref]),
+		Start:  time.Date(2012, 6, 15, 19, 0, 0, 0, time.UTC),
+	}
+	vec, err := snap.FoldIn(g.Vocab, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != m.K() {
+		t.Fatalf("fold-in vector length %d", len(vec))
+	}
+	var nonzero bool
+	for _, v := range vec {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("fold-in produced the zero vector")
+	}
+	// Users who score the reference event highly should also score the
+	// folded-in clone highly: rank correlation check via top-user overlap.
+	topRef := -1
+	var bestRef float32 = -1
+	topCold := -1
+	var bestCold float32 = -1
+	for u := 0; u < snap.Users.N; u++ {
+		if s := snap.ScoreUserEvent(int32(u), ref); s > bestRef {
+			bestRef, topRef = s, u
+		}
+		if s := snap.ScoreUserColdEvent(int32(u), vec); s > bestCold {
+			bestCold, topCold = s, u
+		}
+	}
+	if topRef < 0 || topCold < 0 {
+		t.Fatal("no top users found")
+	}
+	// The two top users need not be identical, but the cold clone's score
+	// for the reference's top user should be competitive (>= half best).
+	if snap.ScoreUserColdEvent(int32(topRef), vec) < bestCold*0.3 {
+		t.Errorf("fold-in vector disagrees wildly with reference event affinity")
+	}
+}
+
+func TestFoldInRejectsBadRegion(t *testing.T) {
+	g := testGraphs(t)
+	m := newTestModel(t, nil)
+	snap := m.Snapshot()
+	_, err := snap.FoldIn(g.Vocab, ColdEvent{Region: int32(g.NumRegions + 5), Start: time.Now()})
+	if err == nil {
+		t.Fatal("out-of-range region accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ebsn/internal/rng"
+)
+
+func rankedMatrix() *Matrix {
+	// 6 nodes, 2 dims. Dim 0 orders nodes 0>1>2>3>4>5; dim 1 reverses.
+	m := NewMatrix(6, 2)
+	for i := 0; i < 6; i++ {
+		m.Row(int32(i))[0] = float32(6 - i)
+		m.Row(int32(i))[1] = float32(i + 1)
+	}
+	return m
+}
+
+func TestDimRankingOrder(t *testing.T) {
+	r := newDimRanking(rankedMatrix(), 200)
+	snap := r.snap.Load()
+	for pos := 0; pos < 6; pos++ {
+		if snap.rank[0][pos] != int32(pos) {
+			t.Errorf("dim0 rank[%d] = %d, want %d", pos, snap.rank[0][pos], pos)
+		}
+		if snap.rank[1][pos] != int32(5-pos) {
+			t.Errorf("dim1 rank[%d] = %d, want %d", pos, snap.rank[1][pos], 5-pos)
+		}
+	}
+	if snap.sigma[0] <= 0 || snap.sigma[1] <= 0 {
+		t.Error("sigma should be positive for spread columns")
+	}
+}
+
+func TestDimRankingSampleFollowsContext(t *testing.T) {
+	r := newDimRanking(rankedMatrix(), 0.7) // tight lambda: top ranks dominate
+	src := rng.New(1)
+
+	// Context loaded on dim 0 -> top-ranked node on dim 0 is node 0.
+	ctx := []float32{1, 0}
+	counts := make([]int, 6)
+	for i := 0; i < 20000; i++ {
+		v := r.sample(ctx, src)
+		if v < 0 || v >= 6 {
+			t.Fatalf("sample out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] < counts[5] {
+		t.Errorf("dim0 context should favor node 0: %v", counts)
+	}
+	if float64(counts[0])/20000 < 0.5 {
+		t.Errorf("lambda=0.7 should concentrate on rank 0: %v", counts)
+	}
+
+	// Context on dim 1 -> node 5 dominates.
+	ctx = []float32{0, 1}
+	counts = make([]int, 6)
+	for i := 0; i < 20000; i++ {
+		counts[r.sample(ctx, src)]++
+	}
+	if counts[5] < counts[0] {
+		t.Errorf("dim1 context should favor node 5: %v", counts)
+	}
+}
+
+func TestDimRankingZeroContextFallsBack(t *testing.T) {
+	r := newDimRanking(rankedMatrix(), 200)
+	src := rng.New(2)
+	if v := r.sample([]float32{0, 0}, src); v != -1 {
+		t.Errorf("zero context returned %d, want -1 sentinel", v)
+	}
+}
+
+func TestDimRankingZeroVarianceDimensionIgnored(t *testing.T) {
+	m := NewMatrix(4, 2)
+	// dim 0 constant, dim 1 spread.
+	for i := 0; i < 4; i++ {
+		m.Row(int32(i))[0] = 1
+		m.Row(int32(i))[1] = float32(i)
+	}
+	r := newDimRanking(m, 0.5)
+	src := rng.New(3)
+	// Context entirely on the constant dimension -> no usable dimension.
+	if v := r.sample([]float32{1, 0}, src); v != -1 {
+		t.Errorf("constant-dim context returned %d, want -1", v)
+	}
+	// Mixed context must use dim 1 and favor node 3 (highest value).
+	counts := make([]int, 4)
+	for i := 0; i < 5000; i++ {
+		v := r.sample([]float32{1, 1}, src)
+		if v < 0 {
+			t.Fatal("mixed context fell back unexpectedly")
+		}
+		counts[v]++
+	}
+	if counts[3] < counts[0] {
+		t.Errorf("expected node 3 favored: %v", counts)
+	}
+}
+
+func TestDimRankingRecomputeTracksUpdates(t *testing.T) {
+	m := rankedMatrix()
+	r := newDimRanking(m, 0.5)
+	// Flip dim-0 ordering: node 5 becomes top.
+	for i := 0; i < 6; i++ {
+		m.Row(int32(i))[0] = float32(i)
+	}
+	r.recompute()
+	snap := r.snap.Load()
+	if snap.rank[0][0] != 5 {
+		t.Errorf("after recompute, dim0 top = %d, want 5", snap.rank[0][0])
+	}
+}
+
+func TestMaybeRecomputeCadence(t *testing.T) {
+	m := rankedMatrix()
+	r := newDimRanking(m, 200)
+	src := rng.New(3)
+	// Mutate the matrix without recomputing: the snapshot stays stale for
+	// roughly recomputeEvery draws (counting is probabilistic in batches
+	// of drawBatch, so allow slack on both sides)...
+	m.Row(0)[0] = -100
+	before := r.snap.Load()
+	for i := int64(0); i < r.recomputeEvery/16; i++ {
+		r.maybeRecompute(src)
+	}
+	if r.snap.Load() != before {
+		t.Fatal("snapshot refreshed far before cadence")
+	}
+	// ...and must refresh well before several multiples of the cadence.
+	for i := int64(0); i < 8*r.recomputeEvery; i++ {
+		r.maybeRecompute(src)
+	}
+	if r.snap.Load() == before {
+		t.Fatal("snapshot not refreshed after cadence")
+	}
+}
+
+func TestExactAdaptiveSample(t *testing.T) {
+	m := rankedMatrix()
+	geom := rng.NewGeometric(0.5, m.N)
+	src := rng.New(5)
+	// Context aligned with dim 0: similarity ranks node 0 first.
+	ctx := []float32{1, 0}
+	counts := make([]int, 6)
+	for i := 0; i < 10000; i++ {
+		counts[exactAdaptiveSample(ctx, m, geom, src)]++
+	}
+	if counts[0] < 5000 {
+		t.Errorf("exact sampler should concentrate on node 0: %v", counts)
+	}
+	for v := 1; v < 6; v++ {
+		if counts[v] > counts[0] {
+			t.Errorf("node %d sampled more than top node: %v", v, counts)
+		}
+	}
+}
+
+func TestExactVsApproxAgreeOnSeparableContext(t *testing.T) {
+	// On a matrix where one dimension dominates the similarity ordering,
+	// the approximate sampler's top pick matches the exact sampler's.
+	m := NewMatrix(20, 4)
+	src := rng.New(7)
+	for i := 0; i < 20; i++ {
+		row := m.Row(int32(i))
+		row[2] = float32(20 - i) // dim 2 carries the ordering
+		for f := 0; f < 4; f++ {
+			if f != 2 {
+				row[f] = 0.01 * float32(src.Float64())
+			}
+		}
+	}
+	ctx := []float32{0, 0, 5, 0}
+	r := newDimRanking(m, 1)
+	geom := rng.NewGeometric(1, 20)
+	exCounts := make([]int, 20)
+	apCounts := make([]int, 20)
+	for i := 0; i < 20000; i++ {
+		exCounts[exactAdaptiveSample(ctx, m, geom, src)]++
+		apCounts[r.sample(ctx, src)]++
+	}
+	exTop := argmax(exCounts)
+	apTop := argmax(apCounts)
+	if exTop != 0 || apTop != 0 {
+		t.Errorf("top samples: exact=%d approx=%d, want 0/0", exTop, apTop)
+	}
+	// Distributions should roughly agree in total-variation distance.
+	var tv float64
+	for i := range exCounts {
+		tv += math.Abs(float64(exCounts[i])-float64(apCounts[i])) / 20000
+	}
+	if tv/2 > 0.15 {
+		t.Errorf("exact/approx TV distance %.3f too large", tv/2)
+	}
+}
+
+func argmax(s []int) int {
+	best := 0
+	for i, v := range s {
+		if v > s[best] {
+			best = i
+		}
+	}
+	return best
+}

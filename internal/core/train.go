@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync"
+
+	"ebsn/internal/graph"
+	"ebsn/internal/rng"
+	"ebsn/internal/vecmath"
+)
+
+// TrainSteps advances the model by n gradient steps of Algorithm 2: each
+// step samples a graph (edge-count proportional or uniform), a positive
+// edge within it (weight proportional — the paper's edge-sampling trick),
+// 2M negative edges via the configured noise sampler, and applies the
+// Eqn. 5 updates. With Cfg.Threads > 1 the steps are divided among
+// Hogwild-style lock-free workers; embedding reads and writes race
+// benignly exactly as in the paper's asynchronous SGD.
+//
+// TrainSteps may be called repeatedly; Tables II/III checkpoint a single
+// run by alternating TrainSteps and evaluation.
+func (m *Model) TrainSteps(n int64) {
+	if n <= 0 {
+		return
+	}
+	defer func() { m.steps += n }()
+
+	if m.Cfg.Threads <= 1 {
+		m.trainWorker(n, m.src, m.steps, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	per := n / int64(m.Cfg.Threads)
+	for w := 0; w < m.Cfg.Threads; w++ {
+		steps := per
+		if w == m.Cfg.Threads-1 {
+			steps = n - per*int64(m.Cfg.Threads-1)
+		}
+		if steps <= 0 {
+			continue
+		}
+		m.workerSeq++
+		src := m.src.Split(m.workerSeq)
+		wg.Add(1)
+		go func(steps int64, src *rng.Source) {
+			defer wg.Done()
+			// Workers interleave in step space for the decay schedule: an
+			// exact global counter would serialize them.
+			m.trainWorker(steps, src, m.steps, int64(m.Cfg.Threads))
+		}(steps, src)
+	}
+	wg.Wait()
+}
+
+// trainWorker runs steps sequential gradient steps on one RNG stream.
+// startStep and stride position this worker in the global step count for
+// the learning-rate decay schedule.
+func (m *Model) trainWorker(steps int64, src *rng.Source, startStep, stride int64) {
+	errI := make([]float32, m.Cfg.K)
+	errJ := make([]float32, m.Cfg.K)
+	for s := int64(0); s < steps; s++ {
+		alpha := m.Cfg.LearningRate
+		if m.Cfg.TotalSteps > 0 {
+			frac := 1 - float32(startStep+s*stride)/float32(m.Cfg.TotalSteps)
+			if frac < 1e-4 {
+				frac = 1e-4
+			}
+			alpha *= frac
+		}
+		rel := &m.Relations[m.graphPick.Sample(src)]
+		m.step(rel, src, alpha, errI, errJ)
+	}
+}
+
+// step performs one positive edge update with 2M (or M, unidirectional)
+// negative edges, following Eqn. 5.
+func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ []float32) {
+	e := rel.G.SampleEdge(src)
+	vi := rel.A.Row(e.A)
+	vj := rel.B.Row(e.B)
+	mNeg := m.Cfg.NegativeSamples
+
+	// Positive term: g = α(1 - σ(vi·vj)) applied to both endpoints. The
+	// endpoint updates accumulate in err buffers so each noise comparison
+	// sees the pre-step vectors, mirroring LINE's implementation.
+	g := alpha * (1 - vecmath.FastSigmoid(vecmath.Dot(vi, vj)))
+	for f := range errI {
+		errI[f] = g * vj[f]
+		errJ[f] = g * vi[f]
+	}
+
+	// Noise on side B against context vi (the unidirectional direction).
+	// A drawn node that is invalid as a negative (the positive endpoint
+	// itself, or an observed neighbor under RejectObserved) is redrawn a
+	// few times rather than dropped: the adaptive sampler's top-ranked
+	// candidates are frequently true neighbors, and silently losing those
+	// slots would starve exactly the sampler the paper advocates.
+	for t := 0; t < mNeg; t++ {
+		k := int32(-1)
+		for try := 0; try < 5; try++ {
+			c := m.noiseNode(rel, graph.SideB, vi, src)
+			if c == e.B || (rel.G.Symmetric() && c == e.A) {
+				continue
+			}
+			if m.Cfg.RejectObserved && rel.G.HasEdge(e.A, c) {
+				continue
+			}
+			k = c
+			break
+		}
+		if k < 0 {
+			continue
+		}
+		vk := rel.B.Row(k)
+		s := alpha * vecmath.FastSigmoid(vecmath.Dot(vi, vk))
+		for f := range errI {
+			errI[f] -= s * vk[f]
+			vk[f] -= s * vi[f]
+		}
+		if m.Cfg.NonNegative {
+			vecmath.ClampNonNeg(vk)
+		}
+	}
+
+	// Noise on side A against context vj (the bidirectional extension,
+	// Eqn. 4): without it the B-side vectors only ever see their positive
+	// partners and cannot discriminate.
+	if m.Cfg.Bidirectional {
+		for t := 0; t < mNeg; t++ {
+			k := int32(-1)
+			for try := 0; try < 5; try++ {
+				c := m.noiseNode(rel, graph.SideA, vj, src)
+				if c == e.A || (rel.G.Symmetric() && c == e.B) {
+					continue
+				}
+				if m.Cfg.RejectObserved && rel.G.HasEdge(c, e.B) {
+					continue
+				}
+				k = c
+				break
+			}
+			if k < 0 {
+				continue
+			}
+			vk := rel.A.Row(k)
+			s := alpha * vecmath.FastSigmoid(vecmath.Dot(vk, vj))
+			for f := range errJ {
+				errJ[f] -= s * vk[f]
+				vk[f] -= s * vj[f]
+			}
+			if m.Cfg.NonNegative {
+				vecmath.ClampNonNeg(vk)
+			}
+		}
+	}
+
+	for f := range errI {
+		vi[f] += errI[f]
+		vj[f] += errJ[f]
+	}
+	if m.Cfg.NonNegative {
+		vecmath.ClampNonNeg(vi)
+		vecmath.ClampNonNeg(vj)
+	}
+}

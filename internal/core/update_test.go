@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/geo"
+	"ebsn/internal/graph"
+	"ebsn/internal/rng"
+	"ebsn/internal/text"
+	"ebsn/internal/vecmath"
+)
+
+// miniRelation builds a 2x2 bipartite graph with the single edge (0,0)
+// and a model-compatible relation pair for white-box update tests.
+func miniRelation(k int) (Relation, *Matrix, *Matrix) {
+	b := graph.NewBuilder("mini", 2, 2)
+	b.AddEdge(0, 0, 1)
+	g := b.Build()
+	a := NewMatrix(2, k)
+	bm := NewMatrix(2, k)
+	return Relation{G: g, A: a, B: bm}, a, bm
+}
+
+// TestStepPositiveTermMatchesEqn5 verifies the closed-form positive-edge
+// update: with zero negatives, one step must produce exactly
+//
+//	v_i += α(1−σ(v_i·v_j))·v_j,  v_j += α(1−σ(v_i·v_j))·v_i.
+func TestStepPositiveTermMatchesEqn5(t *testing.T) {
+	rel, A, B := miniRelation(4)
+	vi := A.Row(0)
+	vj := B.Row(0)
+	copy(vi, []float32{0.5, -0.2, 0.1, 0.3})
+	copy(vj, []float32{-0.1, 0.4, 0.2, -0.3})
+	wantI := append([]float32(nil), vi...)
+	wantJ := append([]float32(nil), vj...)
+	alpha := float32(0.05)
+	g := alpha * (1 - vecmath.FastSigmoid(vecmath.Dot(wantI, wantJ)))
+	for f := range wantI {
+		wantI[f] += g * wantJ[f]
+		wantJ[f] += g * vi[f]
+	}
+
+	m := &Model{Cfg: Config{K: 4, LearningRate: alpha, NegativeSamples: 0, Bidirectional: true}}
+	m.Relations = []Relation{rel}
+	errI := make([]float32, 4)
+	errJ := make([]float32, 4)
+	m.step(&m.Relations[0], rng.New(1), alpha, errI, errJ)
+
+	for f := 0; f < 4; f++ {
+		if math.Abs(float64(vi[f]-wantI[f])) > 1e-6 {
+			t.Errorf("vi[%d] = %v, want %v", f, vi[f], wantI[f])
+		}
+		if math.Abs(float64(vj[f]-wantJ[f])) > 1e-6 {
+			t.Errorf("vj[%d] = %v, want %v", f, vj[f], wantJ[f])
+		}
+	}
+}
+
+// TestStepNegativeTermDirection verifies that a sampled negative node is
+// pushed away from the context: with one B-side noise node (forced to be
+// node 1 — node 0 is the positive and gets skipped), σ(v_i·v_k) > 0 means
+// v_k moves against v_i and v_i against v_k.
+func TestStepNegativeTermDirection(t *testing.T) {
+	rel, A, B := miniRelation(2)
+	vi := A.Row(0)
+	copy(vi, []float32{1, 0})
+	copy(B.Row(0), []float32{0, 1})
+	vk := B.Row(1)
+	copy(vk, []float32{1, 0}) // aligned with vi: a hard negative
+
+	m := &Model{Cfg: Config{
+		K: 2, LearningRate: 0.1, NegativeSamples: 1,
+		Sampler: SamplerUniform, Bidirectional: false,
+	}}
+	m.Relations = []Relation{rel}
+	errI := make([]float32, 2)
+	errJ := make([]float32, 2)
+
+	dotBefore := vecmath.Dot(vi, vk)
+	// Run several steps; uniform noise hits node 1 half the time (node 0
+	// draws are skipped as the positive endpoint), so the cumulative
+	// effect must be clearly repulsive.
+	src := rng.New(7)
+	for i := 0; i < 50; i++ {
+		m.step(&m.Relations[0], src, 0.1, errI, errJ)
+	}
+	if after := vecmath.Dot(A.Row(0), B.Row(1)); after >= dotBefore {
+		t.Errorf("negative pair similarity rose: %v -> %v", dotBefore, after)
+	}
+	// The positive pair must meanwhile become more similar.
+	if vecmath.Dot(A.Row(0), B.Row(0)) <= 0 {
+		t.Error("positive pair similarity did not grow")
+	}
+}
+
+// TestLearningRateDecaySchedule verifies the linear decay: with
+// TotalSteps set, later updates must be smaller than earlier ones for an
+// identical configuration.
+func TestLearningRateDecaySchedule(t *testing.T) {
+	build := func() *Model {
+		m := newTestModel(t, func(c *Config) {
+			c.TotalSteps = 100_000
+			c.Threads = 1
+		})
+		return m
+	}
+	early := build()
+	before := append([]float32(nil), early.Users.Data[:200]...)
+	early.TrainSteps(1000)
+	var earlyDelta float64
+	for i, v := range early.Users.Data[:200] {
+		earlyDelta += math.Abs(float64(v - before[i]))
+	}
+
+	late := build()
+	late.TrainSteps(99_000) // push to the end of the schedule
+	before = append(before[:0], late.Users.Data[:200]...)
+	late.TrainSteps(1000)
+	var lateDelta float64
+	for i, v := range late.Users.Data[:200] {
+		lateDelta += math.Abs(float64(v - before[i]))
+	}
+	// The last 1000 steps run at ~1% of the initial rate; allow headroom
+	// for vector-norm growth during training.
+	if lateDelta > earlyDelta {
+		t.Errorf("late-schedule updates (%v) not smaller than early ones (%v)", lateDelta, earlyDelta)
+	}
+}
+
+// TestModelOnSparseGraphs exercises degenerate inputs: a dataset whose
+// user-user graph is empty must still train (the empty graph simply
+// receives no samples).
+func TestModelOnEmptySocialGraph(t *testing.T) {
+	d := &ebsnet.Dataset{
+		Name:     "nosocial",
+		NumUsers: 6,
+		Venues:   []geo.Point{{Lat: 39.9, Lng: 116.4}},
+		Events:   make([]ebsnet.Event, 4),
+	}
+	for i := range d.Events {
+		d.Events[i] = ebsnet.Event{Venue: 0, Start: fixtureTime(i), Words: []string{"w1", "w2"}}
+	}
+	for u := int32(0); u < 6; u++ {
+		for x := int32(0); x < 3; x++ {
+			d.Attendance = append(d.Attendance, [2]int32{u, x})
+		}
+	}
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ebsnet.ChronologicalSplit(d, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ebsnet.BuildGraphs(d, s, ebsnet.GraphsConfig{
+		DBSCAN:        geo.DBSCANConfig{EpsKm: 1, MinPts: 1},
+		NoiseAttachKm: 5,
+		Vocab:         text.VocabConfig{MinDocFreq: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.K = 4
+	m, err := NewModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TrainSteps(2000)
+	if m.Steps() != 2000 {
+		t.Fatal("training on empty social graph failed")
+	}
+}
+
+func fixtureTime(i int) time.Time {
+	return time.Date(2012, 3, 1, 19, 0, 0, 0, time.UTC).AddDate(0, 0, i)
+}

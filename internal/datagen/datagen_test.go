@@ -1,0 +1,421 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/geo"
+)
+
+func tinyDataset(t testing.TB, seed uint64) *ebsnet.Dataset {
+	t.Helper()
+	d, err := Generate(TinyConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := TinyConfig(1)
+	d := tinyDataset(t, 1)
+	if d.NumUsers != cfg.NumUsers {
+		t.Errorf("users = %d, want %d", d.NumUsers, cfg.NumUsers)
+	}
+	if d.NumEvents() != cfg.NumEvents {
+		t.Errorf("events = %d, want %d", d.NumEvents(), cfg.NumEvents)
+	}
+	if len(d.Venues) != cfg.NumVenues {
+		t.Errorf("venues = %d, want %d", len(d.Venues), cfg.NumVenues)
+	}
+	// Attendance volume lands in the target's ballpark; the sharp
+	// affinity acceptance sampler trades volume exactness for signal.
+	ratio := float64(len(d.Attendance)) / float64(cfg.TargetAttendance)
+	if ratio < 0.4 || ratio > 1.4 {
+		t.Errorf("attendance = %d, target %d (ratio %.2f)", len(d.Attendance), cfg.TargetAttendance, ratio)
+	}
+	if len(d.Friendships) == 0 {
+		t.Error("no friendships generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1 := tinyDataset(t, 42)
+	d2 := tinyDataset(t, 42)
+	if len(d1.Attendance) != len(d2.Attendance) || len(d1.Friendships) != len(d2.Friendships) {
+		t.Fatal("same seed produced different volumes")
+	}
+	for i := range d1.Attendance {
+		if d1.Attendance[i] != d2.Attendance[i] {
+			t.Fatal("same seed produced different attendance")
+		}
+	}
+	for i := range d1.Events {
+		if !d1.Events[i].Start.Equal(d2.Events[i].Start) || d1.Events[i].Venue != d2.Events[i].Venue {
+			t.Fatal("same seed produced different events")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	d1 := tinyDataset(t, 1)
+	d2 := tinyDataset(t, 2)
+	same := 0
+	n := min(len(d1.Attendance), len(d2.Attendance))
+	for i := 0; i < n; i++ {
+		if d1.Attendance[i] == d2.Attendance[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical attendance")
+	}
+}
+
+func TestEventsWithinTimeRange(t *testing.T) {
+	cfg := TinyConfig(3)
+	d := tinyDataset(t, 3)
+	// adjustWeekendType may push an event up to 6 days past End.
+	hardEnd := cfg.End.AddDate(0, 0, 7)
+	for i, e := range d.Events {
+		if e.Start.Before(cfg.Start) || e.Start.After(hardEnd) {
+			t.Errorf("event %d at %v outside [%v, %v]", i, e.Start, cfg.Start, hardEnd)
+		}
+	}
+}
+
+func TestDocumentsNonEmpty(t *testing.T) {
+	cfg := TinyConfig(4)
+	d := tinyDataset(t, 4)
+	for i, e := range d.Events {
+		if len(e.Words) != cfg.WordsPerDoc {
+			t.Fatalf("event %d has %d words, want %d", i, len(e.Words), cfg.WordsPerDoc)
+		}
+	}
+}
+
+func TestVenuesWithinCity(t *testing.T) {
+	cfg := TinyConfig(5)
+	d := tinyDataset(t, 5)
+	far := 0
+	for _, v := range d.Venues {
+		if geo.HaversineKm(cfg.CityCenter, v) > cfg.CityRadiusKm*1.5 {
+			far++
+		}
+	}
+	// Gaussian tails may place a few venues outside, but not many.
+	if float64(far) > 0.05*float64(len(d.Venues)) {
+		t.Errorf("%d/%d venues far outside the city", far, len(d.Venues))
+	}
+}
+
+func TestNoDuplicateAttendance(t *testing.T) {
+	d := tinyDataset(t, 6)
+	seen := make(map[[2]int32]bool, len(d.Attendance))
+	for _, a := range d.Attendance {
+		if seen[a] {
+			t.Fatalf("duplicate attendance %v", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestFriendsCoAttend(t *testing.T) {
+	// The event-partner ground truth requires friends who co-attend;
+	// verify the generator produces a meaningful number of such triples.
+	d := tinyDataset(t, 7)
+	s, err := ebsnet.ChronologicalSplit(d, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := ebsnet.PartnerGroundTruth(d, s, ebsnet.Test)
+	if len(triples) < 20 {
+		t.Errorf("only %d partner ground-truth triples on test events", len(triples))
+	}
+}
+
+func TestCommunityTopicCoherence(t *testing.T) {
+	// White-box: users should attend events whose topic they prefer more
+	// often than random, which is the signal GEM learns from content.
+	cfg := TinyConfig(8)
+	d, lat, err := generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attended, random float64
+	n := 0
+	for _, a := range d.Attendance {
+		u, x := a[0], a[1]
+		attended += float64(lat.userTopics[u][lat.eventTopic[x]])
+		random += float64(lat.userTopics[u][lat.eventTopic[int(x)%len(lat.eventTopic)]])
+		n++
+	}
+	var baseline float64
+	m := 0
+	for u := 0; u < cfg.NumUsers; u++ {
+		for x := 0; x < cfg.NumEvents; x += 7 {
+			baseline += float64(lat.userTopics[u][lat.eventTopic[x]])
+			m++
+		}
+	}
+	if attended/float64(n) <= baseline/float64(m)*1.3 {
+		t.Errorf("attended-topic affinity %.4f not clearly above baseline %.4f",
+			attended/float64(n), baseline/float64(m))
+	}
+}
+
+func TestGeographicLocality(t *testing.T) {
+	// Users attend events closer to home than random user-event pairs.
+	cfg := TinyConfig(9)
+	d, lat, err := generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attKm float64
+	for _, a := range d.Attendance {
+		attKm += geo.EquirectKm(lat.userHome[a[0]], d.Venues[d.Events[a[1]].Venue])
+	}
+	attKm /= float64(len(d.Attendance))
+	var rndKm float64
+	n := 0
+	for u := 0; u < cfg.NumUsers; u += 3 {
+		for x := 0; x < cfg.NumEvents; x += 11 {
+			rndKm += geo.EquirectKm(lat.userHome[u], d.Venues[d.Events[x].Venue])
+			n++
+		}
+	}
+	rndKm /= float64(n)
+	if attKm >= rndKm*0.9 {
+		t.Errorf("attended distance %.2f km not clearly below random %.2f km", attKm, rndKm)
+	}
+}
+
+func TestTemporalPreference(t *testing.T) {
+	// Users attend events near their preferred hour.
+	cfg := TinyConfig(10)
+	d, lat, err := generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attDiff float64
+	for _, a := range d.Attendance {
+		attDiff += hourDiff(float64(d.Events[a[1]].Start.Hour()), lat.userHourPref[a[0]])
+	}
+	attDiff /= float64(len(d.Attendance))
+	// Random hour distance against a circular uniform is 6 on average;
+	// against the actual skewed event-hour distribution it is lower, so
+	// compare with the empirical random baseline.
+	var rndDiff float64
+	n := 0
+	for u := 0; u < cfg.NumUsers; u += 3 {
+		for x := 0; x < cfg.NumEvents; x += 11 {
+			rndDiff += hourDiff(float64(d.Events[x].Start.Hour()), lat.userHourPref[u])
+			n++
+		}
+	}
+	rndDiff /= float64(n)
+	if attDiff >= rndDiff {
+		t.Errorf("attended hour diff %.2f not below random %.2f", attDiff, rndDiff)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := TinyConfig(1)
+	cases := map[string]func(c *Config){
+		"noUsers":       func(c *Config) { c.NumUsers = 0 },
+		"noEvents":      func(c *Config) { c.NumEvents = 0 },
+		"noVenues":      func(c *Config) { c.NumVenues = 0 },
+		"noCommunities": func(c *Config) { c.NumCommunities = 0 },
+		"tinyVocab":     func(c *Config) { c.VocabSize = 3 },
+		"noWords":       func(c *Config) { c.WordsPerDoc = 0 },
+		"noDistricts":   func(c *Config) { c.NumDistricts = 0 },
+		"emptyTime":     func(c *Config) { c.End = c.Start },
+		"lowTarget":     func(c *Config) { c.TargetAttendance = 1 },
+	}
+	for name, mutate := range cases {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestPresetConfigsValid(t *testing.T) {
+	for _, c := range []Config{TinyConfig(1), SmallConfig(1), BeijingConfig(1), ShanghaiConfig(1)} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestFilterMinEventsIntegration(t *testing.T) {
+	d := tinyDataset(t, 11)
+	f, err := d.FilterMinEvents(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); int(u) < f.NumUsers; u++ {
+		if len(f.UserEvents(u)) < 5 {
+			t.Fatalf("user %d has %d events after filter", u, len(f.UserEvents(u)))
+		}
+	}
+	if f.NumUsers == 0 {
+		t.Fatal("filter removed every user; generator volume too thin")
+	}
+}
+
+func TestAdjustWeekendType(t *testing.T) {
+	mon := time.Date(2012, 3, 5, 0, 0, 0, 0, time.UTC) // Monday
+	sat := adjustWeekendType(mon, true)
+	if wd := sat.Weekday(); wd != time.Saturday && wd != time.Sunday {
+		t.Errorf("weekend adjustment landed on %v", wd)
+	}
+	same := adjustWeekendType(mon, false)
+	if !same.Equal(mon) {
+		t.Errorf("weekday adjustment moved a Monday to %v", same)
+	}
+}
+
+func TestHourDiffWrapsMidnight(t *testing.T) {
+	if d := hourDiff(23, 1); d != 2 {
+		t.Errorf("hourDiff(23,1) = %v, want 2", d)
+	}
+	if d := hourDiff(12, 12); d != 0 {
+		t.Errorf("hourDiff(12,12) = %v", d)
+	}
+	if d := hourDiff(0, 12); d != 12 {
+		t.Errorf("hourDiff(0,12) = %v", d)
+	}
+}
+
+func TestMixtureHelpers(t *testing.T) {
+	src := newTestSource()
+	m := sparseMixture(10, 3, src)
+	var sum float32
+	nonzero := 0
+	for _, p := range m {
+		if p < 0 {
+			t.Fatal("negative mixture weight")
+		}
+		if p > 0 {
+			nonzero++
+		}
+		sum += p
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Errorf("mixture sums to %v", sum)
+	}
+	if nonzero == 0 || nonzero > 3 {
+		t.Errorf("sparse mixture has %d support points", nonzero)
+	}
+	p := perturbMixture(m, 0.2, src)
+	sum = 0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Errorf("perturbed mixture sums to %v", sum)
+	}
+	for i := 0; i < 100; i++ {
+		if idx := sampleMixture(m, src); idx < 0 || idx >= len(m) {
+			t.Fatal("sampleMixture out of range")
+		}
+	}
+}
+
+func TestOracleBeatsRandomScorerUnderProtocol(t *testing.T) {
+	// The oracle scores with the exact latent acceptance probabilities;
+	// under the eval protocol it must dominate chance by a wide margin —
+	// the ceiling any learned model is compared against.
+	d, oracle, err := GenerateWithOracle(TinyConfig(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ebsnet.ChronologicalSplit(d, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, cases := 0, 0
+	for _, a := range s.TestAttendance[:min(300, len(s.TestAttendance))] {
+		u, x := a[0], a[1]
+		pos := oracle.ScoreUserEvent(u, x)
+		rank := 1
+		for _, other := range s.TestEvents {
+			if other != x && !d.Attended(u, other) && oracle.ScoreUserEvent(u, other) >= pos {
+				rank++
+			}
+		}
+		if rank <= 10 {
+			hits++
+		}
+		cases++
+	}
+	frac := float64(hits) / float64(cases)
+	chance := 10.0 / float64(len(s.TestEvents))
+	if frac < 3*chance {
+		t.Errorf("oracle full-ranking hit@10 = %.3f, chance = %.3f", frac, chance)
+	}
+}
+
+func TestOracleCommunityAccessors(t *testing.T) {
+	_, oracle, err := GenerateWithOracle(TinyConfig(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TinyConfig(52)
+	for u := int32(0); u < 20; u++ {
+		if c := oracle.UserCommunity(u); c < 0 || c >= cfg.NumCommunities {
+			t.Fatalf("user community %d out of range", c)
+		}
+	}
+	for x := int32(0); x < 20; x++ {
+		if c := oracle.EventCommunity(x); c < 0 || c >= cfg.NumCommunities {
+			t.Fatalf("event community %d out of range", c)
+		}
+	}
+}
+
+func TestOracleTripleFavorsFriendPartners(t *testing.T) {
+	d, oracle, err := GenerateWithOracle(TinyConfig(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a user with friends, a friend partner must outscore the same
+	// partner with friendship hypothetically absent — directly from the
+	// +1 friendship term. Verify via monotonicity across pairs instead:
+	// friends average higher triple scores than strangers.
+	var friendSum, strangerSum float64
+	var nf, ns int
+	for u := int32(0); int(u) < d.NumUsers && (nf < 200 || ns < 200); u++ {
+		for v := int32(0); int(v) < d.NumUsers; v += 7 {
+			if v == u {
+				continue
+			}
+			s := float64(oracle.ScoreTriple(u, v, 0))
+			if d.AreFriends(u, v) {
+				friendSum += s
+				nf++
+			} else {
+				strangerSum += s
+				ns++
+			}
+		}
+	}
+	if nf == 0 || ns == 0 {
+		t.Skip("no comparable pairs")
+	}
+	if friendSum/float64(nf) <= strangerSum/float64(ns) {
+		t.Error("oracle triple score does not favor friends")
+	}
+}
+
+func BenchmarkGenerateTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(TinyConfig(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

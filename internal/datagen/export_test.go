@@ -1,0 +1,7 @@
+package datagen
+
+import "ebsn/internal/rng"
+
+// newTestSource gives white-box tests a seeded source without exporting
+// generator internals.
+func newTestSource() *rng.Source { return rng.New(12345) }

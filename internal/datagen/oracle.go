@@ -1,0 +1,54 @@
+package datagen
+
+import (
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/geo"
+)
+
+// Oracle scores user-event pairs with the generator's own latent affinity
+// function — the exact probabilities attendance was sampled from. It is
+// the Bayes-optimal content/context scorer for a synthetic dataset and
+// therefore an upper reference point for what any cold-start model can
+// achieve on it. The experiment harness reports it alongside the learned
+// models; tests use it to verify the planted signal is strong enough to
+// matter.
+type Oracle struct {
+	cfg Config
+	lat *latent
+	d   *ebsnet.Dataset
+}
+
+// GenerateWithOracle is Generate plus the latent-affinity oracle.
+func GenerateWithOracle(cfg Config) (*ebsnet.Dataset, *Oracle, error) {
+	d, lat, err := generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, &Oracle{cfg: cfg, lat: lat, d: d}, nil
+}
+
+// ScoreUserEvent returns the latent acceptance probability for (u, x).
+func (o *Oracle) ScoreUserEvent(u, x int32) float32 {
+	return float32(affinity(o.cfg, o.lat, o.d, u, x))
+}
+
+// ScoreTriple composes the two endpoint affinities with latent social
+// proximity (shared community and home distance).
+func (o *Oracle) ScoreTriple(u, partner, x int32) float32 {
+	social := float32(0)
+	if o.lat.userCommunity[u] == o.lat.userCommunity[partner] {
+		social = 0.5
+	}
+	km := geo.EquirectKm(o.lat.userHome[u], o.lat.userHome[partner])
+	social += float32(1 / (1 + km/o.cfg.CityRadiusKm))
+	if o.d.AreFriends(u, partner) {
+		social += 1
+	}
+	return o.ScoreUserEvent(u, x) + o.ScoreUserEvent(partner, x) + social
+}
+
+// EventCommunity exposes the event's latent community (white-box tests).
+func (o *Oracle) EventCommunity(x int32) int { return o.lat.eventCommunity[x] }
+
+// UserCommunity exposes the user's latent community (white-box tests).
+func (o *Oracle) UserCommunity(u int32) int { return o.lat.userCommunity[u] }

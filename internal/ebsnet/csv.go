@@ -1,0 +1,225 @@
+package ebsnet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ebsn/internal/geo"
+)
+
+// Dataset directory layout: five CSV files, all with header rows. The
+// format round-trips exactly (word order and timestamps included) so
+// generated benchmarks are shareable and diffable.
+const (
+	metaFile        = "meta.csv"
+	venuesFile      = "venues.csv"
+	eventsFile      = "events.csv"
+	attendanceFile  = "attendance.csv"
+	friendshipsFile = "friendships.csv"
+)
+
+// ExportCSV writes the dataset into dir, creating it if needed.
+func ExportCSV(d *Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ebsnet: export: %w", err)
+	}
+	write := func(name string, header []string, rows func(w *csv.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("ebsnet: export %s: %w", name, err)
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := rows(w); err != nil {
+			return fmt.Errorf("ebsnet: export %s: %w", name, err)
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return fmt.Errorf("ebsnet: export %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	if err := write(metaFile, []string{"name", "num_users"}, func(w *csv.Writer) error {
+		return w.Write([]string{d.Name, strconv.Itoa(d.NumUsers)})
+	}); err != nil {
+		return err
+	}
+	if err := write(venuesFile, []string{"id", "lat", "lng"}, func(w *csv.Writer) error {
+		for i, v := range d.Venues {
+			if err := w.Write([]string{
+				strconv.Itoa(i),
+				strconv.FormatFloat(v.Lat, 'f', -1, 64),
+				strconv.FormatFloat(v.Lng, 'f', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write(eventsFile, []string{"id", "venue", "start_unix", "words"}, func(w *csv.Writer) error {
+		for i, e := range d.Events {
+			if err := w.Write([]string{
+				strconv.Itoa(i),
+				strconv.Itoa(int(e.Venue)),
+				strconv.FormatInt(e.Start.Unix(), 10),
+				strings.Join(e.Words, " "),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write(attendanceFile, []string{"user", "event"}, func(w *csv.Writer) error {
+		for _, a := range d.Attendance {
+			if err := w.Write([]string{strconv.Itoa(int(a[0])), strconv.Itoa(int(a[1]))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return write(friendshipsFile, []string{"user_a", "user_b"}, func(w *csv.Writer) error {
+		for _, f := range d.Friendships {
+			if err := w.Write([]string{strconv.Itoa(int(f[0])), strconv.Itoa(int(f[1]))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ImportCSV reads a dataset directory written by ExportCSV, finalizing
+// the result.
+func ImportCSV(dir string) (*Dataset, error) {
+	d := &Dataset{}
+
+	if err := readCSV(filepath.Join(dir, metaFile), 2, func(rec []string) error {
+		d.Name = rec[0]
+		n, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return fmt.Errorf("bad num_users %q: %w", rec[1], err)
+		}
+		d.NumUsers = n
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := readCSV(filepath.Join(dir, venuesFile), 3, func(rec []string) error {
+		lat, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad lat %q: %w", rec[1], err)
+		}
+		lng, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad lng %q: %w", rec[2], err)
+		}
+		d.Venues = append(d.Venues, geo.Point{Lat: lat, Lng: lng})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := readCSV(filepath.Join(dir, eventsFile), 4, func(rec []string) error {
+		venue, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return fmt.Errorf("bad venue %q: %w", rec[1], err)
+		}
+		start, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad start_unix %q: %w", rec[2], err)
+		}
+		var words []string
+		if rec[3] != "" {
+			words = strings.Split(rec[3], " ")
+		}
+		d.Events = append(d.Events, Event{
+			Venue: int32(venue),
+			Start: time.Unix(start, 0).UTC(),
+			Words: words,
+		})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := readCSV(filepath.Join(dir, attendanceFile), 2, func(rec []string) error {
+		u, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("bad user %q: %w", rec[0], err)
+		}
+		x, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return fmt.Errorf("bad event %q: %w", rec[1], err)
+		}
+		d.Attendance = append(d.Attendance, [2]int32{int32(u), int32(x)})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := readCSV(filepath.Join(dir, friendshipsFile), 2, func(rec []string) error {
+		a, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("bad user_a %q: %w", rec[0], err)
+		}
+		b, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return fmt.Errorf("bad user_b %q: %w", rec[1], err)
+		}
+		d.Friendships = append(d.Friendships, [2]int32{int32(a), int32(b)})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := d.Finalize(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// readCSV streams a headered CSV file, validating the column count and
+// reporting errors with file/row context.
+func readCSV(path string, cols int, row func(rec []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("ebsnet: import: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = cols
+	r.ReuseRecord = true
+	if _, err := r.Read(); err != nil {
+		return fmt.Errorf("ebsnet: import %s: missing header: %w", filepath.Base(path), err)
+	}
+	line := 1
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		line++
+		if err != nil {
+			return fmt.Errorf("ebsnet: import %s line %d: %w", filepath.Base(path), line, err)
+		}
+		if err := row(rec); err != nil {
+			return fmt.Errorf("ebsnet: import %s line %d: %w", filepath.Base(path), line, err)
+		}
+	}
+}

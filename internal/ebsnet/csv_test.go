@@ -1,0 +1,120 @@
+package ebsnet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := fixture(t)
+	dir := t.TempDir()
+	if err := ExportCSV(d, dir); err != nil {
+		t.Fatalf("ExportCSV: %v", err)
+	}
+	got, err := ImportCSV(dir)
+	if err != nil {
+		t.Fatalf("ImportCSV: %v", err)
+	}
+	if got.Name != d.Name || got.NumUsers != d.NumUsers {
+		t.Errorf("meta mismatch: %q/%d vs %q/%d", got.Name, got.NumUsers, d.Name, d.NumUsers)
+	}
+	if !reflect.DeepEqual(got.Venues, d.Venues) {
+		t.Error("venues differ after round trip")
+	}
+	if len(got.Events) != len(d.Events) {
+		t.Fatalf("event count %d vs %d", len(got.Events), len(d.Events))
+	}
+	for i := range d.Events {
+		a, b := got.Events[i], d.Events[i]
+		if a.Venue != b.Venue || !a.Start.Equal(b.Start) || !reflect.DeepEqual(a.Words, b.Words) {
+			t.Errorf("event %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(got.Attendance, d.Attendance) {
+		t.Error("attendance differs after round trip")
+	}
+	if !reflect.DeepEqual(got.Friendships, d.Friendships) {
+		t.Error("friendships differ after round trip")
+	}
+}
+
+func TestImportMissingFile(t *testing.T) {
+	if _, err := ImportCSV(t.TempDir()); err == nil {
+		t.Fatal("import of empty directory succeeded")
+	}
+}
+
+func TestImportMalformedRows(t *testing.T) {
+	d := fixture(t)
+	cases := map[string]struct {
+		file    string
+		content string
+	}{
+		"badNumUsers":   {metaFile, "name,num_users\nfixture,notanumber\n"},
+		"badLat":        {venuesFile, "id,lat,lng\n0,abc,116.4\n"},
+		"badVenueRef":   {eventsFile, "id,venue,start_unix,words\n0,notanumber,100,jazz\n"},
+		"badStart":      {eventsFile, "id,venue,start_unix,words\n0,0,notatime,jazz\n"},
+		"badAttendance": {attendanceFile, "user,event\nx,0\n"},
+		"badFriendship": {friendshipsFile, "user_a,user_b\n0,y\n"},
+		"wrongColumns":  {attendanceFile, "user,event\n1,2,3\n"},
+	}
+	for name, c := range cases {
+		dir := t.TempDir()
+		if err := ExportCSV(d, dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, c.file), []byte(c.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ImportCSV(dir); err == nil {
+			t.Errorf("%s: malformed file accepted", name)
+		}
+	}
+}
+
+func TestImportRejectsInconsistentData(t *testing.T) {
+	d := fixture(t)
+	dir := t.TempDir()
+	if err := ExportCSV(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Attendance referencing a user beyond num_users must fail Finalize.
+	if err := os.WriteFile(filepath.Join(dir, attendanceFile), []byte("user,event\n99,0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportCSV(dir); err == nil {
+		t.Fatal("out-of-range attendance accepted")
+	}
+}
+
+func TestExportCreatesDirectory(t *testing.T) {
+	d := fixture(t)
+	dir := filepath.Join(t.TempDir(), "nested", "path")
+	if err := ExportCSV(d, dir); err != nil {
+		t.Fatalf("ExportCSV to nested dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, eventsFile)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyWordsRoundTrip(t *testing.T) {
+	d := fixture(t)
+	d.Events[0].Words = nil
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ExportCSV(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events[0].Words) != 0 {
+		t.Errorf("empty word list became %v", got.Events[0].Words)
+	}
+}

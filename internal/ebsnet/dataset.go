@@ -1,0 +1,245 @@
+// Package ebsnet defines the event-based social network data model of the
+// paper (Definition 1) and everything derived from it: the five relation
+// graphs of Definitions 2-6, the chronological train/validation/test event
+// split, and the ground-truth sets for the two evaluation tasks.
+package ebsnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ebsn/internal/geo"
+)
+
+// Event is one social event: where it happens, when it starts, and its
+// tokenized textual description.
+type Event struct {
+	Venue int32
+	Start time.Time
+	Words []string
+}
+
+// Dataset is a full EBSN snapshot, the analogue of one of the paper's
+// city datasets (Table I).
+type Dataset struct {
+	Name        string
+	NumUsers    int
+	Venues      []geo.Point
+	Events      []Event
+	Attendance  [][2]int32 // (user, event) pairs
+	Friendships [][2]int32 // undirected (u, u') pairs, stored once
+
+	// Derived indexes, built by Finalize.
+	userEvents [][]int32 // events attended per user (X_u)
+	eventUsers [][]int32 // users per event (U_x)
+	friends    [][]int32 // adjacency lists
+	finalized  bool
+}
+
+// Finalize builds the derived per-user and per-event indexes. It must be
+// called once after the raw fields are populated; the import and generator
+// paths both do so. Finalize is idempotent.
+func (d *Dataset) Finalize() error {
+	if err := d.validateRaw(); err != nil {
+		return err
+	}
+	d.userEvents = make([][]int32, d.NumUsers)
+	d.eventUsers = make([][]int32, len(d.Events))
+	for _, a := range d.Attendance {
+		u, x := a[0], a[1]
+		d.userEvents[u] = append(d.userEvents[u], x)
+		d.eventUsers[x] = append(d.eventUsers[x], u)
+	}
+	d.friends = make([][]int32, d.NumUsers)
+	for _, f := range d.Friendships {
+		d.friends[f[0]] = append(d.friends[f[0]], f[1])
+		d.friends[f[1]] = append(d.friends[f[1]], f[0])
+	}
+	for u := 0; u < d.NumUsers; u++ {
+		sortInt32s(d.userEvents[u])
+		sortInt32s(d.friends[u])
+	}
+	for x := range d.Events {
+		sortInt32s(d.eventUsers[x])
+	}
+	d.finalized = true
+	return nil
+}
+
+func (d *Dataset) validateRaw() error {
+	if d.NumUsers <= 0 {
+		return fmt.Errorf("ebsnet: dataset %q has no users", d.Name)
+	}
+	if len(d.Events) == 0 {
+		return fmt.Errorf("ebsnet: dataset %q has no events", d.Name)
+	}
+	if len(d.Venues) == 0 {
+		return fmt.Errorf("ebsnet: dataset %q has no venues", d.Name)
+	}
+	for i, e := range d.Events {
+		if int(e.Venue) < 0 || int(e.Venue) >= len(d.Venues) {
+			return fmt.Errorf("ebsnet: event %d references venue %d of %d", i, e.Venue, len(d.Venues))
+		}
+		if e.Start.IsZero() {
+			return fmt.Errorf("ebsnet: event %d has zero start time", i)
+		}
+	}
+	for i, a := range d.Attendance {
+		if int(a[0]) < 0 || int(a[0]) >= d.NumUsers {
+			return fmt.Errorf("ebsnet: attendance %d references user %d of %d", i, a[0], d.NumUsers)
+		}
+		if int(a[1]) < 0 || int(a[1]) >= len(d.Events) {
+			return fmt.Errorf("ebsnet: attendance %d references event %d of %d", i, a[1], len(d.Events))
+		}
+	}
+	for i, f := range d.Friendships {
+		if int(f[0]) < 0 || int(f[0]) >= d.NumUsers || int(f[1]) < 0 || int(f[1]) >= d.NumUsers {
+			return fmt.Errorf("ebsnet: friendship %d out of range: %v", i, f)
+		}
+		if f[0] == f[1] {
+			return fmt.Errorf("ebsnet: friendship %d is a self-loop on user %d", i, f[0])
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) mustFinal() {
+	if !d.finalized {
+		panic("ebsnet: Dataset used before Finalize")
+	}
+}
+
+// NumEvents returns the event count.
+func (d *Dataset) NumEvents() int { return len(d.Events) }
+
+// UserEvents returns X_u, the sorted event IDs user u attended. The slice
+// must not be mutated.
+func (d *Dataset) UserEvents(u int32) []int32 {
+	d.mustFinal()
+	return d.userEvents[u]
+}
+
+// EventUsers returns U_x, the sorted user IDs that attended event x.
+func (d *Dataset) EventUsers(x int32) []int32 {
+	d.mustFinal()
+	return d.eventUsers[x]
+}
+
+// Friends returns the sorted friend IDs of user u.
+func (d *Dataset) Friends(u int32) []int32 {
+	d.mustFinal()
+	return d.friends[u]
+}
+
+// AreFriends reports whether u and v share a friendship edge.
+func (d *Dataset) AreFriends(u, v int32) bool {
+	d.mustFinal()
+	return containsInt32(d.friends[u], v)
+}
+
+// Attended reports whether user u attended event x.
+func (d *Dataset) Attended(u, x int32) bool {
+	d.mustFinal()
+	return containsInt32(d.userEvents[u], x)
+}
+
+// CommonEvents returns |X_u ∩ X_u'| restricted to events for which
+// inTrain returns true (pass nil to count over all events). The user-user
+// edge weight of Definition 2 is 1 + this count; restricting to training
+// events keeps test attendance from leaking into the training graphs.
+func (d *Dataset) CommonEvents(u, v int32, inTrain func(x int32) bool) int {
+	d.mustFinal()
+	a, b := d.userEvents[u], d.userEvents[v]
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if inTrain == nil || inTrain(a[i]) {
+				n++
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// FilterMinEvents returns a new dataset keeping only users who attended at
+// least minEvents events, renumbering users densely, mirroring the paper's
+// "filter out users who attended less than 5 events" preprocessing step.
+// Friendships between removed users are dropped.
+func (d *Dataset) FilterMinEvents(minEvents int) (*Dataset, error) {
+	d.mustFinal()
+	keep := make([]int32, d.NumUsers)
+	n := int32(0)
+	for u := 0; u < d.NumUsers; u++ {
+		if len(d.userEvents[u]) >= minEvents {
+			keep[u] = n
+			n++
+		} else {
+			keep[u] = -1
+		}
+	}
+	out := &Dataset{
+		Name:     d.Name,
+		NumUsers: int(n),
+		Venues:   d.Venues,
+		Events:   d.Events,
+	}
+	for _, a := range d.Attendance {
+		if nu := keep[a[0]]; nu >= 0 {
+			out.Attendance = append(out.Attendance, [2]int32{nu, a[1]})
+		}
+	}
+	for _, f := range d.Friendships {
+		nu, nv := keep[f[0]], keep[f[1]]
+		if nu >= 0 && nv >= 0 {
+			out.Friendships = append(out.Friendships, [2]int32{nu, nv})
+		}
+	}
+	if err := out.Finalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats summarizes the dataset in the shape of the paper's Table I.
+type Stats struct {
+	Name        string
+	Users       int
+	Events      int
+	Venues      int
+	Attendances int
+	Friendships int
+}
+
+// Stats returns Table I-style summary statistics.
+func (d *Dataset) Stats() Stats {
+	return Stats{
+		Name:        d.Name,
+		Users:       d.NumUsers,
+		Events:      len(d.Events),
+		Venues:      len(d.Venues),
+		Attendances: len(d.Attendance),
+		Friendships: len(d.Friendships),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: users=%d events=%d venues=%d attendances=%d friendships=%d",
+		s.Name, s.Users, s.Events, s.Venues, s.Attendances, s.Friendships)
+}
+
+func sortInt32s(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func containsInt32(sorted []int32, v int32) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}

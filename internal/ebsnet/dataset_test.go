@@ -1,0 +1,176 @@
+package ebsnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ebsn/internal/geo"
+)
+
+// fixture builds a small hand-checked dataset:
+//
+//	4 users, 6 events at 3 venues, events evenly spaced over 6 days.
+//	Attendance: u0:{e0,e1,e2,e4} u1:{e0,e1,e4,e5} u2:{e2,e3,e5} u3:{e3}
+//	Friendships: (0,1), (1,2)
+func fixture(t testing.TB) *Dataset {
+	t.Helper()
+	base := time.Date(2012, 3, 1, 19, 0, 0, 0, time.UTC)
+	d := &Dataset{
+		Name:     "fixture",
+		NumUsers: 4,
+		Venues: []geo.Point{
+			{Lat: 39.90, Lng: 116.40},
+			{Lat: 39.91, Lng: 116.41},
+			{Lat: 39.99, Lng: 116.31},
+		},
+		Events: []Event{
+			{Venue: 0, Start: base, Words: []string{"jazz", "night", "music"}},
+			{Venue: 1, Start: base.AddDate(0, 0, 1), Words: []string{"rock", "music"}},
+			{Venue: 0, Start: base.AddDate(0, 0, 2), Words: []string{"jazz", "festival"}},
+			{Venue: 2, Start: base.AddDate(0, 0, 3), Words: []string{"poetry", "reading"}},
+			{Venue: 1, Start: base.AddDate(0, 0, 4), Words: []string{"music", "festival"}},
+			{Venue: 2, Start: base.AddDate(0, 0, 5), Words: []string{"jazz", "music", "night"}},
+		},
+		Attendance: [][2]int32{
+			{0, 0}, {0, 1}, {0, 2}, {0, 4},
+			{1, 0}, {1, 1}, {1, 4}, {1, 5},
+			{2, 2}, {2, 3}, {2, 5},
+			{3, 3},
+		},
+		Friendships: [][2]int32{{0, 1}, {1, 2}},
+	}
+	if err := d.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return d
+}
+
+func TestFinalizeIndexes(t *testing.T) {
+	d := fixture(t)
+	if got := d.UserEvents(0); len(got) != 4 || got[0] != 0 || got[3] != 4 {
+		t.Errorf("UserEvents(0) = %v", got)
+	}
+	if got := d.EventUsers(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("EventUsers(0) = %v", got)
+	}
+	if got := d.Friends(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Friends(1) = %v", got)
+	}
+}
+
+func TestAreFriendsAndAttended(t *testing.T) {
+	d := fixture(t)
+	if !d.AreFriends(0, 1) || !d.AreFriends(1, 0) {
+		t.Error("friendship (0,1) not symmetric")
+	}
+	if d.AreFriends(0, 2) {
+		t.Error("phantom friendship (0,2)")
+	}
+	if !d.Attended(2, 3) {
+		t.Error("Attended(2,3) = false")
+	}
+	if d.Attended(3, 0) {
+		t.Error("Attended(3,0) = true")
+	}
+}
+
+func TestCommonEvents(t *testing.T) {
+	d := fixture(t)
+	if got := d.CommonEvents(0, 1, nil); got != 3 { // e0, e1, e4
+		t.Errorf("CommonEvents(0,1) = %d, want 3", got)
+	}
+	if got := d.CommonEvents(0, 3, nil); got != 0 {
+		t.Errorf("CommonEvents(0,3) = %d, want 0", got)
+	}
+	onlyEarly := func(x int32) bool { return x < 2 }
+	if got := d.CommonEvents(0, 1, onlyEarly); got != 2 {
+		t.Errorf("restricted CommonEvents(0,1) = %d, want 2", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := fixture(t)
+	cases := map[string]func(d *Dataset){
+		"noUsers":     func(d *Dataset) { d.NumUsers = 0 },
+		"badVenue":    func(d *Dataset) { d.Events[0].Venue = 99 },
+		"zeroStart":   func(d *Dataset) { d.Events[0].Start = time.Time{} },
+		"badAttUser":  func(d *Dataset) { d.Attendance[0][0] = 99 },
+		"badAttEvent": func(d *Dataset) { d.Attendance[0][1] = 99 },
+		"badFriend":   func(d *Dataset) { d.Friendships[0][0] = -1 },
+		"selfFriend":  func(d *Dataset) { d.Friendships[0] = [2]int32{2, 2} },
+	}
+	for name, mutate := range cases {
+		d := &Dataset{
+			Name:        base.Name,
+			NumUsers:    base.NumUsers,
+			Venues:      append([]geo.Point(nil), base.Venues...),
+			Events:      append([]Event(nil), base.Events...),
+			Attendance:  append([][2]int32(nil), base.Attendance...),
+			Friendships: append([][2]int32(nil), base.Friendships...),
+		}
+		mutate(d)
+		if err := d.Finalize(); err == nil {
+			t.Errorf("%s: Finalize accepted invalid dataset", name)
+		}
+	}
+}
+
+func TestUseBeforeFinalizePanics(t *testing.T) {
+	d := &Dataset{NumUsers: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unfinalized use")
+		}
+	}()
+	d.UserEvents(0)
+}
+
+func TestFilterMinEvents(t *testing.T) {
+	d := fixture(t)
+	// min 3 events keeps u0 (4), u1 (4), u2 (3); drops u3 (1).
+	f, err := d.FilterMinEvents(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumUsers != 3 {
+		t.Fatalf("filtered users = %d, want 3", f.NumUsers)
+	}
+	if len(f.Attendance) != 11 {
+		t.Errorf("filtered attendance = %d, want 11", len(f.Attendance))
+	}
+	// All friendships survive: they are among u0, u1, u2.
+	if len(f.Friendships) != 2 {
+		t.Errorf("filtered friendships = %d, want 2", len(f.Friendships))
+	}
+	// Event 3 now has only user u2 (renumbered).
+	if got := f.EventUsers(3); len(got) != 1 {
+		t.Errorf("EventUsers(3) after filter = %v", got)
+	}
+}
+
+func TestFilterDropsOrphanFriendships(t *testing.T) {
+	d := fixture(t)
+	d.Friendships = append(d.Friendships, [2]int32{2, 3})
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.FilterMinEvents(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Friendships) != 2 {
+		t.Errorf("friendship with dropped user survived: %v", f.Friendships)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := fixture(t)
+	s := d.Stats()
+	if s.Users != 4 || s.Events != 6 || s.Venues != 3 || s.Attendances != 12 || s.Friendships != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "users=4") {
+		t.Errorf("Stats.String() = %q", s.String())
+	}
+}

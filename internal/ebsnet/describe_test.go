@@ -1,0 +1,65 @@
+package ebsnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeFixture(t *testing.T) {
+	d := fixture(t)
+	desc := Describe(d)
+	// Attendance counts per user: 4, 4, 3, 1 → mean 3, median 4, max 4.
+	if desc.UserEventsMean != 3 {
+		t.Errorf("user events mean = %v, want 3", desc.UserEventsMean)
+	}
+	if desc.UserEventsMax != 4 {
+		t.Errorf("user events max = %v", desc.UserEventsMax)
+	}
+	// Attendees per event: 2,2,2,2,2,2 → mean 2, gini 0.
+	if desc.EventUsersMean != 2 {
+		t.Errorf("event users mean = %v, want 2", desc.EventUsersMean)
+	}
+	if desc.EventUsersGini != 0 {
+		t.Errorf("uniform popularity should have gini 0, got %v", desc.EventUsersGini)
+	}
+	if desc.FirstEvent.After(desc.LastEvent) {
+		t.Error("time range inverted")
+	}
+	out := desc.String()
+	for _, want := range []string{"events per user", "gini", "time range"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("description missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]int{5, 5, 5, 5}); g != 0 {
+		t.Errorf("equal distribution gini = %v", g)
+	}
+	// All mass on one element of n: gini = (n-1)/n.
+	if g := gini([]int{0, 0, 0, 10}); g < 0.74 || g > 0.76 {
+		t.Errorf("concentrated gini = %v, want 0.75", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Errorf("empty gini = %v", g)
+	}
+	if g := gini([]int{0, 0}); g != 0 {
+		t.Errorf("all-zero gini = %v", g)
+	}
+	// Monotonicity: more skew, higher gini.
+	if gini([]int{1, 1, 1, 7}) <= gini([]int{2, 2, 3, 3}) {
+		t.Error("gini not increasing with skew")
+	}
+}
+
+func TestDistStats(t *testing.T) {
+	mean, median, max := distStats([]int{1, 3, 5})
+	if mean != 3 || median != 3 || max != 5 {
+		t.Errorf("distStats = %v %v %v", mean, median, max)
+	}
+	mean, median, max = distStats(nil)
+	if mean != 0 || median != 0 || max != 0 {
+		t.Error("empty distStats should be zeros")
+	}
+}

@@ -1,0 +1,61 @@
+package ebsnet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ebsn/internal/geo"
+)
+
+// FuzzImportCSV feeds corrupted bytes into each dataset file and asserts
+// the importer either errors cleanly or returns a finalized dataset — it
+// must never panic or accept inconsistent data silently.
+func FuzzImportCSV(f *testing.F) {
+	f.Add("user,event\n0,0\n", 3)
+	f.Add("", 0)
+	f.Add("a,b,c\n1,2,3\n\xff\xfe", 1)
+	f.Add("user,event\n99999,0\n", 3)
+	f.Fuzz(func(t *testing.T, payload string, which int) {
+		base := &Dataset{
+			Name:       "fuzz",
+			NumUsers:   2,
+			Venues:     fixtureVenues(),
+			Events:     fixtureEvents(),
+			Attendance: [][2]int32{{0, 0}, {1, 0}},
+		}
+		if err := base.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := ExportCSV(base, dir); err != nil {
+			t.Fatal(err)
+		}
+		files := []string{metaFile, venuesFile, eventsFile, attendanceFile, friendshipsFile}
+		target := files[((which%len(files))+len(files))%len(files)]
+		if err := os.WriteFile(filepath.Join(dir, target), []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ImportCSV(dir)
+		if err != nil {
+			return // clean rejection
+		}
+		// Accepted: the dataset must be internally consistent.
+		for _, a := range d.Attendance {
+			if int(a[0]) >= d.NumUsers || int(a[1]) >= len(d.Events) {
+				t.Fatalf("accepted inconsistent attendance %v", a)
+			}
+		}
+	})
+}
+
+// fixtureVenues and fixtureEvents provide minimal valid building blocks
+// for the fuzz harness.
+func fixtureVenues() []geo.Point {
+	return []geo.Point{{Lat: 39.9, Lng: 116.4}}
+}
+
+func fixtureEvents() []Event {
+	return []Event{{Venue: 0, Start: time.Date(2012, 1, 1, 10, 0, 0, 0, time.UTC), Words: []string{"w"}}}
+}

@@ -1,0 +1,140 @@
+package ebsnet
+
+import (
+	"fmt"
+
+	"ebsn/internal/geo"
+	"ebsn/internal/graph"
+	"ebsn/internal/text"
+	"ebsn/internal/timeslot"
+)
+
+// GraphsConfig controls relation-graph construction.
+type GraphsConfig struct {
+	// DBSCAN parameters for region discovery over event coordinates
+	// (Definition 4 discretizes locations with DBSCAN).
+	DBSCAN geo.DBSCANConfig
+	// NoiseAttachKm is how far a DBSCAN-noise event may be from a cluster
+	// centroid and still join that region; beyond it the event founds a
+	// singleton region.
+	NoiseAttachKm float64
+	// Vocab controls event-content vocabulary construction.
+	Vocab text.VocabConfig
+	// Friendships optionally overrides the dataset's friendship list —
+	// the "potential friends" scenario trains with ground-truth links
+	// removed. Nil means use the dataset's list.
+	Friendships [][2]int32
+}
+
+// DefaultGraphsConfig returns sensible city-scale defaults.
+func DefaultGraphsConfig() GraphsConfig {
+	return GraphsConfig{
+		DBSCAN:        geo.DBSCANConfig{EpsKm: 1.0, MinPts: 5},
+		NoiseAttachKm: 5.0,
+		Vocab:         text.VocabConfig{MinDocFreq: 2, MaxDocFraction: 0.5},
+	}
+}
+
+// Graphs bundles the five relation graphs of Definitions 2-6 plus the
+// artifacts needed to interpret their node ID spaces.
+type Graphs struct {
+	UserEvent     *graph.Bipartite // users × events, training attendance only
+	EventLocation *graph.Bipartite // events × regions
+	EventTime     *graph.Bipartite // events × 33 time slots
+	EventWord     *graph.Bipartite // events × vocabulary, TF-IDF weighted
+	UserUser      *graph.Bipartite // users × users, symmetric
+
+	Vocab       *text.Vocabulary
+	NumRegions  int
+	EventRegion []int // region ID per event
+}
+
+// All returns the graphs in the canonical order used by joint training.
+func (g *Graphs) All() []*graph.Bipartite {
+	return []*graph.Bipartite{g.UserEvent, g.EventTime, g.EventWord, g.EventLocation, g.UserUser}
+}
+
+// BuildGraphs constructs the five relation graphs from a finalized dataset
+// and a chronological split. Per the paper's cold-start setup, holdout
+// events keep their content/location/time edges (that is how their
+// embeddings are learned) but contribute no user-event edges; user-user
+// weights 1 + |X_u ∩ X_u'| count common *training* events only.
+func BuildGraphs(d *Dataset, s *Split, cfg GraphsConfig) (*Graphs, error) {
+	d.mustFinal()
+
+	// --- Regions via DBSCAN over event coordinates (Definition 4).
+	coords := make([]geo.Point, len(d.Events))
+	for i, e := range d.Events {
+		coords[i] = d.Venues[e.Venue]
+	}
+	labels, k, err := geo.DBSCAN(coords, cfg.DBSCAN)
+	if err != nil {
+		return nil, fmt.Errorf("ebsnet: region clustering: %w", err)
+	}
+	regions, numRegions := geo.AssignRegions(coords, labels, k, cfg.NoiseAttachKm)
+
+	// --- Vocabulary over all event documents (holdout events need
+	// content edges to receive embeddings).
+	docs := make([][]string, len(d.Events))
+	for i, e := range d.Events {
+		docs[i] = e.Words
+	}
+	vocab := text.BuildVocabulary(docs, cfg.Vocab)
+	if vocab.Size() == 0 {
+		return nil, fmt.Errorf("ebsnet: empty vocabulary after filtering (%d docs)", len(docs))
+	}
+
+	g := &Graphs{Vocab: vocab, NumRegions: numRegions, EventRegion: regions}
+
+	// --- User-Event (Definition 3): training attendance, weight 1 per
+	// attendance (no rating signal in EBSN data).
+	ux := graph.NewBuilder("user-event", d.NumUsers, len(d.Events))
+	for _, a := range s.TrainAttendance {
+		ux.AddEdge(a[0], a[1], 1)
+	}
+	g.UserEvent = ux.Build()
+
+	// --- Event-Location (Definition 4): one region edge per event.
+	xl := graph.NewBuilder("event-location", len(d.Events), numRegions)
+	for x, r := range regions {
+		xl.AddEdge(int32(x), int32(r), 1)
+	}
+	g.EventLocation = xl.Build()
+
+	// --- Event-Time (Definition 5): exactly three slot edges per event.
+	xt := graph.NewBuilder("event-time", len(d.Events), timeslot.NumSlots)
+	for x, e := range d.Events {
+		for _, slot := range timeslot.Slots(e.Start) {
+			xt.AddEdge(int32(x), slot, 1)
+		}
+	}
+	g.EventTime = xt.Build()
+
+	// --- Event-Content (Definition 6): TF-IDF weighted word edges.
+	xc := graph.NewBuilder("event-word", len(d.Events), vocab.Size())
+	for x := range d.Events {
+		for _, ww := range vocab.TFIDF(docs[x]) {
+			xc.AddEdge(int32(x), ww.Word, ww.Weight)
+		}
+	}
+	g.EventWord = xc.Build()
+
+	// --- User-User (Definition 2): weight 1 + common training events.
+	friendships := cfg.Friendships
+	if friendships == nil {
+		friendships = d.Friendships
+	}
+	uu := graph.NewSymmetricBuilder("user-user", d.NumUsers)
+	for _, f := range friendships {
+		common := d.CommonEvents(f[0], f[1], s.InTrain)
+		uu.AddEdge(f[0], f[1], float32(1+common))
+	}
+	g.UserUser = uu.Build()
+
+	for _, gr := range g.All() {
+		if err := gr.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

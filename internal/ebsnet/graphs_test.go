@@ -1,0 +1,165 @@
+package ebsnet
+
+import (
+	"testing"
+
+	"ebsn/internal/geo"
+	"ebsn/internal/text"
+	"ebsn/internal/timeslot"
+)
+
+func buildFixtureGraphs(t *testing.T) (*Dataset, *Split, *Graphs) {
+	t.Helper()
+	d := fixture(t)
+	s, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0.7, ValidationFracOfHoldout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GraphsConfig{
+		DBSCAN:        geo.DBSCANConfig{EpsKm: 3, MinPts: 2},
+		NoiseAttachKm: 5,
+		Vocab:         text.VocabConfig{MinDocFreq: 1},
+	}
+	g, err := BuildGraphs(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s, g
+}
+
+func TestBuildGraphsUserEventTrainOnly(t *testing.T) {
+	d, s, g := buildFixtureGraphs(t)
+	// Training events are {0,1,2,3} with 8 attendance edges
+	// (u0:{0,1,2}, u1:{0,1}, u2:{2,3}, u3:{3}).
+	if g.UserEvent.NumEdges() != 8 {
+		t.Fatalf("user-event edges = %d, want 8", g.UserEvent.NumEdges())
+	}
+	for _, e := range g.UserEvent.Edges() {
+		if !s.InTrain(e.B) {
+			t.Errorf("user-event edge to holdout event %d", e.B)
+		}
+		if !d.Attended(e.A, e.B) {
+			t.Errorf("phantom attendance edge (%d,%d)", e.A, e.B)
+		}
+	}
+}
+
+func TestBuildGraphsEventLocationCoversAllEvents(t *testing.T) {
+	d, _, g := buildFixtureGraphs(t)
+	if g.EventLocation.NumEdges() != d.NumEvents() {
+		t.Fatalf("event-location edges = %d, want %d", g.EventLocation.NumEdges(), d.NumEvents())
+	}
+	if len(g.EventRegion) != d.NumEvents() {
+		t.Fatal("EventRegion length mismatch")
+	}
+	// Venues 0 and 1 are ~1.4 km apart, venue 2 ~12 km away: expect
+	// events at venues 0/1 to share a region distinct from venue 2's.
+	r01 := g.EventRegion[0]
+	if g.EventRegion[1] != r01 || g.EventRegion[2] != r01 || g.EventRegion[4] != r01 {
+		t.Errorf("downtown events split across regions: %v", g.EventRegion)
+	}
+	if g.EventRegion[3] == r01 {
+		t.Errorf("far venue merged into downtown region: %v", g.EventRegion)
+	}
+	if g.NumRegions < 2 {
+		t.Errorf("NumRegions = %d, want >= 2", g.NumRegions)
+	}
+}
+
+func TestBuildGraphsEventTimeThreeSlotsEach(t *testing.T) {
+	d, _, g := buildFixtureGraphs(t)
+	if g.EventTime.NumEdges() != 3*d.NumEvents() {
+		t.Fatalf("event-time edges = %d, want %d", g.EventTime.NumEdges(), 3*d.NumEvents())
+	}
+	if g.EventTime.NumB() != timeslot.NumSlots {
+		t.Fatalf("time node set = %d, want %d", g.EventTime.NumB(), timeslot.NumSlots)
+	}
+	// Every event links to exactly one hour slot, one day slot, one type slot.
+	for x := int32(0); x < int32(d.NumEvents()); x++ {
+		nbrs, _ := g.EventTime.Neighbors(0, x)
+		if len(nbrs) != 3 {
+			t.Fatalf("event %d links to %d time slots", x, len(nbrs))
+		}
+	}
+}
+
+func TestBuildGraphsEventWordTFIDF(t *testing.T) {
+	d, _, g := buildFixtureGraphs(t)
+	// Every event document contributes edges (vocab has min-df 1, no
+	// stopwords in the fixture docs).
+	for x := int32(0); x < int32(d.NumEvents()); x++ {
+		nbrs, ws := g.EventWord.Neighbors(0, x)
+		if len(nbrs) != len(d.Events[x].Words) {
+			t.Errorf("event %d: %d word edges for %d distinct words", x, len(nbrs), len(d.Events[x].Words))
+		}
+		for _, w := range ws {
+			if w <= 0 {
+				t.Errorf("event %d: non-positive TF-IDF weight", x)
+			}
+		}
+	}
+	// Rarer word gets higher IDF: "poetry" (df 1) vs "music" (df 4).
+	poetry := g.Vocab.ID("poetry")
+	music := g.Vocab.ID("music")
+	if poetry < 0 || music < 0 {
+		t.Fatal("fixture words missing from vocabulary")
+	}
+	if g.Vocab.IDF(poetry) <= g.Vocab.IDF(music) {
+		t.Error("IDF ordering violated")
+	}
+}
+
+func TestBuildGraphsUserUserWeights(t *testing.T) {
+	_, _, g := buildFixtureGraphs(t)
+	// (0,1) share training events e0, e1 (e4 is validation): weight 1+2=3.
+	nbrs, ws := g.UserUser.Neighbors(0, 0)
+	if len(nbrs) != 1 || nbrs[0] != 1 {
+		t.Fatalf("user 0 neighbors = %v", nbrs)
+	}
+	if ws[0] != 3 {
+		t.Errorf("weight(0,1) = %v, want 3 (1 + 2 common training events)", ws[0])
+	}
+	// (1,2) share no training events: weight 1.
+	nbrs, ws = g.UserUser.Neighbors(0, 2)
+	if len(nbrs) != 1 || ws[0] != 1 {
+		t.Errorf("user 2 edges = %v %v, want single weight-1 edge to user 1", nbrs, ws)
+	}
+}
+
+func TestBuildGraphsFriendshipOverride(t *testing.T) {
+	d := fixture(t)
+	s, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0.7, ValidationFracOfHoldout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GraphsConfig{
+		DBSCAN:        geo.DBSCANConfig{EpsKm: 3, MinPts: 2},
+		NoiseAttachKm: 5,
+		Vocab:         text.VocabConfig{MinDocFreq: 1},
+		Friendships:   [][2]int32{{0, 1}}, // scenario 2: (1,2) removed
+	}
+	g, err := BuildGraphs(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.UserUser.HasEdge(1, 2) {
+		t.Error("removed link (1,2) present in user-user graph")
+	}
+	if !g.UserUser.HasEdge(0, 1) {
+		t.Error("retained link (0,1) missing")
+	}
+}
+
+func TestBuildGraphsAllOrdering(t *testing.T) {
+	_, _, g := buildFixtureGraphs(t)
+	all := g.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d graphs", len(all))
+	}
+	names := []string{"user-event", "event-time", "event-word", "event-location", "user-user"}
+	for i, gr := range all {
+		if gr.Name() != names[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, gr.Name(), names[i])
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package ebsnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventClass says which partition of the chronological split an event
+// falls in.
+type EventClass uint8
+
+// Split partitions.
+const (
+	Train EventClass = iota
+	Validation
+	Test
+)
+
+func (c EventClass) String() string {
+	switch c {
+	case Train:
+		return "train"
+	case Validation:
+		return "validation"
+	case Test:
+		return "test"
+	default:
+		return fmt.Sprintf("EventClass(%d)", uint8(c))
+	}
+}
+
+// Split is a chronological partition of the event set. Per the paper:
+// events are ordered by start time, the earliest 70% form the training
+// set, and the remaining 30% are further divided 1:2 into validation and
+// test. Attendance edges inherit the class of their event, which makes
+// every validation/test event cold-start by construction.
+type Split struct {
+	class []EventClass
+
+	TrainEvents      []int32
+	ValidationEvents []int32
+	TestEvents       []int32
+
+	// Attendance edges partitioned by the class of their event. These are
+	// E_UX^training / E_UX^validation / E_UX^test from the paper.
+	TrainAttendance      [][2]int32
+	ValidationAttendance [][2]int32
+	TestAttendance       [][2]int32
+}
+
+// SplitConfig controls the partition ratios.
+type SplitConfig struct {
+	// TrainFrac is the fraction of events (chronologically earliest) used
+	// for training. The paper uses 0.7.
+	TrainFrac float64
+	// ValidationFracOfHoldout is the fraction of the held-out events used
+	// for validation; the rest is test. The paper uses 1/3 (a 1:2 ratio).
+	ValidationFracOfHoldout float64
+}
+
+// DefaultSplitConfig returns the paper's 7:3 split with a 1:2
+// validation:test division of the holdout.
+func DefaultSplitConfig() SplitConfig {
+	return SplitConfig{TrainFrac: 0.7, ValidationFracOfHoldout: 1.0 / 3.0}
+}
+
+// ChronologicalSplit partitions the dataset's events by start time.
+func ChronologicalSplit(d *Dataset, cfg SplitConfig) (*Split, error) {
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		return nil, fmt.Errorf("ebsnet: TrainFrac %v out of (0,1)", cfg.TrainFrac)
+	}
+	if cfg.ValidationFracOfHoldout < 0 || cfg.ValidationFracOfHoldout >= 1 {
+		return nil, fmt.Errorf("ebsnet: ValidationFracOfHoldout %v out of [0,1)", cfg.ValidationFracOfHoldout)
+	}
+	n := len(d.Events)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		ti, tj := d.Events[order[i]].Start, d.Events[order[j]].Start
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return order[i] < order[j]
+	})
+
+	nTrain := int(cfg.TrainFrac * float64(n))
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= n {
+		nTrain = n - 1
+	}
+	holdout := n - nTrain
+	nVal := int(cfg.ValidationFracOfHoldout * float64(holdout))
+
+	s := &Split{class: make([]EventClass, n)}
+	for i, x := range order {
+		switch {
+		case i < nTrain:
+			s.class[x] = Train
+			s.TrainEvents = append(s.TrainEvents, x)
+		case i < nTrain+nVal:
+			s.class[x] = Validation
+			s.ValidationEvents = append(s.ValidationEvents, x)
+		default:
+			s.class[x] = Test
+			s.TestEvents = append(s.TestEvents, x)
+		}
+	}
+	for _, a := range d.Attendance {
+		switch s.class[a[1]] {
+		case Train:
+			s.TrainAttendance = append(s.TrainAttendance, a)
+		case Validation:
+			s.ValidationAttendance = append(s.ValidationAttendance, a)
+		default:
+			s.TestAttendance = append(s.TestAttendance, a)
+		}
+	}
+	return s, nil
+}
+
+// Class returns the partition of event x.
+func (s *Split) Class(x int32) EventClass { return s.class[x] }
+
+// InTrain reports whether event x is a training event.
+func (s *Split) InTrain(x int32) bool { return s.class[x] == Train }
+
+// HoldoutAttendance returns the attendance set for the requested
+// evaluation class (Validation or Test).
+func (s *Split) HoldoutAttendance(c EventClass) [][2]int32 {
+	if c == Validation {
+		return s.ValidationAttendance
+	}
+	return s.TestAttendance
+}
+
+// HoldoutEvents returns the event IDs of the requested evaluation class.
+func (s *Split) HoldoutEvents(c EventClass) []int32 {
+	if c == Validation {
+		return s.ValidationEvents
+	}
+	return s.TestEvents
+}
+
+// PartnerTriple is one ground-truth case (u, u', x) for the joint
+// event-partner task: target user u, partner u', event x.
+type PartnerTriple struct {
+	User    int32
+	Partner int32
+	Event   int32
+}
+
+// PartnerGroundTruth builds the test set Y of the paper: for each holdout
+// event x, every ordered pair of distinct friends who both attended x
+// yields a triple (u, u', x). Both orientations are included because the
+// paper declares the two users "suitable partners to each other".
+func PartnerGroundTruth(d *Dataset, s *Split, c EventClass) []PartnerTriple {
+	var out []PartnerTriple
+	for _, x := range s.HoldoutEvents(c) {
+		users := d.EventUsers(x)
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				if d.AreFriends(users[i], users[j]) {
+					out = append(out, PartnerTriple{users[i], users[j], x})
+					out = append(out, PartnerTriple{users[j], users[i], x})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RemoveLinks returns the friendship list minus every (unordered) pair
+// that appears in the triples — the paper's "potential friends" scenario 2
+// removes ground-truth user-partner links from G_UU before training.
+func RemoveLinks(friendships [][2]int32, triples []PartnerTriple) [][2]int32 {
+	drop := make(map[[2]int32]struct{}, len(triples))
+	for _, tr := range triples {
+		a, b := tr.User, tr.Partner
+		if a > b {
+			a, b = b, a
+		}
+		drop[[2]int32{a, b}] = struct{}{}
+	}
+	out := make([][2]int32, 0, len(friendships))
+	for _, f := range friendships {
+		a, b := f[0], f[1]
+		if a > b {
+			a, b = b, a
+		}
+		if _, hit := drop[[2]int32{a, b}]; hit {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

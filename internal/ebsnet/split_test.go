@@ -1,0 +1,239 @@
+package ebsnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ebsn/internal/geo"
+	"ebsn/internal/rng"
+)
+
+func TestChronologicalSplitPartitions(t *testing.T) {
+	d := fixture(t)
+	s, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0.7, ValidationFracOfHoldout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 events: nTrain = 4, holdout 2 -> 1 validation, 1 test.
+	if len(s.TrainEvents) != 4 || len(s.ValidationEvents) != 1 || len(s.TestEvents) != 1 {
+		t.Fatalf("split sizes %d/%d/%d", len(s.TrainEvents), len(s.ValidationEvents), len(s.TestEvents))
+	}
+	// Events are time-ordered by ID in the fixture, so train = {0,1,2,3},
+	// validation = {4}, test = {5}.
+	for _, x := range []int32{0, 1, 2, 3} {
+		if s.Class(x) != Train {
+			t.Errorf("event %d class = %v, want train", x, s.Class(x))
+		}
+	}
+	if s.Class(4) != Validation || s.Class(5) != Test {
+		t.Errorf("holdout classes: %v %v", s.Class(4), s.Class(5))
+	}
+}
+
+func TestSplitChronologyInvariant(t *testing.T) {
+	d := fixture(t)
+	s, err := ChronologicalSplit(d, DefaultSplitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every train event must start no later than every holdout event.
+	var latestTrain, earliestHoldout = d.Events[s.TrainEvents[0]].Start, d.Events[s.TestEvents[0]].Start
+	for _, x := range s.TrainEvents {
+		if d.Events[x].Start.After(latestTrain) {
+			latestTrain = d.Events[x].Start
+		}
+	}
+	for _, x := range append(append([]int32{}, s.ValidationEvents...), s.TestEvents...) {
+		if d.Events[x].Start.Before(earliestHoldout) {
+			earliestHoldout = d.Events[x].Start
+		}
+	}
+	if latestTrain.After(earliestHoldout) {
+		t.Errorf("train event at %v starts after holdout event at %v", latestTrain, earliestHoldout)
+	}
+}
+
+func TestSplitAttendancePartitioning(t *testing.T) {
+	d := fixture(t)
+	s, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0.7, ValidationFracOfHoldout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(s.TrainAttendance) + len(s.ValidationAttendance) + len(s.TestAttendance)
+	if total != len(d.Attendance) {
+		t.Fatalf("attendance partitions sum to %d of %d", total, len(d.Attendance))
+	}
+	for _, a := range s.TrainAttendance {
+		if s.Class(a[1]) != Train {
+			t.Errorf("train attendance on %v event", s.Class(a[1]))
+		}
+	}
+	for _, a := range s.TestAttendance {
+		if s.Class(a[1]) != Test {
+			t.Errorf("test attendance on %v event", s.Class(a[1]))
+		}
+	}
+	if got := s.HoldoutAttendance(Test); len(got) != len(s.TestAttendance) {
+		t.Error("HoldoutAttendance(Test) mismatch")
+	}
+	if got := s.HoldoutEvents(Validation); len(got) != len(s.ValidationEvents) {
+		t.Error("HoldoutEvents(Validation) mismatch")
+	}
+}
+
+func TestSplitConfigValidation(t *testing.T) {
+	d := fixture(t)
+	if _, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0}); err == nil {
+		t.Error("TrainFrac=0 accepted")
+	}
+	if _, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 1}); err == nil {
+		t.Error("TrainFrac=1 accepted")
+	}
+	if _, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0.7, ValidationFracOfHoldout: 1}); err == nil {
+		t.Error("ValidationFrac=1 accepted")
+	}
+}
+
+func TestPartnerGroundTruth(t *testing.T) {
+	d := fixture(t)
+	s, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0.7, ValidationFracOfHoldout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test event is e5, attended by u1 and u2, who are friends ->
+	// both orientations present.
+	triples := PartnerGroundTruth(d, s, Test)
+	if len(triples) != 2 {
+		t.Fatalf("triples = %v, want 2 orientations of (1,2,5)", triples)
+	}
+	seen := map[PartnerTriple]bool{}
+	for _, tr := range triples {
+		seen[tr] = true
+		if tr.Event != 5 {
+			t.Errorf("triple on wrong event: %+v", tr)
+		}
+	}
+	if !seen[PartnerTriple{1, 2, 5}] || !seen[PartnerTriple{2, 1, 5}] {
+		t.Errorf("missing orientation: %v", triples)
+	}
+	// Validation event e4 is attended by u0 and u1 (friends).
+	vtriples := PartnerGroundTruth(d, s, Validation)
+	if len(vtriples) != 2 {
+		t.Fatalf("validation triples = %v", vtriples)
+	}
+}
+
+func TestPartnerGroundTruthExcludesNonFriends(t *testing.T) {
+	d := fixture(t)
+	// Make e3's attendees (u2, u3) non-friends: already are. Use a split
+	// putting e3 in test.
+	s, err := ChronologicalSplit(d, SplitConfig{TrainFrac: 0.34, ValidationFracOfHoldout: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := PartnerGroundTruth(d, s, Test)
+	for _, tr := range triples {
+		if !d.AreFriends(tr.User, tr.Partner) {
+			t.Errorf("non-friend triple: %+v", tr)
+		}
+		if !d.Attended(tr.User, tr.Event) || !d.Attended(tr.Partner, tr.Event) {
+			t.Errorf("triple without co-attendance: %+v", tr)
+		}
+	}
+}
+
+func TestRemoveLinks(t *testing.T) {
+	friendships := [][2]int32{{0, 1}, {1, 2}, {2, 3}}
+	triples := []PartnerTriple{{User: 2, Partner: 1, Event: 9}} // unordered pair (1,2)
+	out := RemoveLinks(friendships, triples)
+	if len(out) != 2 {
+		t.Fatalf("RemoveLinks kept %d links, want 2", len(out))
+	}
+	for _, f := range out {
+		if (f[0] == 1 && f[1] == 2) || (f[0] == 2 && f[1] == 1) {
+			t.Error("removed pair survived")
+		}
+	}
+}
+
+func TestRemoveLinksEmptyTriples(t *testing.T) {
+	friendships := [][2]int32{{0, 1}}
+	out := RemoveLinks(friendships, nil)
+	if len(out) != 1 {
+		t.Fatal("RemoveLinks with no triples altered the list")
+	}
+}
+
+// Property: for randomly shaped datasets, the chronological split always
+// partitions events exhaustively and disjointly, attendance classes match
+// event classes, and every ground-truth triple co-attends a holdout event.
+func TestSplitInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, nEventsRaw, nUsersRaw uint8) bool {
+		nEvents := int(nEventsRaw)%40 + 4
+		nUsers := int(nUsersRaw)%20 + 3
+		src := rng.New(seed)
+		base := time.Date(2011, 1, 1, 12, 0, 0, 0, time.UTC)
+		d := &Dataset{
+			Name:     "prop",
+			NumUsers: nUsers,
+			Venues:   []geo.Point{{Lat: 39.9, Lng: 116.4}},
+		}
+		for i := 0; i < nEvents; i++ {
+			d.Events = append(d.Events, Event{
+				Venue: 0,
+				Start: base.AddDate(0, 0, src.Intn(365)),
+				Words: []string{"w"},
+			})
+		}
+		seen := map[[2]int32]bool{}
+		for i := 0; i < nUsers*4; i++ {
+			a := [2]int32{int32(src.Intn(nUsers)), int32(src.Intn(nEvents))}
+			if !seen[a] {
+				seen[a] = true
+				d.Attendance = append(d.Attendance, a)
+			}
+		}
+		for i := 0; i < nUsers; i++ {
+			u, v := int32(src.Intn(nUsers)), int32(src.Intn(nUsers))
+			if u != v {
+				d.Friendships = append(d.Friendships, [2]int32{u, v})
+			}
+		}
+		if err := d.Finalize(); err != nil {
+			return false
+		}
+		s, err := ChronologicalSplit(d, DefaultSplitConfig())
+		if err != nil {
+			return false
+		}
+		// Exhaustive + disjoint partition.
+		if len(s.TrainEvents)+len(s.ValidationEvents)+len(s.TestEvents) != nEvents {
+			return false
+		}
+		classCount := map[EventClass]int{}
+		for x := int32(0); x < int32(nEvents); x++ {
+			classCount[s.Class(x)]++
+		}
+		if classCount[Train] != len(s.TrainEvents) ||
+			classCount[Validation] != len(s.ValidationEvents) ||
+			classCount[Test] != len(s.TestEvents) {
+			return false
+		}
+		// Attendance classes match.
+		if len(s.TrainAttendance)+len(s.ValidationAttendance)+len(s.TestAttendance) != len(d.Attendance) {
+			return false
+		}
+		// Ground-truth triples co-attend holdout events between friends.
+		for _, tr := range PartnerGroundTruth(d, s, Test) {
+			if s.Class(tr.Event) != Test || !d.AreFriends(tr.User, tr.Partner) ||
+				!d.Attended(tr.User, tr.Event) || !d.Attended(tr.Partner, tr.Event) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package eval implements the paper's evaluation protocols (Section V-B):
+//
+//   - Cold-start event recommendation: for every user-event pair in the
+//     holdout attendance set, rank the true event against 1000 events
+//     sampled from the holdout events the user did not attend; a hit is a
+//     rank within the top n.
+//   - Joint event-partner recommendation: for every ground-truth triple
+//     (u, u', x), rank it against 500 negative triples with the event
+//     replaced and 500 with the partner replaced.
+//
+// Both protocols report Accuracy@n — the hit ratio over all test cases —
+// and both are deterministic for a fixed seed, with per-case RNG streams
+// so results do not depend on the worker count.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/rng"
+)
+
+// EventScorer scores a user-event pair; higher means more recommended.
+// core.Model, every baseline, and snapshots all implement it.
+type EventScorer interface {
+	ScoreUserEvent(u, x int32) float32
+}
+
+// TripleScorer scores a (user, partner, event) triple per Eqn. 8.
+type TripleScorer interface {
+	ScoreTriple(u, partner, x int32) float32
+}
+
+// Config controls a protocol run.
+type Config struct {
+	// Ns are the cutoffs to report Accuracy@n for (paper: 1,5,10,15,20).
+	Ns []int
+	// NegativeEvents is the negative-sample count per case for the event
+	// task (paper: 1000) and for the event-replacement half of the
+	// partner task (paper: 500).
+	NegativeEvents int
+	// NegativeUsers is the user-replacement count for the partner task
+	// (paper: 500).
+	NegativeUsers int
+	// MaxCases caps the evaluated cases (0 = all). Cases are subsampled
+	// deterministically and evenly across the test set; the hit ratio is
+	// an unbiased estimate of the full metric.
+	MaxCases int
+	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+	Seed    uint64
+}
+
+// DefaultConfig returns the paper's protocol parameters.
+func DefaultConfig() Config {
+	return Config{
+		Ns:             []int{1, 5, 10, 15, 20},
+		NegativeEvents: 1000,
+		NegativeUsers:  500,
+		Seed:           99,
+	}
+}
+
+func (c *Config) validate() error {
+	if len(c.Ns) == 0 {
+		return fmt.Errorf("eval: no cutoffs requested")
+	}
+	for _, n := range c.Ns {
+		if n <= 0 {
+			return fmt.Errorf("eval: cutoff %d invalid", n)
+		}
+	}
+	if c.NegativeEvents <= 0 {
+		return fmt.Errorf("eval: NegativeEvents must be positive")
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Result is the outcome of one protocol run.
+type Result struct {
+	Ns       []int
+	Accuracy []float64
+	Cases    int
+}
+
+// At returns Accuracy@n, or an error if n was not requested.
+func (r Result) At(n int) (float64, error) {
+	for i, v := range r.Ns {
+		if v == n {
+			return r.Accuracy[i], nil
+		}
+	}
+	return 0, fmt.Errorf("eval: Accuracy@%d was not computed", n)
+}
+
+// MustAt is At for callers with static cutoffs (the experiment harness).
+func (r Result) MustAt(n int) float64 {
+	v, err := r.At(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// EventRecommendation runs the cold-start event protocol over the given
+// holdout class (Validation for hyper-parameter tuning, Test for
+// reporting).
+func EventRecommendation(sc EventScorer, d *ebsnet.Dataset, s *ebsnet.Split, class ebsnet.EventClass, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	cases := subsamplePairs(s.HoldoutAttendance(class), cfg.MaxCases)
+	if len(cases) == 0 {
+		return Result{}, fmt.Errorf("eval: no %v attendance cases", class)
+	}
+	pool := s.HoldoutEvents(class)
+	if len(pool) < 2 {
+		return Result{}, fmt.Errorf("eval: %v event pool too small (%d)", class, len(pool))
+	}
+
+	maxN := maxOf(cfg.Ns)
+	hits := make([]int64, len(cfg.Ns))
+	var mu sync.Mutex
+	parallelFor(len(cases), cfg.Workers, func(lo, hi int) {
+		local := make([]int64, len(cfg.Ns))
+		for i := lo; i < hi; i++ {
+			u, x := cases[i][0], cases[i][1]
+			src := rng.New(cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+			pos := sc.ScoreUserEvent(u, x)
+			rank := 1
+			// Draw the full negative budget; rejected candidates (the true
+			// event, or events u actually attended) do not consume it. The
+			// early break once rank exceeds the largest cutoff cannot
+			// change any hit decision because rank only grows.
+			for got, tries := 0, 0; got < cfg.NegativeEvents && tries < cfg.NegativeEvents*10 && rank <= maxN; tries++ {
+				neg := pool[src.Intn(len(pool))]
+				if neg == x || d.Attended(u, neg) {
+					continue
+				}
+				got++
+				// Ties count against the positive: a model that cannot
+				// separate the true event from noise (e.g. collapsed
+				// all-zero embeddings) must not look perfect.
+				if s := sc.ScoreUserEvent(u, neg); s >= pos {
+					rank++
+				}
+			}
+			for j, n := range cfg.Ns {
+				if rank <= n {
+					local[j]++
+				}
+			}
+		}
+		mu.Lock()
+		for j := range hits {
+			hits[j] += local[j]
+		}
+		mu.Unlock()
+	})
+	return tally(cfg.Ns, hits, len(cases)), nil
+}
+
+// PartnerRecommendation runs the joint event-partner protocol over
+// ground-truth triples (built by ebsnet.PartnerGroundTruth).
+func PartnerRecommendation(sc TripleScorer, d *ebsnet.Dataset, s *ebsnet.Split, triples []ebsnet.PartnerTriple, class ebsnet.EventClass, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.NegativeUsers <= 0 {
+		return Result{}, fmt.Errorf("eval: NegativeUsers must be positive for the partner task")
+	}
+	triples = subsampleTriples(triples, cfg.MaxCases)
+	if len(triples) == 0 {
+		return Result{}, fmt.Errorf("eval: no ground-truth triples")
+	}
+	pool := s.HoldoutEvents(class)
+	if len(pool) < 2 {
+		return Result{}, fmt.Errorf("eval: %v event pool too small (%d)", class, len(pool))
+	}
+
+	maxN := maxOf(cfg.Ns)
+	hits := make([]int64, len(cfg.Ns))
+	var mu sync.Mutex
+	parallelFor(len(triples), cfg.Workers, func(lo, hi int) {
+		local := make([]int64, len(cfg.Ns))
+		for i := lo; i < hi; i++ {
+			tr := triples[i]
+			src := rng.New(cfg.Seed ^ (uint64(i)+1)*0xbf58476d1ce4e5b9)
+			pos := sc.ScoreTriple(tr.User, tr.Partner, tr.Event)
+			rank := 1
+			// Fix (u, u'), replace the event with holdout events neither
+			// attended (the paper's X^test − (X_u ∩ X_u'), tightened to
+			// the union to avoid scoring other true positives as noise).
+			for got, tries := 0, 0; got < cfg.NegativeEvents && tries < cfg.NegativeEvents*10 && rank <= maxN; tries++ {
+				neg := pool[src.Intn(len(pool))]
+				if neg == tr.Event || d.Attended(tr.User, neg) || d.Attended(tr.Partner, neg) {
+					continue
+				}
+				got++
+				if s := sc.ScoreTriple(tr.User, tr.Partner, neg); s >= pos {
+					rank++
+				}
+			}
+			// Fix (u, x), replace the partner with users who did not
+			// attend x (the paper's U − U_x).
+			for got, tries := 0, 0; got < cfg.NegativeUsers && tries < cfg.NegativeUsers*10 && rank <= maxN; tries++ {
+				neg := int32(src.Intn(d.NumUsers))
+				if neg == tr.User || neg == tr.Partner || d.Attended(neg, tr.Event) {
+					continue
+				}
+				got++
+				if s := sc.ScoreTriple(tr.User, neg, tr.Event); s >= pos {
+					rank++
+				}
+			}
+			for j, n := range cfg.Ns {
+				if rank <= n {
+					local[j]++
+				}
+			}
+		}
+		mu.Lock()
+		for j := range hits {
+			hits[j] += local[j]
+		}
+		mu.Unlock()
+	})
+	return tally(cfg.Ns, hits, len(triples)), nil
+}
+
+func tally(ns []int, hits []int64, cases int) Result {
+	res := Result{Ns: append([]int(nil), ns...), Accuracy: make([]float64, len(ns)), Cases: cases}
+	for i := range ns {
+		res.Accuracy[i] = float64(hits[i]) / float64(cases)
+	}
+	return res
+}
+
+// subsamplePairs picks an even deterministic subsample of at most max
+// cases (0 = all).
+func subsamplePairs(cases [][2]int32, max int) [][2]int32 {
+	if max <= 0 || len(cases) <= max {
+		return cases
+	}
+	out := make([][2]int32, 0, max)
+	stride := float64(len(cases)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, cases[int(float64(i)*stride)])
+	}
+	return out
+}
+
+func subsampleTriples(cases []ebsnet.PartnerTriple, max int) []ebsnet.PartnerTriple {
+	if max <= 0 || len(cases) <= max {
+		return cases
+	}
+	out := make([]ebsnet.PartnerTriple, 0, max)
+	stride := float64(len(cases)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, cases[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// parallelFor splits [0, n) into contiguous chunks across workers.
+func parallelFor(n, workers int, f func(lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func maxOf(s []int) int {
+	m := s[0]
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,285 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ebsn/internal/datagen"
+	"ebsn/internal/ebsnet"
+)
+
+var (
+	cachedData  *ebsnet.Dataset
+	cachedSplit *ebsnet.Split
+)
+
+func testData(t testing.TB) (*ebsnet.Dataset, *ebsnet.Split) {
+	t.Helper()
+	if cachedData != nil {
+		return cachedData, cachedSplit
+	}
+	d, err := datagen.Generate(datagen.TinyConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ebsnet.ChronologicalSplit(d, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedData, cachedSplit = d, s
+	return d, s
+}
+
+// oracleScorer knows the ground truth: attended pairs score 1, others 0,
+// so Accuracy@n must be ~1 for any n under the negative-sampling protocol.
+type oracleScorer struct{ d *ebsnet.Dataset }
+
+func (o oracleScorer) ScoreUserEvent(u, x int32) float32 {
+	if o.d.Attended(u, x) {
+		return 1
+	}
+	return 0
+}
+
+func (o oracleScorer) ScoreTriple(u, p, x int32) float32 {
+	s := o.ScoreUserEvent(u, x) + o.ScoreUserEvent(p, x)
+	if o.d.AreFriends(u, p) {
+		s++
+	}
+	return s
+}
+
+// antiOracle inverts the oracle: the true item always loses.
+type antiOracle struct{ d *ebsnet.Dataset }
+
+func (o antiOracle) ScoreUserEvent(u, x int32) float32 {
+	if o.d.Attended(u, x) {
+		return 0
+	}
+	return 1
+}
+
+func (o antiOracle) ScoreTriple(u, p, x int32) float32 {
+	return -oracleScorer{o.d}.ScoreTriple(u, p, x)
+}
+
+// constScorer ties everything.
+type constScorer struct{}
+
+func (constScorer) ScoreUserEvent(u, x int32) float32 { return 0.5 }
+func (constScorer) ScoreTriple(u, p, x int32) float32 { return 0.5 }
+
+func TestEventRecommendationOracleHitsEverything(t *testing.T) {
+	d, s := testData(t)
+	cfg := DefaultConfig()
+	cfg.NegativeEvents = 200
+	cfg.MaxCases = 300
+	res, err := EventRecommendation(oracleScorer{d}, d, s, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.MustAt(1); acc < 0.999 {
+		t.Errorf("oracle Accuracy@1 = %v, want ~1", acc)
+	}
+	if res.Cases != 300 {
+		t.Errorf("cases = %d, want capped 300", res.Cases)
+	}
+}
+
+func TestEventRecommendationAntiOracleMissesEverything(t *testing.T) {
+	d, s := testData(t)
+	cfg := DefaultConfig()
+	cfg.NegativeEvents = 200
+	cfg.MaxCases = 200
+	res, err := EventRecommendation(antiOracle{d}, d, s, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.MustAt(20); acc > 0.02 {
+		t.Errorf("anti-oracle Accuracy@20 = %v, want ~0", acc)
+	}
+}
+
+func TestEventRecommendationTiesAreMisses(t *testing.T) {
+	// A constant scorer ties every negative; ties count against the
+	// positive so degenerate models (collapsed embeddings) score zero.
+	d, s := testData(t)
+	cfg := DefaultConfig()
+	cfg.NegativeEvents = 100
+	cfg.MaxCases = 100
+	res, err := EventRecommendation(constScorer{}, d, s, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.MustAt(20); acc != 0 {
+		t.Errorf("const scorer Accuracy@20 = %v; ties must rank pessimistically", acc)
+	}
+}
+
+func TestEventRecommendationDeterministicAcrossWorkers(t *testing.T) {
+	d, s := testData(t)
+	cfg := DefaultConfig()
+	cfg.NegativeEvents = 150
+	cfg.MaxCases = 250
+	run := func(workers int) Result {
+		c := cfg
+		c.Workers = workers
+		res, err := EventRecommendation(oracleScorer{d}, d, s, ebsnet.Test, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r8 := run(1), run(8)
+	for i := range r1.Accuracy {
+		if r1.Accuracy[i] != r8.Accuracy[i] {
+			t.Fatalf("worker count changed results: %v vs %v", r1.Accuracy, r8.Accuracy)
+		}
+	}
+}
+
+func TestAccuracyMonotoneInN(t *testing.T) {
+	d, s := testData(t)
+	cfg := DefaultConfig()
+	cfg.NegativeEvents = 100
+	cfg.MaxCases = 150
+	// A weak scorer: score by event ID parity noise — arbitrary but
+	// deterministic; accuracy must still be monotone in n.
+	res, err := EventRecommendation(weakScorer{}, d, s, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Ns); i++ {
+		if res.Accuracy[i] < res.Accuracy[i-1] {
+			t.Fatalf("accuracy not monotone: %v", res.Accuracy)
+		}
+	}
+}
+
+type weakScorer struct{}
+
+func (weakScorer) ScoreUserEvent(u, x int32) float32 {
+	return float32((int(u)*31+int(x)*17)%97) / 97
+}
+
+func TestPartnerRecommendationOracle(t *testing.T) {
+	d, s := testData(t)
+	triples := ebsnet.PartnerGroundTruth(d, s, ebsnet.Test)
+	if len(triples) == 0 {
+		t.Skip("no triples in tiny dataset")
+	}
+	cfg := DefaultConfig()
+	cfg.NegativeEvents = 100
+	cfg.NegativeUsers = 100
+	cfg.MaxCases = 200
+	res, err := PartnerRecommendation(oracleScorer{d}, d, s, triples, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle scores the true triple 3; negative events score at most
+	// 1 + friendship, negative partners at most... a friend of u who
+	// attended nothing still loses. Expect near-perfect accuracy.
+	if acc := res.MustAt(5); acc < 0.9 {
+		t.Errorf("oracle partner Accuracy@5 = %v", acc)
+	}
+}
+
+func TestPartnerRecommendationAntiOracle(t *testing.T) {
+	d, s := testData(t)
+	triples := ebsnet.PartnerGroundTruth(d, s, ebsnet.Test)
+	if len(triples) == 0 {
+		t.Skip("no triples in tiny dataset")
+	}
+	cfg := DefaultConfig()
+	cfg.NegativeEvents = 100
+	cfg.NegativeUsers = 100
+	cfg.MaxCases = 100
+	res, err := PartnerRecommendation(antiOracle{d}, d, s, triples, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.MustAt(20); acc > 0.05 {
+		t.Errorf("anti-oracle partner Accuracy@20 = %v", acc)
+	}
+}
+
+func TestRandomScorerNearChance(t *testing.T) {
+	// With R negatives, a random scorer hits top-n with probability about
+	// n/(R+1).
+	d, s := testData(t)
+	cfg := Config{Ns: []int{10}, NegativeEvents: 200, MaxCases: 500, Seed: 5}
+	res, err := EventRecommendation(weakScorer2{}, d, s, ebsnet.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 / 201.0
+	if got := res.MustAt(10); math.Abs(got-want) > 0.05 {
+		t.Errorf("random scorer Accuracy@10 = %v, want ~%v", got, want)
+	}
+}
+
+type weakScorer2 struct{}
+
+func (weakScorer2) ScoreUserEvent(u, x int32) float32 {
+	// A hash-based pseudo-random score independent of attendance.
+	h := uint32(u)*2654435761 ^ uint32(x)*40503
+	h ^= h >> 13
+	h *= 2654435761
+	return float32(h%100000) / 100000
+}
+
+func TestConfigValidation(t *testing.T) {
+	d, s := testData(t)
+	if _, err := EventRecommendation(oracleScorer{d}, d, s, ebsnet.Test, Config{Ns: nil, NegativeEvents: 10}); err == nil {
+		t.Error("empty Ns accepted")
+	}
+	if _, err := EventRecommendation(oracleScorer{d}, d, s, ebsnet.Test, Config{Ns: []int{0}, NegativeEvents: 10}); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	if _, err := EventRecommendation(oracleScorer{d}, d, s, ebsnet.Test, Config{Ns: []int{5}}); err == nil {
+		t.Error("zero NegativeEvents accepted")
+	}
+	triples := []ebsnet.PartnerTriple{{User: 0, Partner: 1, Event: s.TestEvents[0]}}
+	if _, err := PartnerRecommendation(oracleScorer{d}, d, s, triples, ebsnet.Test, Config{Ns: []int{5}, NegativeEvents: 10}); err == nil {
+		t.Error("zero NegativeUsers accepted for partner task")
+	}
+	if _, err := PartnerRecommendation(oracleScorer{d}, d, s, nil, ebsnet.Test, DefaultConfig()); err == nil {
+		t.Error("empty triple set accepted")
+	}
+}
+
+func TestResultAt(t *testing.T) {
+	r := Result{Ns: []int{1, 5}, Accuracy: []float64{0.1, 0.4}, Cases: 10}
+	if v, err := r.At(5); err != nil || v != 0.4 {
+		t.Errorf("At(5) = %v, %v", v, err)
+	}
+	if _, err := r.At(7); err == nil {
+		t.Error("At(7) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAt(7) did not panic")
+		}
+	}()
+	r.MustAt(7)
+}
+
+func TestSubsampleEven(t *testing.T) {
+	cases := make([][2]int32, 100)
+	for i := range cases {
+		cases[i] = [2]int32{int32(i), 0}
+	}
+	out := subsamplePairs(cases, 10)
+	if len(out) != 10 {
+		t.Fatalf("subsample size %d", len(out))
+	}
+	if out[0][0] != 0 || out[9][0] != 90 {
+		t.Errorf("subsample not evenly spread: first=%d last=%d", out[0][0], out[9][0])
+	}
+	if got := subsamplePairs(cases, 0); len(got) != 100 {
+		t.Error("max=0 should keep all cases")
+	}
+	if got := subsamplePairs(cases, 200); len(got) != 100 {
+		t.Error("max>len should keep all cases")
+	}
+}

@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"ebsn/internal/ebsnet"
+)
+
+// RankingMetrics is the richer metric set computed by the full-ranking
+// evaluation mode: whereas the paper reports Accuracy@n against sampled
+// negatives, a library user tuning a deployment usually wants the
+// sampled-negative-free versions too.
+type RankingMetrics struct {
+	Cases int
+	// MRR is the mean reciprocal rank of the true event.
+	MRR float64
+	// MeanRank is the average 1-based rank of the true event.
+	MeanRank float64
+	// RecallAt maps cutoff n to the fraction of cases ranked within n.
+	RecallAt map[int]float64
+	// NDCGAt maps cutoff n to mean normalized discounted cumulative gain
+	// (binary relevance, one relevant item per case: 1/log2(1+rank) when
+	// rank ≤ n).
+	NDCGAt map[int]float64
+}
+
+// FullRankingConfig controls the exhaustive evaluation mode.
+type FullRankingConfig struct {
+	// Ns are the cutoffs for Recall@n and NDCG@n.
+	Ns []int
+	// MaxCases caps evaluated cases (0 = all), deterministically
+	// subsampled.
+	MaxCases int
+	// Workers bounds parallelism (0 = 1).
+	Workers int
+}
+
+// EventRecommendationFullRanking ranks each held-out attendance's true
+// event against the *entire* holdout event pool (no negative sampling):
+// the metric a production dashboard would track. Ties rank pessimistically,
+// consistent with the sampled protocol.
+func EventRecommendationFullRanking(sc EventScorer, d *ebsnet.Dataset, s *ebsnet.Split, class ebsnet.EventClass, cfg FullRankingConfig) (RankingMetrics, error) {
+	if len(cfg.Ns) == 0 {
+		return RankingMetrics{}, fmt.Errorf("eval: no cutoffs requested")
+	}
+	for _, n := range cfg.Ns {
+		if n <= 0 {
+			return RankingMetrics{}, fmt.Errorf("eval: cutoff %d invalid", n)
+		}
+	}
+	cases := subsamplePairs(s.HoldoutAttendance(class), cfg.MaxCases)
+	if len(cases) == 0 {
+		return RankingMetrics{}, fmt.Errorf("eval: no %v attendance cases", class)
+	}
+	pool := s.HoldoutEvents(class)
+	if len(pool) < 2 {
+		return RankingMetrics{}, fmt.Errorf("eval: %v event pool too small", class)
+	}
+
+	type acc struct {
+		mrr, meanRank float64
+		recall, ndcg  map[int]float64
+	}
+	var mu sync.Mutex
+	total := acc{recall: map[int]float64{}, ndcg: map[int]float64{}}
+
+	parallelFor(len(cases), cfg.Workers, func(lo, hi int) {
+		local := acc{recall: map[int]float64{}, ndcg: map[int]float64{}}
+		for i := lo; i < hi; i++ {
+			u, x := cases[i][0], cases[i][1]
+			pos := sc.ScoreUserEvent(u, x)
+			rank := 1
+			for _, other := range pool {
+				if other == x || d.Attended(u, other) {
+					// The user's other true events are not competitors.
+					continue
+				}
+				if sc.ScoreUserEvent(u, other) >= pos {
+					rank++
+				}
+			}
+			local.mrr += 1 / float64(rank)
+			local.meanRank += float64(rank)
+			for _, n := range cfg.Ns {
+				if rank <= n {
+					local.recall[n]++
+					local.ndcg[n] += 1 / math.Log2(1+float64(rank))
+				}
+			}
+		}
+		mu.Lock()
+		total.mrr += local.mrr
+		total.meanRank += local.meanRank
+		for _, n := range cfg.Ns {
+			total.recall[n] += local.recall[n]
+			total.ndcg[n] += local.ndcg[n]
+		}
+		mu.Unlock()
+	})
+
+	m := RankingMetrics{
+		Cases:    len(cases),
+		MRR:      total.mrr / float64(len(cases)),
+		MeanRank: total.meanRank / float64(len(cases)),
+		RecallAt: make(map[int]float64, len(cfg.Ns)),
+		NDCGAt:   make(map[int]float64, len(cfg.Ns)),
+	}
+	for _, n := range cfg.Ns {
+		m.RecallAt[n] = total.recall[n] / float64(len(cases))
+		m.NDCGAt[n] = total.ndcg[n] / float64(len(cases))
+	}
+	return m, nil
+}
+
+// String renders the metrics compactly, cutoffs sorted.
+func (m RankingMetrics) String() string {
+	ns := make([]int, 0, len(m.RecallAt))
+	for n := range m.RecallAt {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	out := fmt.Sprintf("cases=%d MRR=%.4f meanRank=%.1f", m.Cases, m.MRR, m.MeanRank)
+	for _, n := range ns {
+		out += fmt.Sprintf(" recall@%d=%.3f ndcg@%d=%.3f", n, m.RecallAt[n], n, m.NDCGAt[n])
+	}
+	return out
+}
+
+// PartnerRecommendationFullRanking is the sampling-free version of the
+// joint protocol: each ground-truth triple is ranked against every
+// holdout event (with the pair fixed) and every user as replacement
+// partner (with the event fixed). Quadratic-ish but tractable at harness
+// scales; the definitive number when sampling noise matters.
+func PartnerRecommendationFullRanking(sc TripleScorer, d *ebsnet.Dataset, s *ebsnet.Split, triples []ebsnet.PartnerTriple, class ebsnet.EventClass, cfg FullRankingConfig) (RankingMetrics, error) {
+	if len(cfg.Ns) == 0 {
+		return RankingMetrics{}, fmt.Errorf("eval: no cutoffs requested")
+	}
+	for _, n := range cfg.Ns {
+		if n <= 0 {
+			return RankingMetrics{}, fmt.Errorf("eval: cutoff %d invalid", n)
+		}
+	}
+	triples = subsampleTriples(triples, cfg.MaxCases)
+	if len(triples) == 0 {
+		return RankingMetrics{}, fmt.Errorf("eval: no ground-truth triples")
+	}
+	pool := s.HoldoutEvents(class)
+	if len(pool) < 2 {
+		return RankingMetrics{}, fmt.Errorf("eval: %v event pool too small", class)
+	}
+
+	type acc struct {
+		mrr, meanRank float64
+		recall, ndcg  map[int]float64
+	}
+	var mu sync.Mutex
+	total := acc{recall: map[int]float64{}, ndcg: map[int]float64{}}
+
+	parallelFor(len(triples), cfg.Workers, func(lo, hi int) {
+		local := acc{recall: map[int]float64{}, ndcg: map[int]float64{}}
+		for i := lo; i < hi; i++ {
+			tr := triples[i]
+			pos := sc.ScoreTriple(tr.User, tr.Partner, tr.Event)
+			rank := 1
+			for _, x := range pool {
+				if x == tr.Event || d.Attended(tr.User, x) || d.Attended(tr.Partner, x) {
+					continue
+				}
+				if sc.ScoreTriple(tr.User, tr.Partner, x) >= pos {
+					rank++
+				}
+			}
+			for v := int32(0); int(v) < d.NumUsers; v++ {
+				if v == tr.User || v == tr.Partner || d.Attended(v, tr.Event) {
+					continue
+				}
+				if sc.ScoreTriple(tr.User, v, tr.Event) >= pos {
+					rank++
+				}
+			}
+			local.mrr += 1 / float64(rank)
+			local.meanRank += float64(rank)
+			for _, n := range cfg.Ns {
+				if rank <= n {
+					local.recall[n]++
+					local.ndcg[n] += 1 / math.Log2(1+float64(rank))
+				}
+			}
+		}
+		mu.Lock()
+		total.mrr += local.mrr
+		total.meanRank += local.meanRank
+		for _, n := range cfg.Ns {
+			total.recall[n] += local.recall[n]
+			total.ndcg[n] += local.ndcg[n]
+		}
+		mu.Unlock()
+	})
+
+	m := RankingMetrics{
+		Cases:    len(triples),
+		MRR:      total.mrr / float64(len(triples)),
+		MeanRank: total.meanRank / float64(len(triples)),
+		RecallAt: make(map[int]float64, len(cfg.Ns)),
+		NDCGAt:   make(map[int]float64, len(cfg.Ns)),
+	}
+	for _, n := range cfg.Ns {
+		m.RecallAt[n] = total.recall[n] / float64(len(triples))
+		m.NDCGAt[n] = total.ndcg[n] / float64(len(triples))
+	}
+	return m, nil
+}

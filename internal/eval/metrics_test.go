@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ebsn/internal/ebsnet"
+)
+
+func TestFullRankingOracle(t *testing.T) {
+	d, s := testData(t)
+	m, err := EventRecommendationFullRanking(oracleScorer{d}, d, s, ebsnet.Test,
+		FullRankingConfig{Ns: []int{1, 10}, MaxCases: 200, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MRR < 0.999 {
+		t.Errorf("oracle MRR = %v, want ~1", m.MRR)
+	}
+	if m.MeanRank > 1.001 {
+		t.Errorf("oracle mean rank = %v, want 1", m.MeanRank)
+	}
+	if m.RecallAt[1] < 0.999 || m.NDCGAt[1] < 0.999 {
+		t.Errorf("oracle recall@1=%v ndcg@1=%v", m.RecallAt[1], m.NDCGAt[1])
+	}
+}
+
+func TestFullRankingAntiOracle(t *testing.T) {
+	d, s := testData(t)
+	m, err := EventRecommendationFullRanking(antiOracle{d}, d, s, ebsnet.Test,
+		FullRankingConfig{Ns: []int{1}, MaxCases: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RecallAt[1] > 0.01 {
+		t.Errorf("anti-oracle recall@1 = %v", m.RecallAt[1])
+	}
+	// Mean rank should be near the bottom of the pool.
+	if m.MeanRank < 10 {
+		t.Errorf("anti-oracle mean rank = %v, suspiciously good", m.MeanRank)
+	}
+}
+
+func TestFullRankingTiesPessimistic(t *testing.T) {
+	d, s := testData(t)
+	m, err := EventRecommendationFullRanking(constScorer{}, d, s, ebsnet.Test,
+		FullRankingConfig{Ns: []int{1}, MaxCases: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RecallAt[1] != 0 {
+		t.Errorf("const scorer recall@1 = %v; ties must lose", m.RecallAt[1])
+	}
+}
+
+func TestFullRankingMetricsConsistency(t *testing.T) {
+	d, s := testData(t)
+	m, err := EventRecommendationFullRanking(weakScorer{}, d, s, ebsnet.Test,
+		FullRankingConfig{Ns: []int{1, 5, 20}, MaxCases: 200, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recall monotone in n; NDCG@n ≤ Recall@n (gain ≤ 1 per case); MRR
+	// between recall@1 and 1.
+	if m.RecallAt[1] > m.RecallAt[5] || m.RecallAt[5] > m.RecallAt[20] {
+		t.Errorf("recall not monotone: %v", m.RecallAt)
+	}
+	for _, n := range []int{1, 5, 20} {
+		if m.NDCGAt[n] > m.RecallAt[n]+1e-9 {
+			t.Errorf("ndcg@%d=%v exceeds recall %v", n, m.NDCGAt[n], m.RecallAt[n])
+		}
+	}
+	if m.MRR < m.RecallAt[1]-1e-9 || m.MRR > 1 {
+		t.Errorf("MRR %v outside [recall@1=%v, 1]", m.MRR, m.RecallAt[1])
+	}
+	if m.MeanRank < 1 {
+		t.Errorf("mean rank %v < 1", m.MeanRank)
+	}
+}
+
+func TestFullRankingDeterministicAcrossWorkers(t *testing.T) {
+	d, s := testData(t)
+	run := func(w int) RankingMetrics {
+		m, err := EventRecommendationFullRanking(weakScorer{}, d, s, ebsnet.Test,
+			FullRankingConfig{Ns: []int{5}, MaxCases: 150, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(1), run(6)
+	if math.Abs(a.MRR-b.MRR) > 1e-12 || a.RecallAt[5] != b.RecallAt[5] {
+		t.Fatalf("worker count changed full-ranking results: %v vs %v", a, b)
+	}
+}
+
+func TestFullRankingValidation(t *testing.T) {
+	d, s := testData(t)
+	if _, err := EventRecommendationFullRanking(weakScorer{}, d, s, ebsnet.Test, FullRankingConfig{}); err == nil {
+		t.Error("empty cutoffs accepted")
+	}
+	if _, err := EventRecommendationFullRanking(weakScorer{}, d, s, ebsnet.Test, FullRankingConfig{Ns: []int{-1}}); err == nil {
+		t.Error("negative cutoff accepted")
+	}
+}
+
+func TestRankingMetricsString(t *testing.T) {
+	m := RankingMetrics{
+		Cases: 10, MRR: 0.5, MeanRank: 3,
+		RecallAt: map[int]float64{5: 0.6, 1: 0.3},
+		NDCGAt:   map[int]float64{5: 0.5, 1: 0.3},
+	}
+	out := m.String()
+	if !strings.Contains(out, "recall@1") || !strings.Contains(out, "recall@5") {
+		t.Errorf("String() = %q", out)
+	}
+	// Cutoffs render sorted.
+	if strings.Index(out, "recall@1") > strings.Index(out, "recall@5") {
+		t.Error("cutoffs not sorted in String()")
+	}
+}
+
+func TestPartnerFullRankingOracle(t *testing.T) {
+	d, s := testData(t)
+	triples := ebsnet.PartnerGroundTruth(d, s, ebsnet.Test)
+	if len(triples) == 0 {
+		t.Skip("no triples")
+	}
+	m, err := PartnerRecommendationFullRanking(oracleScorer{d}, d, s, triples, ebsnet.Test,
+		FullRankingConfig{Ns: []int{5}, MaxCases: 60, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle's true triple scores 3 (both attend + friends); event
+	// replacements lose the two attendance points, partner replacements
+	// lose at least the partner-attendance point... partner replacements
+	// who are friends of u and attended other events still lose one
+	// point. Expect strong but maybe imperfect recall.
+	if m.RecallAt[5] < 0.8 {
+		t.Errorf("oracle partner full-ranking recall@5 = %v", m.RecallAt[5])
+	}
+}
+
+func TestPartnerFullRankingValidation(t *testing.T) {
+	d, s := testData(t)
+	if _, err := PartnerRecommendationFullRanking(oracleScorer{d}, d, s, nil, ebsnet.Test,
+		FullRankingConfig{Ns: []int{5}}); err == nil {
+		t.Error("empty triples accepted")
+	}
+	triples := []ebsnet.PartnerTriple{{User: 0, Partner: 1, Event: s.TestEvents[0]}}
+	if _, err := PartnerRecommendationFullRanking(oracleScorer{d}, d, s, triples, ebsnet.Test,
+		FullRankingConfig{}); err == nil {
+		t.Error("empty cutoffs accepted")
+	}
+}
+
+func TestPartnerFullRankingDeterministic(t *testing.T) {
+	d, s := testData(t)
+	triples := ebsnet.PartnerGroundTruth(d, s, ebsnet.Test)
+	if len(triples) == 0 {
+		t.Skip("no triples")
+	}
+	run := func(w int) RankingMetrics {
+		m, err := PartnerRecommendationFullRanking(weakScorer3{}, d, s, triples, ebsnet.Test,
+			FullRankingConfig{Ns: []int{5}, MaxCases: 40, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(1), run(5); a.MRR != b.MRR {
+		t.Errorf("worker count changed partner full ranking: %v vs %v", a.MRR, b.MRR)
+	}
+}
+
+type weakScorer3 struct{}
+
+func (weakScorer3) ScoreTriple(u, p, x int32) float32 {
+	h := uint32(u)*31 ^ uint32(p)*17 ^ uint32(x)*13
+	return float32(h%1000) / 1000
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ebsn/internal/core"
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/eval"
+)
+
+// Ablations isolates each design choice the paper argues for, holding
+// everything else at the GEM-A defaults and retraining per row:
+//
+//   - bidirectional vs unidirectional negative sampling (Eqn. 4),
+//   - edge-proportional vs uniform graph selection (Algorithm 2),
+//   - the noise sampler family (uniform / degree / adaptive),
+//   - the rectifier projection (the paper's literal non-negativity,
+//     which DESIGN.md §8.1 shows collapses the objective).
+//
+// Each row reports cold-start and joint Accuracy@10 at the shared budget.
+func Ablations(env *Env, opts Options) (*Table, error) {
+	opts.fill()
+	rows := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"GEM-A (reference)", func(c *core.Config) {}},
+		{"unidirectional negatives", func(c *core.Config) { c.Bidirectional = false }},
+		{"uniform graph selection", func(c *core.Config) { c.GraphSampling = core.GraphUniform }},
+		{"uniform noise sampler", func(c *core.Config) { c.Sampler = core.SamplerUniform }},
+		{"degree noise sampler", func(c *core.Config) { c.Sampler = core.SamplerDegree }},
+		{"rectifier projection ON", func(c *core.Config) { c.NonNegative = true }},
+		{"no observed-edge rejection", func(c *core.Config) { c.RejectObserved = false }},
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Ablations: one design choice flipped per row (%s, N=%d)", env.Cfg.Name, opts.BaseSteps),
+		Header: []string{"variant", "event acc@10", "partner acc@10"},
+	}
+	ecfg := opts.evalConfig()
+	ecfg.Ns = []int{10}
+	for _, row := range rows {
+		preset := core.GEMAConfig()
+		row.mutate(&preset)
+		m, err := opts.TrainGEM(env.Graphs, preset, opts.BaseSteps)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", row.name, err)
+		}
+		res, err := eval.EventRecommendation(m, env.Dataset, env.Split, ebsnet.Test, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		pres, err := eval.PartnerRecommendation(m, env.Dataset, env.Split, env.TriplesTest, ebsnet.Test, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row.name, Cell(res.MustAt(10)), Cell(pres.MustAt(10)))
+	}
+	return t, nil
+}

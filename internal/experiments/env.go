@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Figures 3-7, Tables II-VI) on the synthetic Douban
+// substitute. Each experiment function returns a Table whose rows mirror
+// the paper's layout; cmd/ebsn-bench prints them and EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"ebsn/internal/datagen"
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/eval"
+)
+
+// Env is a prepared experimental environment: one synthetic city with its
+// chronological split, relation graphs for both partner scenarios, and
+// ground-truth triple sets.
+type Env struct {
+	Cfg     datagen.Config
+	Dataset *ebsnet.Dataset
+	Split   *ebsnet.Split
+
+	// Graphs is the scenario-1 graph set (full friendship graph).
+	Graphs *ebsnet.Graphs
+	// GraphsS2 is the scenario-2 graph set: ground-truth user-partner
+	// links removed from the user-user graph before training ("potential
+	// friends").
+	GraphsS2 *ebsnet.Graphs
+
+	// TriplesTest is the event-partner ground truth Y on test events;
+	// TriplesVal the same on validation events (hyper-parameter tuning).
+	TriplesTest []ebsnet.PartnerTriple
+	TriplesVal  []ebsnet.PartnerTriple
+}
+
+// NewEnv generates the dataset, applies the paper's minimum-attendance
+// filter, splits chronologically, and builds both graph sets.
+func NewEnv(cfg datagen.Config) (*Env, error) {
+	raw, err := datagen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := raw.FilterMinEvents(5)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: min-events filter: %w", err)
+	}
+	s, err := ebsnet.ChronologicalSplit(d, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		return nil, err
+	}
+	gcfg := ebsnet.DefaultGraphsConfig()
+	g, err := ebsnet.BuildGraphs(d, s, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Cfg: cfg, Dataset: d, Split: s, Graphs: g}
+	env.TriplesTest = ebsnet.PartnerGroundTruth(d, s, ebsnet.Test)
+	env.TriplesVal = ebsnet.PartnerGroundTruth(d, s, ebsnet.Validation)
+
+	// Scenario 2: remove every ground-truth user-partner link, then
+	// rebuild the user-user graph.
+	gcfg2 := gcfg
+	gcfg2.Friendships = ebsnet.RemoveLinks(d.Friendships, env.TriplesTest)
+	g2, err := ebsnet.BuildGraphs(d, s, gcfg2)
+	if err != nil {
+		return nil, err
+	}
+	env.GraphsS2 = g2
+	return env, nil
+}
+
+// Options are shared experiment knobs.
+type Options struct {
+	// K is the embedding dimension (paper default 60).
+	K int
+	// BaseSteps is the GEM training budget N; baselines and PTE scale
+	// from it (PTE needs roughly 3× to converge, mirroring Table II).
+	BaseSteps int64
+	// Threads for Hogwild training.
+	Threads int
+	// EvalCases caps evaluation cases per protocol run (0 = all).
+	EvalCases int
+	// Ns are the cutoffs reported (paper: 1, 5, 10, 15, 20).
+	Ns   []int
+	Seed uint64
+}
+
+// DefaultOptions is tuned for the "small" synthetic city: the full
+// harness completes in minutes on a laptop.
+func DefaultOptions() Options {
+	return Options{
+		K:         60,
+		BaseSteps: 1_200_000,
+		Threads:   8,
+		EvalCases: 2000,
+		Ns:        []int{1, 5, 10, 15, 20},
+		Seed:      7,
+	}
+}
+
+func (o *Options) fill() {
+	if o.K == 0 {
+		o.K = 60
+	}
+	if o.BaseSteps == 0 {
+		o.BaseSteps = 1_200_000
+	}
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	if len(o.Ns) == 0 {
+		o.Ns = []int{1, 5, 10, 15, 20}
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+}
+
+// evalConfig builds the protocol configuration for these options.
+func (o Options) evalConfig() eval.Config {
+	c := eval.DefaultConfig()
+	c.Ns = o.Ns
+	c.MaxCases = o.EvalCases
+	c.Seed = o.Seed ^ 0x5eed
+	return c
+}

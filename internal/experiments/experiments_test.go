@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"ebsn/internal/datagen"
+)
+
+var cachedEnv *Env
+
+// tinyEnv builds a shared tiny environment; experiments tests verify
+// wiring and output shape, not statistical quality (that is the bench
+// harness's job at real scale).
+func tinyEnv(t testing.TB) *Env {
+	t.Helper()
+	if cachedEnv != nil {
+		return cachedEnv
+	}
+	env, err := NewEnv(datagen.TinyConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedEnv = env
+	return env
+}
+
+func tinyOpts() Options {
+	return Options{
+		K:         16,
+		BaseSteps: 40_000,
+		Threads:   4,
+		EvalCases: 150,
+		Ns:        []int{5, 10},
+		Seed:      3,
+	}
+}
+
+func TestNewEnvShape(t *testing.T) {
+	env := tinyEnv(t)
+	if env.Dataset == nil || env.Split == nil || env.Graphs == nil || env.GraphsS2 == nil {
+		t.Fatal("env missing components")
+	}
+	if len(env.TriplesTest) == 0 {
+		t.Fatal("no test triples")
+	}
+	// Scenario 2 must have strictly fewer user-user edges.
+	if env.GraphsS2.UserUser.NumEdges() >= env.Graphs.UserUser.NumEdges() {
+		t.Errorf("scenario-2 graph not reduced: %d vs %d",
+			env.GraphsS2.UserUser.NumEdges(), env.Graphs.UserUser.NumEdges())
+	}
+	// Scenario 2 removes exactly the ground-truth links.
+	for _, tr := range env.TriplesTest {
+		if env.GraphsS2.UserUser.HasEdge(tr.User, tr.Partner) {
+			t.Fatalf("ground-truth link (%d,%d) present in scenario-2 graph", tr.User, tr.Partner)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tbl, err := Fig3(tinyEnv(t), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("fig3 rows = %d, want 6 models", len(tbl.Rows))
+	}
+	names := []string{"GEM-A", "GEM-P", "PTE", "CBPF", "PER", "PCMF"}
+	for i, row := range tbl.Rows {
+		if row[0] != names[i] {
+			t.Errorf("row %d model = %s, want %s", i, row[0], names[i])
+		}
+		if len(row) != 3 { // model + acc@5 + acc@10
+			t.Errorf("row %d has %d cells", i, len(row))
+		}
+	}
+	if !strings.Contains(tbl.String(), "GEM-A") {
+		t.Error("rendered table missing model names")
+	}
+}
+
+func TestFig4AndFig5Shape(t *testing.T) {
+	env := tinyEnv(t)
+	opts := tinyOpts()
+	t4, err := Fig4(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 7 { // 6 + CFAPR-E
+		t.Fatalf("fig4 rows = %d, want 7", len(t4.Rows))
+	}
+	if t4.Rows[6][0] != "CFAPR-E" {
+		t.Errorf("last fig4 row = %s", t4.Rows[6][0])
+	}
+	t5, err := Fig5(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 7 {
+		t.Fatalf("fig5 rows = %d", len(t5.Rows))
+	}
+}
+
+func TestFig6Speedup(t *testing.T) {
+	env := tinyEnv(t)
+	opts := tinyOpts()
+	opts.BaseSteps = 150_000
+	tbl, err := Fig6(env, opts, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig6 rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][2] != "1.00x" {
+		t.Errorf("single-thread speedup = %s, want 1.00x", tbl.Rows[0][2])
+	}
+}
+
+func TestTab2Tab3Shape(t *testing.T) {
+	env := tinyEnv(t)
+	opts := tinyOpts()
+	t2, err := Tab2(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != len(convergenceCheckpoints) {
+		t.Fatalf("tab2 rows = %d", len(t2.Rows))
+	}
+	if len(t2.Header) != 7 { // N + 3 models × 2 columns
+		t.Fatalf("tab2 header = %v", t2.Header)
+	}
+	t3, err := Tab3(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != len(convergenceCheckpoints) {
+		t.Fatalf("tab3 rows = %d", len(t3.Rows))
+	}
+}
+
+func TestTab4Tab5Shape(t *testing.T) {
+	env := tinyEnv(t)
+	opts := tinyOpts()
+	t4, err := Tab4(env, opts, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 2 {
+		t.Fatalf("tab4 rows = %d", len(t4.Rows))
+	}
+	t5, err := Tab5(env, opts, []float64{50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 2 {
+		t.Fatalf("tab5 rows = %d", len(t5.Rows))
+	}
+}
+
+func TestTab6AndFig7(t *testing.T) {
+	env := tinyEnv(t)
+	opts := tinyOpts()
+	t6, err := Tab6(env, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 4 {
+		t.Fatalf("tab6 rows = %d", len(t6.Rows))
+	}
+	f7, err := Fig7(env, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7.Rows) != 6 {
+		t.Fatalf("fig7 rows = %d", len(f7.Rows))
+	}
+	// The approximation ratio must be non-decreasing-ish and end high.
+	last := f7.Rows[len(f7.Rows)-1]
+	var ratio float64
+	if _, err := fmtSscan(last[len(last)-1], &ratio); err != nil {
+		t.Fatalf("cannot parse ratio %q", last[len(last)-1])
+	}
+	if ratio < 0.5 {
+		t.Errorf("approximation ratio at k=10%% is %v; expected substantial overlap", ratio)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	out := tbl.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bb") {
+		t.Errorf("rendered table: %q", out)
+	}
+	if Cell(0.12345) != "0.123" {
+		t.Errorf("Cell = %s", Cell(0.12345))
+	}
+}
+
+// fmtSscan wraps fmt.Sscanf for the ratio parse above.
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", out)
+}
+
+func TestWriteTSV(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3", "4")
+	dir := t.TempDir()
+	path, err := tbl.WriteTSV(dir, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# demo\na\tb\n1\t2\n3\t4\n"
+	if string(data) != want {
+		t.Errorf("TSV = %q, want %q", data, want)
+	}
+}
+
+func TestTab1Shape(t *testing.T) {
+	tbl := Tab1(tinyEnv(t))
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("tab1 rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "# of users" {
+		t.Errorf("first row = %v", tbl.Rows[0])
+	}
+}
+
+func TestFig3ExtendedShape(t *testing.T) {
+	tbl, err := Fig3Extended(tinyEnv(t), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 { // 6 paper models + DeepWalk + Popularity + Random
+		t.Fatalf("fig3x rows = %d", len(tbl.Rows))
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "Random" {
+		t.Errorf("last row = %s", last[0])
+	}
+	// Popularity must be exactly zero on cold events.
+	pop := tbl.Rows[len(tbl.Rows)-2]
+	if pop[0] != "Popularity" || pop[1] != "0.000" {
+		t.Errorf("popularity row = %v", pop)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	tbl, err := Ablations(tinyEnv(t), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("ablation rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "GEM-A (reference)" {
+		t.Errorf("first row = %v", tbl.Rows[0])
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ebsn/internal/baselines"
+	"ebsn/internal/core"
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/eval"
+)
+
+// Scorer is what every trained model exposes to the protocols.
+type Scorer interface {
+	eval.EventScorer
+	eval.TripleScorer
+}
+
+// NamedScorer pairs a model label with its trained scorer.
+type NamedScorer struct {
+	Name   string
+	Scorer Scorer
+}
+
+// gemConfig assembles a core.Config for the given preset and budget.
+func (o Options) gemConfig(preset core.Config, budget int64) core.Config {
+	cfg := preset
+	cfg.K = o.K
+	cfg.Threads = o.Threads
+	cfg.Seed = o.Seed
+	cfg.TotalSteps = budget
+	return cfg
+}
+
+// TrainGEM trains one GEM variant on the given graphs for the given
+// budget with the linear decay schedule.
+func (o Options) TrainGEM(g *ebsnet.Graphs, preset core.Config, budget int64) (*core.Model, error) {
+	m, err := core.NewModel(g, o.gemConfig(preset, budget))
+	if err != nil {
+		return nil, err
+	}
+	m.TrainSteps(budget)
+	return m, nil
+}
+
+// Budgets per model family, mirroring the paper's converged sample counts
+// relative to GEM-A (Table II: GEM-A 2M, GEM-P 4M, PTE 10M).
+func (o Options) budgetGEMA() int64 { return o.BaseSteps }
+func (o Options) budgetGEMP() int64 { return o.BaseSteps * 2 }
+func (o Options) budgetPTE() int64  { return o.BaseSteps * 3 }
+
+// EventModelZoo trains the six models compared in Figure 3 (cold-start
+// event recommendation) on the given graph set, in the paper's legend
+// order.
+func (o Options) EventModelZoo(env *Env, g *ebsnet.Graphs) ([]NamedScorer, error) {
+	o.fill()
+	var out []NamedScorer
+
+	gemA, err := o.TrainGEM(g, core.GEMAConfig(), o.budgetGEMA())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GEM-A: %w", err)
+	}
+	out = append(out, NamedScorer{"GEM-A", gemA})
+
+	gemP, err := o.TrainGEM(g, core.GEMPConfig(), o.budgetGEMP())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GEM-P: %w", err)
+	}
+	out = append(out, NamedScorer{"GEM-P", gemP})
+
+	pte, err := o.TrainGEM(g, core.PTEConfig(), o.budgetPTE())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: PTE: %w", err)
+	}
+	out = append(out, NamedScorer{"PTE", pte})
+
+	cbpfCfg := baselines.DefaultCBPFConfig()
+	cbpfCfg.K = o.K
+	cbpfCfg.Seed = o.Seed
+	// CBPF steps touch whole documents; cap so city scale stays tractable.
+	cbpfCfg.Steps = min(o.BaseSteps/4, 2_000_000)
+	cbpf, err := baselines.NewCBPF(g, cbpfCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: CBPF: %w", err)
+	}
+	out = append(out, NamedScorer{"CBPF", cbpf})
+
+	perCfg := baselines.DefaultPERConfig()
+	perCfg.Seed = o.Seed
+	perCfg.FactorSteps = min(o.BaseSteps*2, 8_000_000)
+	perCfg.Steps = min(o.BaseSteps/4, 1_000_000)
+	per, err := baselines.NewPER(env.Dataset, env.Split, g, perCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: PER: %w", err)
+	}
+	out = append(out, NamedScorer{"PER", per})
+
+	pcmfCfg := baselines.DefaultPCMFConfig()
+	pcmfCfg.K = o.K
+	pcmfCfg.Seed = o.Seed
+	pcmfCfg.Steps = o.BaseSteps * 2
+	pcmf, err := baselines.NewPCMF(g, pcmfCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: PCMF: %w", err)
+	}
+	out = append(out, NamedScorer{"PCMF", pcmf})
+
+	return out, nil
+}
+
+// PartnerModelZoo is the Figure 4/5 model set: the event zoo plus
+// CFAPR-E, which reuses the zoo's GEM-A as its event scorer exactly as
+// the paper does.
+func (o Options) PartnerModelZoo(env *Env, g *ebsnet.Graphs) ([]NamedScorer, error) {
+	zoo, err := o.EventModelZoo(env, g)
+	if err != nil {
+		return nil, err
+	}
+	cfapr, err := baselines.NewCFAPRE(env.Dataset, env.Split, zoo[0].Scorer)
+	if err != nil {
+		return nil, err
+	}
+	return append(zoo, NamedScorer{"CFAPR-E", cfapr}), nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is a printable experiment result mirroring one of the paper's
+// tables or figure series.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Cell formats a float at the paper's three-decimal precision.
+func Cell(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// WriteTSV saves the table as a tab-separated file (header + rows) named
+// after the slug, for plotting tools. Returns the written path.
+func (t *Table) WriteTSV(dir, slug string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	path := filepath.Join(dir, slug+".tsv")
+	var b strings.Builder
+	b.WriteString("# " + t.Title + "\n")
+	b.WriteString(strings.Join(t.Header, "\t") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t") + "\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	return path, nil
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

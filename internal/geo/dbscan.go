@@ -1,0 +1,202 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Noise is the cluster label DBSCAN assigns to points that belong to no
+// dense region.
+const Noise = -1
+
+// DBSCANConfig parameterizes density clustering.
+type DBSCANConfig struct {
+	// EpsKm is the neighborhood radius in kilometers.
+	EpsKm float64
+	// MinPts is the minimum number of points (including the point itself)
+	// within EpsKm for a point to be a core point.
+	MinPts int
+}
+
+// Validate reports a configuration error, if any.
+func (c DBSCANConfig) Validate() error {
+	if c.EpsKm <= 0 {
+		return fmt.Errorf("geo: DBSCAN EpsKm must be positive, got %v", c.EpsKm)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("geo: DBSCAN MinPts must be >= 1, got %d", c.MinPts)
+	}
+	return nil
+}
+
+// DBSCAN clusters points by density. It returns a label per point
+// (cluster IDs 0..k-1, or Noise) and the number of clusters found.
+//
+// The implementation is the textbook algorithm with a uniform-grid spatial
+// index so that neighborhood queries touch only nearby cells; at city
+// scale this makes clustering tens of thousands of venues effectively
+// linear.
+func DBSCAN(points []Point, cfg DBSCANConfig) (labels []int, clusters int, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(points)
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 {
+		return labels, 0, nil
+	}
+
+	idx := newGridIndex(points, cfg.EpsKm)
+
+	visited := make([]bool, n)
+	var queue []int32
+	next := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nbrs := idx.rangeQuery(points, i, cfg.EpsKm)
+		if len(nbrs) < cfg.MinPts {
+			continue // provisional noise; may be adopted as border point later
+		}
+		cluster := next
+		next++
+		labels[i] = cluster
+		queue = append(queue[:0], nbrs...)
+		for len(queue) > 0 {
+			j := int(queue[len(queue)-1])
+			queue = queue[:len(queue)-1]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point adoption
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = cluster
+			jn := idx.rangeQuery(points, j, cfg.EpsKm)
+			if len(jn) >= cfg.MinPts {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+	return labels, next, nil
+}
+
+// AssignRegions converts DBSCAN labels into a total region assignment, as
+// the event-location graph requires every event to link to exactly one
+// region node. Noise points are attached to the nearest cluster centroid
+// when one exists within attachKm; otherwise each remaining noise point
+// founds its own singleton region. It returns the final region labels and
+// region count.
+func AssignRegions(points []Point, labels []int, clusters int, attachKm float64) ([]int, int) {
+	out := make([]int, len(labels))
+	copy(out, labels)
+
+	centroids := Centroids(points, labels, clusters)
+	regions := clusters
+	for i, l := range out {
+		if l != Noise {
+			continue
+		}
+		best, bestD := -1, attachKm
+		for c, ct := range centroids {
+			if d := EquirectKm(points[i], ct); d <= bestD {
+				best, bestD = c, d
+			}
+		}
+		if best >= 0 {
+			out[i] = best
+		} else {
+			out[i] = regions
+			regions++
+		}
+	}
+	return out, regions
+}
+
+// Centroids returns the arithmetic centroid of each cluster. Labels equal
+// to Noise are ignored. Clusters with no members get a zero Point.
+func Centroids(points []Point, labels []int, clusters int) []Point {
+	sums := make([]Point, clusters)
+	counts := make([]int, clusters)
+	for i, l := range labels {
+		if l < 0 || l >= clusters {
+			continue
+		}
+		sums[l].Lat += points[i].Lat
+		sums[l].Lng += points[i].Lng
+		counts[l]++
+	}
+	for c := range sums {
+		if counts[c] > 0 {
+			sums[c].Lat /= float64(counts[c])
+			sums[c].Lng /= float64(counts[c])
+		}
+	}
+	return sums
+}
+
+// gridIndex buckets points into square cells of side epsKm so that all
+// eps-neighbors of a point lie in its 3x3 cell block.
+type gridIndex struct {
+	cellKm  float64
+	originX float64
+	originY float64
+	cells   map[[2]int32][]int32
+	xs, ys  []float64 // projected coordinates in km
+}
+
+func newGridIndex(points []Point, epsKm float64) *gridIndex {
+	g := &gridIndex{
+		cellKm: epsKm,
+		cells:  make(map[[2]int32][]int32),
+		xs:     make([]float64, len(points)),
+		ys:     make([]float64, len(points)),
+	}
+	// Project once around the mean latitude; at city scale the distortion
+	// is negligible and it lets the index use plain Euclidean geometry.
+	var meanLat float64
+	for _, p := range points {
+		meanLat += p.Lat
+	}
+	meanLat /= float64(len(points))
+	const degToRad = math.Pi / 180
+	kx := EarthRadiusKm * degToRad * math.Cos(meanLat*degToRad)
+	ky := EarthRadiusKm * degToRad
+	for i, p := range points {
+		g.xs[i] = p.Lng * kx
+		g.ys[i] = p.Lat * ky
+	}
+	for i := range points {
+		key := g.cellOf(i)
+		g.cells[key] = append(g.cells[key], int32(i))
+	}
+	return g
+}
+
+func (g *gridIndex) cellOf(i int) [2]int32 {
+	return [2]int32{int32(math.Floor(g.xs[i] / g.cellKm)), int32(math.Floor(g.ys[i] / g.cellKm))}
+}
+
+func (g *gridIndex) rangeQuery(points []Point, i int, epsKm float64) []int32 {
+	center := g.cellOf(i)
+	var out []int32
+	eps2 := epsKm * epsKm
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, j := range g.cells[[2]int32{center[0] + dx, center[1] + dy}] {
+				ddx := g.xs[j] - g.xs[i]
+				ddy := g.ys[j] - g.ys[i]
+				if ddx*ddx+ddy*ddy <= eps2 {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}

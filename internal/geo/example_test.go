@@ -1,0 +1,32 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"ebsn/internal/geo"
+)
+
+func ExampleHaversineKm() {
+	beijing := geo.Point{Lat: 39.9042, Lng: 116.4074}
+	shanghai := geo.Point{Lat: 31.2304, Lng: 121.4737}
+	fmt.Printf("%.0f km\n", geo.HaversineKm(beijing, shanghai))
+	// Output: 1067 km
+}
+
+func ExampleDBSCAN() {
+	// Two tight venue clusters ~11 km apart plus one isolated point.
+	points := []geo.Point{
+		{Lat: 39.900, Lng: 116.400}, {Lat: 39.901, Lng: 116.401}, {Lat: 39.902, Lng: 116.399},
+		{Lat: 39.980, Lng: 116.310}, {Lat: 39.981, Lng: 116.311}, {Lat: 39.979, Lng: 116.309},
+		{Lat: 41.000, Lng: 118.000},
+	}
+	labels, clusters, err := geo.DBSCAN(points, geo.DBSCANConfig{EpsKm: 1, MinPts: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", clusters)
+	fmt.Println("labels:", labels)
+	// Output:
+	// clusters: 2
+	// labels: [0 0 0 1 1 1 -1]
+}

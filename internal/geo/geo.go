@@ -1,0 +1,39 @@
+// Package geo provides the spatial primitives of the reproduction: points,
+// distances, and the DBSCAN clustering the paper uses to discretize event
+// coordinates into the region node set V_L of the event-location graph.
+package geo
+
+import "math"
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat float64
+	Lng float64
+}
+
+// EarthRadiusKm is the mean Earth radius used by distance computations.
+const EarthRadiusKm = 6371.0
+
+// HaversineKm returns the great-circle distance between p and q in
+// kilometers.
+func HaversineKm(p, q Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := p.Lat * degToRad
+	lat2 := q.Lat * degToRad
+	dLat := (q.Lat - p.Lat) * degToRad
+	dLng := (q.Lng - p.Lng) * degToRad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLng/2)*math.Sin(dLng/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// EquirectKm returns the equirectangular-approximation distance in
+// kilometers. At city scale (tens of km) it matches haversine to well
+// under 0.1% and is several times cheaper, which matters inside DBSCAN's
+// O(n²)-ish neighborhood queries.
+func EquirectKm(p, q Point) float64 {
+	const degToRad = math.Pi / 180
+	x := (q.Lng - p.Lng) * degToRad * math.Cos((p.Lat+q.Lat)/2*degToRad)
+	y := (q.Lat - p.Lat) * degToRad
+	return EarthRadiusKm * math.Sqrt(x*x+y*y)
+}

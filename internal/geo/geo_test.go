@@ -1,0 +1,255 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ebsn/internal/rng"
+)
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Beijing (39.9042, 116.4074) to Shanghai (31.2304, 121.4737) ≈ 1068 km.
+	beijing := Point{39.9042, 116.4074}
+	shanghai := Point{31.2304, 121.4737}
+	d := HaversineKm(beijing, shanghai)
+	if math.Abs(d-1068) > 10 {
+		t.Errorf("Beijing-Shanghai distance = %v km, want ~1068", d)
+	}
+}
+
+func TestHaversineZero(t *testing.T) {
+	p := Point{39.9, 116.4}
+	if d := HaversineKm(p, p); d != 0 {
+		t.Errorf("distance to self = %v", d)
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lat1, lng1, lat2, lng2 float64) bool {
+		p := Point{math.Mod(lat1, 80), math.Mod(lng1, 180)}
+		q := Point{math.Mod(lat2, 80), math.Mod(lng2, 180)}
+		if math.IsNaN(p.Lat) || math.IsNaN(p.Lng) || math.IsNaN(q.Lat) || math.IsNaN(q.Lng) {
+			return true
+		}
+		return math.Abs(HaversineKm(p, q)-HaversineKm(q, p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquirectMatchesHaversineAtCityScale(t *testing.T) {
+	src := rng.New(1)
+	center := Point{39.9, 116.4}
+	for i := 0; i < 1000; i++ {
+		p := Point{center.Lat + (src.Float64()-0.5)*0.4, center.Lng + (src.Float64()-0.5)*0.4}
+		q := Point{center.Lat + (src.Float64()-0.5)*0.4, center.Lng + (src.Float64()-0.5)*0.4}
+		h := HaversineKm(p, q)
+		e := EquirectKm(p, q)
+		if math.Abs(h-e) > 0.01*(h+0.1) {
+			t.Fatalf("equirect %v vs haversine %v for %v %v", e, h, p, q)
+		}
+	}
+}
+
+func clusterAround(src *rng.Source, c Point, n int, spreadKm float64) []Point {
+	// ~111 km per degree latitude.
+	spreadDeg := spreadKm / 111
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{
+			Lat: c.Lat + src.Gaussian(0, spreadDeg),
+			Lng: c.Lng + src.Gaussian(0, spreadDeg/math.Cos(c.Lat*math.Pi/180)),
+		}
+	}
+	return out
+}
+
+func TestDBSCANFindsPlantedClusters(t *testing.T) {
+	src := rng.New(42)
+	c1 := Point{39.90, 116.40}
+	c2 := Point{39.98, 116.31} // ~11 km away
+	points := append(clusterAround(src, c1, 200, 0.5), clusterAround(src, c2, 200, 0.5)...)
+
+	labels, k, err := DBSCAN(points, DBSCANConfig{EpsKm: 1.0, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("found %d clusters, want 2", k)
+	}
+	// All of cluster 1's points should share a label distinct from cluster 2's.
+	l1 := labels[0]
+	l2 := labels[200]
+	if l1 == l2 {
+		t.Fatal("planted clusters merged")
+	}
+	mismatch := 0
+	for i := 0; i < 200; i++ {
+		if labels[i] != l1 {
+			mismatch++
+		}
+		if labels[200+i] != l2 {
+			mismatch++
+		}
+	}
+	if mismatch > 8 { // tolerate a couple of tail points labeled noise
+		t.Errorf("%d/400 points mislabeled", mismatch)
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	src := rng.New(7)
+	points := clusterAround(src, Point{39.9, 116.4}, 100, 0.2)
+	// A far-away isolated point must be noise.
+	points = append(points, Point{41.0, 118.0})
+	labels, k, err := DBSCAN(points, DBSCANConfig{EpsKm: 1.0, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("found %d clusters, want 1", k)
+	}
+	if labels[100] != Noise {
+		t.Errorf("isolated point labeled %d, want Noise", labels[100])
+	}
+}
+
+func TestDBSCANEmptyInput(t *testing.T) {
+	labels, k, err := DBSCAN(nil, DBSCANConfig{EpsKm: 1, MinPts: 3})
+	if err != nil || k != 0 || len(labels) != 0 {
+		t.Fatalf("empty input: labels=%v k=%d err=%v", labels, k, err)
+	}
+}
+
+func TestDBSCANConfigValidation(t *testing.T) {
+	if _, _, err := DBSCAN([]Point{{0, 0}}, DBSCANConfig{EpsKm: 0, MinPts: 3}); err == nil {
+		t.Error("EpsKm=0 accepted")
+	}
+	if _, _, err := DBSCAN([]Point{{0, 0}}, DBSCANConfig{EpsKm: 1, MinPts: 0}); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+}
+
+func TestDBSCANMinPtsOneClustersEverything(t *testing.T) {
+	points := []Point{{39.9, 116.4}, {39.9001, 116.4001}, {41, 118}}
+	labels, k, err := DBSCAN(points, DBSCANConfig{EpsKm: 0.5, MinPts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("clusters = %d, want 2", k)
+	}
+	for i, l := range labels {
+		if l == Noise {
+			t.Errorf("point %d is noise with MinPts=1", i)
+		}
+	}
+}
+
+// Property: every core point's eps-neighborhood is entirely in some
+// cluster (no core point is noise), and labels are in [-1, k).
+func TestDBSCANLabelRangeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		src := rng.New(seed)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{39.8 + src.Float64()*0.3, 116.3 + src.Float64()*0.3}
+		}
+		labels, k, err := DBSCAN(points, DBSCANConfig{EpsKm: 2, MinPts: 4})
+		if err != nil {
+			return false
+		}
+		for _, l := range labels {
+			if l < Noise || l >= k {
+				return false
+			}
+		}
+		// Core point check: any point with >= MinPts neighbors must be clustered.
+		for i := range points {
+			cnt := 0
+			for j := range points {
+				if HaversineKm(points[i], points[j]) <= 2 {
+					cnt++
+				}
+			}
+			if cnt >= 4 && labels[i] == Noise {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBSCANDeterministic(t *testing.T) {
+	src := rng.New(99)
+	points := clusterAround(src, Point{39.9, 116.4}, 300, 1.5)
+	l1, k1, _ := DBSCAN(points, DBSCANConfig{EpsKm: 0.8, MinPts: 4})
+	l2, k2, _ := DBSCAN(points, DBSCANConfig{EpsKm: 0.8, MinPts: 4})
+	if k1 != k2 {
+		t.Fatal("cluster count nondeterministic")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("labels nondeterministic")
+		}
+	}
+}
+
+func TestAssignRegionsAttachesNearbyNoise(t *testing.T) {
+	src := rng.New(3)
+	points := clusterAround(src, Point{39.9, 116.4}, 100, 0.2)
+	nearNoise := Point{39.93, 116.4} // ~3.3 km from centroid
+	farNoise := Point{40.5, 117.0}   // far away
+	points = append(points, nearNoise, farNoise)
+	labels, k, err := DBSCAN(points, DBSCANConfig{EpsKm: 1.0, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, total := AssignRegions(points, labels, k, 5.0)
+	if regions[100] != labels[0] {
+		t.Errorf("near noise assigned region %d, want cluster %d", regions[100], labels[0])
+	}
+	if regions[101] < k {
+		t.Errorf("far noise assigned to existing cluster %d", regions[101])
+	}
+	if total != k+1 {
+		t.Errorf("total regions = %d, want %d", total, k+1)
+	}
+	for _, r := range regions {
+		if r < 0 || r >= total {
+			t.Fatalf("region %d out of range [0,%d)", r, total)
+		}
+	}
+}
+
+func TestCentroids(t *testing.T) {
+	points := []Point{{0, 0}, {2, 2}, {10, 10}}
+	labels := []int{0, 0, Noise}
+	cts := Centroids(points, labels, 1)
+	if cts[0].Lat != 1 || cts[0].Lng != 1 {
+		t.Errorf("centroid = %v, want (1,1)", cts[0])
+	}
+}
+
+func BenchmarkDBSCAN5000(b *testing.B) {
+	src := rng.New(5)
+	var points []Point
+	for c := 0; c < 10; c++ {
+		center := Point{39.7 + src.Float64()*0.5, 116.2 + src.Float64()*0.5}
+		points = append(points, clusterAround(src, center, 500, 0.6)...)
+	}
+	cfg := DBSCANConfig{EpsKm: 0.5, MinPts: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DBSCAN(points, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,398 @@
+// Package graph provides the weighted bipartite graph representation that
+// GEM trains on. Each of the paper's five relation graphs (user-event,
+// event-location, event-time, event-content, user-user) is stored as a
+// Bipartite value: an edge list with weights, CSR-style adjacency for both
+// sides, alias tables for weight-proportional edge sampling and
+// degree^0.75 noise sampling, and hash-set adjacency for rejecting true
+// neighbors when drawing negatives.
+//
+// The user-user graph is a general graph, but as the paper notes it can be
+// treated as bipartite with the same user set on both sides, which is how
+// we store it (Kind Symmetric marks that the two sides share an ID space).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ebsn/internal/alias"
+	"ebsn/internal/rng"
+)
+
+// Side selects one of the two node sets of a bipartite graph.
+type Side int
+
+const (
+	// SideA is the left node set (users in user-event, events in
+	// event-location/time/content).
+	SideA Side = iota
+	// SideB is the right node set.
+	SideB
+)
+
+func (s Side) String() string {
+	if s == SideA {
+		return "A"
+	}
+	return "B"
+}
+
+// Other returns the opposite side.
+func (s Side) Other() Side {
+	if s == SideA {
+		return SideB
+	}
+	return SideA
+}
+
+// Edge is one weighted edge between node a on side A and node b on side B.
+type Edge struct {
+	A, B   int32
+	Weight float32
+}
+
+// Builder accumulates edges before freezing them into a Bipartite.
+// Duplicate (a,b) pairs have their weights summed.
+type Builder struct {
+	name      string
+	nA, nB    int
+	symmetric bool
+	weights   map[[2]int32]float32
+}
+
+// NewBuilder returns a builder for a bipartite graph named name with nA
+// left nodes and nB right nodes.
+func NewBuilder(name string, nA, nB int) *Builder {
+	if nA <= 0 || nB <= 0 {
+		panic(fmt.Sprintf("graph: %s: node sets must be non-empty (nA=%d nB=%d)", name, nA, nB))
+	}
+	return &Builder{name: name, nA: nA, nB: nB, weights: make(map[[2]int32]float32)}
+}
+
+// NewSymmetricBuilder returns a builder for a general graph over n nodes
+// stored bipartitely (both sides share the node ID space). AddEdge(a, b, w)
+// records the undirected edge once; Build mirrors it so that both (a,b)
+// and (b,a) are sampleable, matching how the paper treats the user-user
+// graph.
+func NewSymmetricBuilder(name string, n int) *Builder {
+	b := NewBuilder(name, n, n)
+	b.symmetric = true
+	return b
+}
+
+// AddEdge accumulates weight w onto edge (a, b). Zero-weight additions are
+// ignored; negative weights panic because no relation in the model admits
+// them.
+func (bl *Builder) AddEdge(a, b int32, w float32) {
+	if w == 0 {
+		return
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("graph: %s: negative edge weight %v on (%d,%d)", bl.name, w, a, b))
+	}
+	if int(a) < 0 || int(a) >= bl.nA || int(b) < 0 || int(b) >= bl.nB {
+		panic(fmt.Sprintf("graph: %s: edge (%d,%d) out of range (%d,%d)", bl.name, a, b, bl.nA, bl.nB))
+	}
+	if bl.symmetric && a == b {
+		// Self-loops carry no information for social proximity.
+		return
+	}
+	key := [2]int32{a, b}
+	if bl.symmetric && a > b {
+		key = [2]int32{b, a}
+	}
+	bl.weights[key] += w
+}
+
+// EdgeCount returns the number of distinct edges accumulated so far
+// (undirected edges counted once for symmetric builders).
+func (bl *Builder) EdgeCount() int { return len(bl.weights) }
+
+// Build freezes the accumulated edges into an immutable Bipartite.
+func (bl *Builder) Build() *Bipartite {
+	edges := make([]Edge, 0, len(bl.weights))
+	for key, w := range bl.weights {
+		edges = append(edges, Edge{A: key[0], B: key[1], Weight: w})
+	}
+	// Deterministic ordering regardless of map iteration.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	if bl.symmetric {
+		mirrored := make([]Edge, 0, 2*len(edges))
+		for _, e := range edges {
+			mirrored = append(mirrored, e, Edge{A: e.B, B: e.A, Weight: e.Weight})
+		}
+		edges = mirrored
+	}
+	return freeze(bl.name, bl.nA, bl.nB, bl.symmetric, edges)
+}
+
+// Bipartite is an immutable weighted bipartite graph prepared for
+// training: edge sampling, adjacency queries and noise distributions are
+// all O(1) or O(deg).
+type Bipartite struct {
+	name      string
+	nA, nB    int
+	symmetric bool
+	edges     []Edge
+
+	// CSR adjacency for each side: adj[side][offsets[v]:offsets[v+1]]
+	// holds the neighbor IDs of node v on the other side.
+	offA, offB []int32
+	adjA, adjB []int32
+	wA, wB     []float32
+
+	// Weighted degree per node (sum of incident edge weights).
+	degA, degB []float64
+
+	// neighbor-set membership for O(1) "is (a,b) an edge" checks.
+	nbrA []map[int32]struct{}
+
+	edgeSampler *alias.Table // indexes into edges, P ∝ weight
+	noiseA      *alias.Table // nodes on side A, P ∝ deg^0.75
+	noiseB      *alias.Table
+}
+
+func freeze(name string, nA, nB int, symmetric bool, edges []Edge) *Bipartite {
+	g := &Bipartite{
+		name:      name,
+		nA:        nA,
+		nB:        nB,
+		symmetric: symmetric,
+		edges:     edges,
+		degA:      make([]float64, nA),
+		degB:      make([]float64, nB),
+	}
+
+	countA := make([]int32, nA+1)
+	countB := make([]int32, nB+1)
+	for _, e := range edges {
+		countA[e.A+1]++
+		countB[e.B+1]++
+		g.degA[e.A] += float64(e.Weight)
+		g.degB[e.B] += float64(e.Weight)
+	}
+	for i := 0; i < nA; i++ {
+		countA[i+1] += countA[i]
+	}
+	for i := 0; i < nB; i++ {
+		countB[i+1] += countB[i]
+	}
+	g.offA = countA
+	g.offB = countB
+	g.adjA = make([]int32, len(edges))
+	g.adjB = make([]int32, len(edges))
+	g.wA = make([]float32, len(edges))
+	g.wB = make([]float32, len(edges))
+
+	curA := make([]int32, nA)
+	curB := make([]int32, nB)
+	for _, e := range edges {
+		pa := g.offA[e.A] + curA[e.A]
+		g.adjA[pa] = e.B
+		g.wA[pa] = e.Weight
+		curA[e.A]++
+		pb := g.offB[e.B] + curB[e.B]
+		g.adjB[pb] = e.A
+		g.wB[pb] = e.Weight
+		curB[e.B]++
+	}
+
+	g.nbrA = make([]map[int32]struct{}, nA)
+	for a := 0; a < nA; a++ {
+		lo, hi := g.offA[a], g.offA[a+1]
+		if lo == hi {
+			continue
+		}
+		set := make(map[int32]struct{}, hi-lo)
+		for _, b := range g.adjA[lo:hi] {
+			set[b] = struct{}{}
+		}
+		g.nbrA[a] = set
+	}
+
+	if len(edges) > 0 {
+		ew := make([]float64, len(edges))
+		for i, e := range edges {
+			ew[i] = float64(e.Weight)
+		}
+		g.edgeSampler = alias.New(ew)
+		g.noiseA = degreeNoiseTable(g.degA)
+		g.noiseB = degreeNoiseTable(g.degB)
+	}
+	return g
+}
+
+// degreeNoiseTable builds the LINE/word2vec noise distribution
+// P_n(v) ∝ deg(v)^0.75. Nodes of degree zero get a tiny floor weight so
+// the table stays valid even in degenerate graphs; they are effectively
+// never drawn on realistic inputs.
+func degreeNoiseTable(deg []float64) *alias.Table {
+	w := make([]float64, len(deg))
+	any := false
+	for i, d := range deg {
+		if d > 0 {
+			w[i] = math.Pow(d, 0.75)
+			any = true
+		}
+	}
+	if !any {
+		return alias.NewUniform(len(deg))
+	}
+	return alias.New(w)
+}
+
+// Name returns the graph's label, e.g. "user-event".
+func (g *Bipartite) Name() string { return g.name }
+
+// NumA and NumB return the node-set sizes.
+func (g *Bipartite) NumA() int { return g.nA }
+
+// NumB returns the size of side B.
+func (g *Bipartite) NumB() int { return g.nB }
+
+// NumNodes returns the node count on the given side.
+func (g *Bipartite) NumNodes(s Side) int {
+	if s == SideA {
+		return g.nA
+	}
+	return g.nB
+}
+
+// Symmetric reports whether both sides share one node ID space (the
+// user-user graph).
+func (g *Bipartite) Symmetric() bool { return g.symmetric }
+
+// NumEdges returns the number of stored directed edges (a symmetric
+// graph's undirected edges appear twice).
+func (g *Bipartite) NumEdges() int { return len(g.edges) }
+
+// Edges returns the frozen edge slice. Callers must not mutate it.
+func (g *Bipartite) Edges() []Edge { return g.edges }
+
+// Edge returns the i-th stored edge.
+func (g *Bipartite) Edge(i int) Edge { return g.edges[i] }
+
+// TotalWeight returns the sum of stored edge weights.
+func (g *Bipartite) TotalWeight() float64 {
+	if g.edgeSampler == nil {
+		return 0
+	}
+	return g.edgeSampler.Total()
+}
+
+// Degree returns the weighted degree of node v on side s.
+func (g *Bipartite) Degree(s Side, v int32) float64 {
+	if s == SideA {
+		return g.degA[v]
+	}
+	return g.degB[v]
+}
+
+// Neighbors returns the neighbor IDs and weights of node v on side s. The
+// returned slices alias internal storage and must not be mutated.
+func (g *Bipartite) Neighbors(s Side, v int32) ([]int32, []float32) {
+	if s == SideA {
+		return g.adjA[g.offA[v]:g.offA[v+1]], g.wA[g.offA[v]:g.offA[v+1]]
+	}
+	return g.adjB[g.offB[v]:g.offB[v+1]], g.wB[g.offB[v]:g.offB[v+1]]
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Bipartite) HasEdge(a, b int32) bool {
+	set := g.nbrA[a]
+	if set == nil {
+		return false
+	}
+	_, ok := set[b]
+	return ok
+}
+
+// SampleEdge draws an edge index with probability proportional to its
+// weight — the paper's edge-sampling trick that makes SGD independent of
+// weight variance. Panics on an empty graph.
+func (g *Bipartite) SampleEdge(src *rng.Source) Edge {
+	if g.edgeSampler == nil {
+		panic("graph: " + g.name + ": SampleEdge on empty graph")
+	}
+	return g.edges[g.edgeSampler.Sample(src)]
+}
+
+// SampleNoise draws a node on side s from P_n(v) ∝ deg(v)^0.75.
+func (g *Bipartite) SampleNoise(s Side, src *rng.Source) int32 {
+	if g.edgeSampler == nil {
+		panic("graph: " + g.name + ": SampleNoise on empty graph")
+	}
+	if s == SideA {
+		return int32(g.noiseA.Sample(src))
+	}
+	return int32(g.noiseB.Sample(src))
+}
+
+// Validate performs internal consistency checks and returns an error
+// describing the first violation found. It is used by tests and by data
+// importers to fail fast on malformed inputs.
+func (g *Bipartite) Validate() error {
+	var sumA, sumB float64
+	for _, d := range g.degA {
+		sumA += d
+	}
+	for _, d := range g.degB {
+		sumB += d
+	}
+	if math.Abs(sumA-sumB) > 1e-6*(1+math.Abs(sumA)) {
+		return fmt.Errorf("graph %s: degree sums differ between sides: %v vs %v", g.name, sumA, sumB)
+	}
+	if int(g.offA[g.nA]) != len(g.edges) || int(g.offB[g.nB]) != len(g.edges) {
+		return fmt.Errorf("graph %s: CSR offsets inconsistent with edge count", g.name)
+	}
+	for _, e := range g.edges {
+		if !g.HasEdge(e.A, e.B) {
+			return fmt.Errorf("graph %s: edge (%d,%d) missing from neighbor sets", g.name, e.A, e.B)
+		}
+		if e.Weight <= 0 {
+			return fmt.Errorf("graph %s: non-positive weight on (%d,%d)", g.name, e.A, e.B)
+		}
+	}
+	if g.symmetric {
+		for _, e := range g.edges {
+			if !g.HasEdge(e.B, e.A) {
+				return fmt.Errorf("graph %s: symmetric edge (%d,%d) lacks mirror", g.name, e.A, e.B)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a graph for logging and DESIGN/EXPERIMENTS reporting.
+type Stats struct {
+	Name        string
+	NodesA      int
+	NodesB      int
+	Edges       int
+	TotalWeight float64
+	MeanDegreeA float64
+	MeanDegreeB float64
+}
+
+// Stats returns summary statistics.
+func (g *Bipartite) Stats() Stats {
+	return Stats{
+		Name:        g.name,
+		NodesA:      g.nA,
+		NodesB:      g.nB,
+		Edges:       len(g.edges),
+		TotalWeight: g.TotalWeight(),
+		MeanDegreeA: float64(len(g.edges)) / float64(g.nA),
+		MeanDegreeB: float64(len(g.edges)) / float64(g.nB),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: |A|=%d |B|=%d edges=%d weight=%.1f", s.Name, s.NodesA, s.NodesB, s.Edges, s.TotalWeight)
+}

@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ebsn/internal/rng"
+)
+
+func buildSmall(t *testing.T) *Bipartite {
+	t.Helper()
+	b := NewBuilder("test", 3, 4)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 1, 3)
+	b.AddEdge(2, 3, 4)
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := buildSmall(t)
+	if g.NumA() != 3 || g.NumB() != 4 {
+		t.Fatalf("sizes: %d %d", g.NumA(), g.NumB())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges: %d", g.NumEdges())
+	}
+	if g.TotalWeight() != 10 {
+		t.Fatalf("total weight: %v", g.TotalWeight())
+	}
+	if g.NumNodes(SideA) != 3 || g.NumNodes(SideB) != 4 {
+		t.Fatal("NumNodes mismatch")
+	}
+}
+
+func TestDuplicateEdgesSumWeights(t *testing.T) {
+	b := NewBuilder("dup", 2, 2)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 0, 2.5)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("expected 1 edge, got %d", g.NumEdges())
+	}
+	if w := g.Edge(0).Weight; w != 3.5 {
+		t.Fatalf("weight = %v, want 3.5", w)
+	}
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	b := NewBuilder("zero", 2, 2)
+	b.AddEdge(0, 0, 0)
+	if b.EdgeCount() != 0 {
+		t.Fatal("zero-weight edge was stored")
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative weight")
+		}
+	}()
+	NewBuilder("neg", 2, 2).AddEdge(0, 0, -1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range edge")
+		}
+	}()
+	NewBuilder("oob", 2, 2).AddEdge(0, 5, 1)
+}
+
+func TestNeighbors(t *testing.T) {
+	g := buildSmall(t)
+	nbrs, ws := g.Neighbors(SideA, 0)
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 1 {
+		t.Fatalf("neighbors of A0: %v", nbrs)
+	}
+	if ws[0] != 1 || ws[1] != 2 {
+		t.Fatalf("weights of A0: %v", ws)
+	}
+	nbrs, _ = g.Neighbors(SideB, 1)
+	if len(nbrs) != 2 {
+		t.Fatalf("neighbors of B1: %v", nbrs)
+	}
+	nbrs, _ = g.Neighbors(SideB, 2)
+	if len(nbrs) != 0 {
+		t.Fatalf("isolated node B2 has neighbors: %v", nbrs)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := buildSmall(t)
+	if !g.HasEdge(0, 1) {
+		t.Error("HasEdge(0,1) = false")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("HasEdge(0,3) = true")
+	}
+	if g.HasEdge(2, 0) {
+		t.Error("HasEdge(2,0) = true")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := buildSmall(t)
+	if g.Degree(SideA, 0) != 3 {
+		t.Errorf("deg A0 = %v", g.Degree(SideA, 0))
+	}
+	if g.Degree(SideB, 1) != 5 {
+		t.Errorf("deg B1 = %v", g.Degree(SideB, 1))
+	}
+	if g.Degree(SideB, 2) != 0 {
+		t.Errorf("deg B2 = %v", g.Degree(SideB, 2))
+	}
+}
+
+func TestEdgeSamplingProportionalToWeight(t *testing.T) {
+	b := NewBuilder("ws", 2, 2)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(1, 1, 9)
+	g := b.Build()
+	src := rng.New(1)
+	heavy := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if e := g.SampleEdge(src); e.A == 1 {
+			heavy++
+		}
+	}
+	frac := float64(heavy) / draws
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Errorf("heavy edge sampled %.3f of draws, want ~0.9", frac)
+	}
+}
+
+func TestNoiseSamplingFollowsDegree(t *testing.T) {
+	b := NewBuilder("noise", 2, 3)
+	// A0 has degree 16, A1 degree 1 -> noise ratio 16^.75 : 1 = 8 : 1.
+	b.AddEdge(0, 0, 16)
+	b.AddEdge(1, 1, 1)
+	g := b.Build()
+	src := rng.New(2)
+	const draws = 90000
+	c0 := 0
+	for i := 0; i < draws; i++ {
+		if g.SampleNoise(SideA, src) == 0 {
+			c0++
+		}
+	}
+	frac := float64(c0) / draws
+	if math.Abs(frac-8.0/9.0) > 0.01 {
+		t.Errorf("A0 noise fraction %.3f, want ~%.3f", frac, 8.0/9.0)
+	}
+	// B2 has degree 0 and must never be sampled.
+	for i := 0; i < 10000; i++ {
+		if g.SampleNoise(SideB, src) == 2 {
+			t.Fatal("sampled degree-zero node from noise distribution")
+		}
+	}
+}
+
+func TestSymmetricGraph(t *testing.T) {
+	b := NewSymmetricBuilder("uu", 4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(2, 1, 1)
+	b.AddEdge(1, 0, 3) // same undirected edge as (0,1): accumulates
+	b.AddEdge(3, 3, 9) // self loop: dropped
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumEdges() != 4 { // 2 undirected edges, mirrored
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("mirror edge missing")
+	}
+	if g.Degree(SideA, 1) != 6 { // 5 from (0,1), 1 from (1,2)
+		t.Errorf("deg(1) = %v, want 6", g.Degree(SideA, 1))
+	}
+	if g.HasEdge(3, 3) {
+		t.Error("self-loop survived")
+	}
+	if !g.Symmetric() {
+		t.Error("Symmetric() = false")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	mk := func() *Bipartite {
+		b := NewBuilder("det", 10, 10)
+		for i := int32(0); i < 10; i++ {
+			for j := int32(0); j < 10; j++ {
+				if (i+j)%3 == 0 {
+					b.AddEdge(i, j, float32(i+j+1))
+				}
+			}
+		}
+		return b.Build()
+	}
+	g1, g2 := mk(), mk()
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		if g1.Edge(i) != g2.Edge(i) {
+			t.Fatalf("edge %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestEmptyGraphSamplePanics(t *testing.T) {
+	g := NewBuilder("empty", 2, 2).Build()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty graph should validate: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleEdge on empty graph did not panic")
+		}
+	}()
+	g.SampleEdge(rng.New(1))
+}
+
+func TestStatsString(t *testing.T) {
+	g := buildSmall(t)
+	s := g.Stats()
+	if s.Edges != 4 || s.NodesA != 3 || s.NodesB != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+// Property: for random edge sets, Validate passes and degree sums match
+// total weight on both sides.
+func TestGraphInvariantsProperty(t *testing.T) {
+	f := func(pairs []uint16, seedW []uint8) bool {
+		const nA, nB = 17, 23
+		b := NewBuilder("prop", nA, nB)
+		for i, p := range pairs {
+			a := int32(p % nA)
+			bb := int32((p / nA) % nB)
+			w := float32(1)
+			if i < len(seedW) {
+				w = float32(seedW[i]%9) + 1
+			}
+			b.AddEdge(a, bb, w)
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		var sumA float64
+		for v := int32(0); v < nA; v++ {
+			sumA += g.Degree(SideA, v)
+		}
+		return math.Abs(sumA-g.TotalWeight()) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every sampled edge is a real edge and every sampled noise node
+// is in range.
+func TestSamplingValidityProperty(t *testing.T) {
+	f := func(pairs []uint16, seed uint64) bool {
+		const nA, nB = 11, 13
+		b := NewBuilder("prop2", nA, nB)
+		for _, p := range pairs {
+			b.AddEdge(int32(p%nA), int32((p/nA)%nB), 1)
+		}
+		if b.EdgeCount() == 0 {
+			return true
+		}
+		g := b.Build()
+		src := rng.New(seed)
+		for i := 0; i < 100; i++ {
+			e := g.SampleEdge(src)
+			if !g.HasEdge(e.A, e.B) {
+				return false
+			}
+			if n := g.SampleNoise(SideB, src); n < 0 || int(n) >= nB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSampleEdge(b *testing.B) {
+	bl := NewBuilder("bench", 1000, 1000)
+	src := rng.New(3)
+	for i := 0; i < 50000; i++ {
+		bl.AddEdge(int32(src.Intn(1000)), int32(src.Intn(1000)), float32(src.Intn(5)+1))
+	}
+	g := bl.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SampleEdge(src)
+	}
+}

@@ -1,0 +1,123 @@
+package rng
+
+import "math"
+
+// Geometric samples ranks from the truncated geometric-style distribution
+// the paper uses for the adaptive noise sampler (Eqn. 6):
+//
+//	p(s) ∝ exp(-s/λ),  s ∈ {0, 1, …, n-1}
+//
+// Higher-ranked (smaller s) positions are exponentially more likely, with λ
+// tuning how concentrated the mass is near the top of the ranking.
+type Geometric struct {
+	lambda float64
+	n      int
+	// 1 - exp(-1/λ), the per-step success probability of the equivalent
+	// geometric distribution before truncation.
+	p float64
+	// normalizing mass of the truncated support, used for inverse-CDF
+	// sampling: F(s) = (1 - q^(s+1)) / (1 - q^n) with q = exp(-1/λ).
+	q    float64
+	mass float64
+}
+
+// NewGeometric returns a sampler over ranks {0, …, n-1} with density
+// parameter lambda > 0. It panics on invalid parameters because a silently
+// degenerate sampler would invalidate an entire training run.
+func NewGeometric(lambda float64, n int) *Geometric {
+	if lambda <= 0 {
+		panic("rng: Geometric lambda must be positive")
+	}
+	if n <= 0 {
+		panic("rng: Geometric support must be non-empty")
+	}
+	q := math.Exp(-1 / lambda)
+	return &Geometric{
+		lambda: lambda,
+		n:      n,
+		p:      1 - q,
+		q:      q,
+		mass:   1 - math.Pow(q, float64(n)),
+	}
+}
+
+// Lambda returns the density parameter.
+func (g *Geometric) Lambda() float64 { return g.lambda }
+
+// N returns the support size.
+func (g *Geometric) N() int { return g.n }
+
+// Sample draws one rank in [0, n) by inverse-CDF. O(1).
+func (g *Geometric) Sample(src *Source) int {
+	u := src.Float64() * g.mass
+	// Solve smallest s with 1 - q^(s+1) >= u  ⇒  s = ceil(log(1-u)/log q) - 1.
+	s := int(math.Ceil(math.Log1p(-u)/math.Log(g.q))) - 1
+	if s < 0 {
+		s = 0
+	}
+	if s >= g.n {
+		s = g.n - 1
+	}
+	return s
+}
+
+// SampleSet draws m ranks (with replacement, as in Algorithm 1) into out.
+func (g *Geometric) SampleSet(src *Source, out []int) {
+	for i := range out {
+		out[i] = g.Sample(src)
+	}
+}
+
+// Prob returns the probability of rank s under the truncated distribution.
+// Exposed for tests that validate the sampler empirically.
+func (g *Geometric) Prob(s int) float64 {
+	if s < 0 || s >= g.n {
+		return 0
+	}
+	return g.p * math.Pow(g.q, float64(s)) / g.mass
+}
+
+// Zipf samples integers in [0, n) with probability ∝ 1/(rank+1)^exponent.
+// The synthetic corpus generator uses it for word frequencies and event
+// popularity skew. Sampling is inverse-CDF over a precomputed cumulative
+// table: O(log n) per draw, exact.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler with the given exponent over [0, n).
+func NewZipf(exponent float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf support must be non-empty")
+	}
+	if exponent < 0 {
+		panic("rng: Zipf exponent must be non-negative")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), exponent)
+		cdf[i] = total
+	}
+	inv := 1 / total
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one value in [0, n).
+func (z *Zipf) Sample(src *Source) int {
+	u := src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometricProbSumsToOne(t *testing.T) {
+	for _, lambda := range []float64{0.5, 10, 200, 1000} {
+		g := NewGeometric(lambda, 500)
+		var sum float64
+		for s := 0; s < 500; s++ {
+			sum += g.Prob(s)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("lambda=%v: probabilities sum to %v", lambda, sum)
+		}
+	}
+}
+
+func TestGeometricMonotoneDecreasing(t *testing.T) {
+	g := NewGeometric(100, 1000)
+	for s := 1; s < 1000; s++ {
+		if g.Prob(s) > g.Prob(s-1) {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v", s, g.Prob(s), s-1, g.Prob(s-1))
+		}
+	}
+}
+
+func TestGeometricSampleRange(t *testing.T) {
+	src := New(1)
+	g := NewGeometric(50, 30)
+	for i := 0; i < 50000; i++ {
+		s := g.Sample(src)
+		if s < 0 || s >= 30 {
+			t.Fatalf("sample %d out of range [0,30)", s)
+		}
+	}
+}
+
+func TestGeometricEmpiricalMatchesProb(t *testing.T) {
+	src := New(99)
+	const n, draws = 20, 400000
+	g := NewGeometric(5, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Sample(src)]++
+	}
+	for s := 0; s < n; s++ {
+		want := g.Prob(s) * draws
+		if want < 50 {
+			continue // too rare for a tight check
+		}
+		if math.Abs(float64(counts[s])-want) > 6*math.Sqrt(want) {
+			t.Errorf("rank %d: observed %d, expected ~%.0f", s, counts[s], want)
+		}
+	}
+}
+
+func TestGeometricSmallLambdaConcentratesOnTop(t *testing.T) {
+	src := New(7)
+	g := NewGeometric(0.5, 1000)
+	top := 0
+	for i := 0; i < 10000; i++ {
+		if g.Sample(src) < 3 {
+			top++
+		}
+	}
+	if float64(top)/10000 < 0.95 {
+		t.Errorf("lambda=0.5 put only %d/10000 mass on top-3 ranks", top)
+	}
+}
+
+func TestGeometricLargeLambdaNearUniform(t *testing.T) {
+	// As λ → ∞ the distribution approaches uniform over the support.
+	g := NewGeometric(1e7, 100)
+	if ratio := g.Prob(0) / g.Prob(99); ratio > 1.001 {
+		t.Errorf("lambda=1e7: Prob(0)/Prob(99) = %v, want ~1", ratio)
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lambda<=0": func() { NewGeometric(0, 10) },
+		"n<=0":      func() { NewGeometric(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeometricSampleSet(t *testing.T) {
+	src := New(2)
+	g := NewGeometric(10, 50)
+	out := make([]int, 8)
+	g.SampleSet(src, out)
+	for _, s := range out {
+		if s < 0 || s >= 50 {
+			t.Fatalf("SampleSet produced out-of-range rank %d", s)
+		}
+	}
+}
+
+func TestGeometricSampleAlwaysInRangeProperty(t *testing.T) {
+	f := func(seed uint64, lamScale uint8, n uint16) bool {
+		support := int(n%500) + 1
+		lambda := 0.1 + float64(lamScale)
+		g := NewGeometric(lambda, support)
+		src := New(seed)
+		for i := 0; i < 100; i++ {
+			s := g.Sample(src)
+			if s < 0 || s >= support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	src := New(31)
+	z := NewZipf(1.2, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(src)]++
+	}
+	if counts[0] < counts[100] {
+		t.Error("Zipf head is not heavier than tail")
+	}
+	if counts[0] == 0 {
+		t.Error("Zipf never drew the head element")
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	src := New(37)
+	z := NewZipf(0, 10)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(src)]++
+	}
+	want := float64(draws) / 10
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, expected ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	src := New(41)
+	z := NewZipf(2, 7)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(src)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+	}
+}
+
+func BenchmarkGeometricSample(b *testing.B) {
+	src := New(1)
+	g := NewGeometric(200, 64113)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Sample(src)
+	}
+}

@@ -1,0 +1,40 @@
+package rng
+
+import "testing"
+
+// FuzzGeometricSample asserts range safety for arbitrary parameters.
+func FuzzGeometricSample(f *testing.F) {
+	f.Add(uint64(1), 200.0, 100)
+	f.Add(uint64(2), 0.001, 1)
+	f.Add(uint64(3), 1e9, 7)
+	f.Fuzz(func(t *testing.T, seed uint64, lambda float64, n int) {
+		if lambda <= 0 || lambda != lambda || n <= 0 || n > 1<<20 {
+			t.Skip()
+		}
+		g := NewGeometric(lambda, n)
+		src := New(seed)
+		for i := 0; i < 64; i++ {
+			s := g.Sample(src)
+			if s < 0 || s >= n {
+				t.Fatalf("sample %d out of [0,%d) for lambda=%v", s, n, lambda)
+			}
+		}
+	})
+}
+
+// FuzzIntn asserts bounded sampling stays in range for any seed/bound.
+func FuzzIntn(f *testing.F) {
+	f.Add(uint64(0), 1)
+	f.Add(uint64(42), 1000000)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n <= 0 {
+			t.Skip()
+		}
+		src := New(seed)
+		for i := 0; i < 32; i++ {
+			if v := src.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	})
+}

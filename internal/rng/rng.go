@@ -1,0 +1,134 @@
+// Package rng provides the deterministic random-number machinery used
+// throughout the reproduction: a small, fast, splittable generator so every
+// worker goroutine gets an independent stream, plus the specialized
+// distributions the paper needs (Gaussian initialization, the Geometric rank
+// distribution of the adaptive sampler, and Zipf for the synthetic corpus).
+//
+// Determinism matters here: experiments are specified by a seed, and the
+// same seed must reproduce the same dataset, the same training trajectory
+// (modulo Hogwild races), and the same evaluation negatives.
+package rng
+
+import "math"
+
+// splitmix64 advances a state word and returns a well-mixed 64-bit output.
+// It is the standard seeding/mixing function from Vigna's xoshiro family.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** generator. It is not safe for concurrent use;
+// create one per goroutine via Split.
+type Source struct {
+	s [4]uint64
+	// spare Gaussian from the Box-Muller pair, if any.
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	var src Source
+	st := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start in the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return &src
+}
+
+// Split returns a new Source whose stream is a deterministic function of
+// the receiver's current state and the stream index, suitable for handing
+// to a worker goroutine.
+func (s *Source) Split(stream uint64) *Source {
+	st := s.Uint64() ^ (stream * 0x9e3779b97f4a7c15)
+	return New(splitmix64(&st))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be overkill here;
+	// 64-bit modulo bias at our n (< 2^32) is ~2^-32 and irrelevant for SGD.
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (s *Source) Float32() float32 {
+	return float32(s.Uint64()>>40) * (1.0 / (1 << 24))
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller.
+func (s *Source) NormFloat64() float64 {
+	if s.hasGauss {
+		s.hasGauss = false
+		return s.gauss
+	}
+	var u, v float64
+	for {
+		u = s.Float64()
+		if u > 0 {
+			break
+		}
+	}
+	v = s.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	s.gauss = r * math.Sin(2*math.Pi*v)
+	s.hasGauss = true
+	return r * math.Cos(2*math.Pi*v)
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation. GEM initializes embeddings with N(0, 0.01).
+func (s *Source) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*s.NormFloat64()
+}
+
+// Perm fills out with a random permutation of [0, len(out)).
+func (s *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Shuffle randomly permutes the first n indices using the provided swap
+// function, mirroring math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,148 @@
+package ta
+
+import (
+	"fmt"
+	"sort"
+
+	"ebsn/internal/vecmath"
+)
+
+// Dynamic serves exact top-n queries over a candidate space that keeps
+// growing: EBSN events arrive continuously (the cold-start premise), and
+// rebuilding the sorted TA index per arrival would be wasteful. New
+// events' pairs accumulate in an unsorted delta that every query scans
+// exhaustively (it is small), merged into a fresh index on Rebuild —
+// the classic main-index-plus-delta design of search systems.
+type Dynamic struct {
+	set *CandidateSet
+	idx *FastIndex
+
+	// Delta state: appended events and their pruned pairs.
+	deltaEvents [][]float32
+	deltaPairs  []Candidate // Event indexes into deltaEvents
+	deltaCross  []float32
+	topK        int
+}
+
+// NewDynamic wraps a built candidate set. topK bounds the pairs added per
+// arriving event (0 = all partners).
+func NewDynamic(set *CandidateSet, topK int) *Dynamic {
+	return &Dynamic{set: set, idx: NewFastIndex(set), topK: topK}
+}
+
+// DeltaSize returns the number of unindexed pairs.
+func (d *Dynamic) DeltaSize() int { return len(d.deltaPairs) }
+
+// NumEvents returns the total events known (indexed + delta).
+func (d *Dynamic) NumEvents() int { return len(d.set.Events) + len(d.deltaEvents) }
+
+// AddEvent registers a newly arrived event vector. Its candidate pairs
+// are the topK partners by the partner-preference score u'·x (the same
+// pruning rule the offline build uses), or all partners when topK ≤ 0.
+func (d *Dynamic) AddEvent(vec []float32) error {
+	if len(vec) != d.set.K {
+		return fmt.Errorf("ta: event vector length %d, want %d", len(vec), d.set.K)
+	}
+	eventIdx := int32(len(d.deltaEvents))
+	d.deltaEvents = append(d.deltaEvents, vec)
+
+	partners := d.partnerIndices(vec)
+	for _, u := range partners {
+		d.deltaPairs = append(d.deltaPairs, Candidate{Event: eventIdx, Partner: u})
+		d.deltaCross = append(d.deltaCross, vecmath.Dot(vec, d.set.Partners[u]))
+	}
+	return nil
+}
+
+// partnerIndices returns the partners whose candidate list the new event
+// joins: everyone when unpruned, else the topK by their preference u'·x.
+func (d *Dynamic) partnerIndices(vec []float32) []int32 {
+	n := len(d.set.Partners)
+	if d.topK <= 0 || d.topK >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	type us struct {
+		u int32
+		s float32
+	}
+	scored := make([]us, n)
+	for u := 0; u < n; u++ {
+		scored[u] = us{int32(u), vecmath.Dot(vec, d.set.Partners[u])}
+	}
+	sort.Slice(scored, func(i, j int) bool { return scored[i].s > scored[j].s })
+	out := make([]int32, d.topK)
+	for i := 0; i < d.topK; i++ {
+		out[i] = scored[i].u
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DynamicResult tags a Result with whether the event came from the delta
+// (its Event index then refers to arrival order, not the base set).
+type DynamicResult struct {
+	Result
+	FromDelta bool
+}
+
+// TopN returns the exact top n over the indexed space plus the delta.
+func (d *Dynamic) TopN(userVec []float32, n int) ([]DynamicResult, SearchStats) {
+	return d.TopNExcluding(userVec, n, -1)
+}
+
+// TopNExcluding is TopN with one partner excluded (see
+// FastIndex.TopNExcluding).
+func (d *Dynamic) TopNExcluding(userVec []float32, n int, exclude int32) ([]DynamicResult, SearchStats) {
+	base, stats := d.idx.TopNExcluding(userVec, n, exclude)
+	merged := make([]DynamicResult, 0, n+len(base))
+	for _, r := range base {
+		merged = append(merged, DynamicResult{Result: r})
+	}
+	// Exhaustive scan of the delta: tiny by construction.
+	for i, pair := range d.deltaPairs {
+		if pair.Partner == exclude {
+			continue
+		}
+		s := vecmath.Dot(userVec, d.deltaEvents[pair.Event]) +
+			d.deltaCross[i] +
+			vecmath.Dot(userVec, d.set.Partners[pair.Partner])
+		merged = append(merged, DynamicResult{
+			Result:    Result{Event: pair.Event, Partner: pair.Partner, Score: s},
+			FromDelta: true,
+		})
+		stats.RandomAccesses++
+	}
+	stats.Candidates += len(d.deltaPairs)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Score > merged[j].Score })
+	if len(merged) > n {
+		merged = merged[:n]
+	}
+	return merged, stats
+}
+
+// Rebuild folds the delta into a fresh candidate set and index. Delta
+// events are appended to the base event list in arrival order, so their
+// post-rebuild Event indices are len(baseEvents) + arrival position.
+func (d *Dynamic) Rebuild() {
+	if len(d.deltaEvents) == 0 {
+		return
+	}
+	offset := int32(len(d.set.Events))
+	d.set.Events = append(d.set.Events, d.deltaEvents...)
+	for i, pair := range d.deltaPairs {
+		d.set.Pairs = append(d.set.Pairs, Candidate{Event: offset + pair.Event, Partner: pair.Partner})
+		d.set.Cross = append(d.set.Cross, d.deltaCross[i])
+	}
+	d.deltaEvents = nil
+	d.deltaPairs = nil
+	d.deltaCross = nil
+	d.idx = NewFastIndex(d.set)
+}
+
+// DeltaEvents returns the number of events currently in the delta (not
+// yet folded into the base index by Rebuild).
+func (d *Dynamic) DeltaEvents() int { return len(d.deltaEvents) }

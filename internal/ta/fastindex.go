@@ -1,0 +1,155 @@
+package ta
+
+import (
+	"container/heap"
+	"sort"
+
+	"ebsn/internal/vecmath"
+)
+
+// FastIndex is the production top-n engine for the transformed space. The
+// generic Fagin TA of Index treats the 2K+1 coordinates as opaque lists,
+// which on dense signed embeddings degenerates (fat-tailed spectra keep
+// the threshold high; see EXPERIMENTS.md). FastIndex instead exploits the
+// product structure the transformation creates:
+//
+//	score(u; x, u') = u·x + u·u' + x·u' = a(x) + b(u') + cross(x, u')
+//
+// a and b are computed once per query in (|X|+|U|)·K flops; cross is
+// precomputed per pair at build time. Candidates are grouped by partner,
+// each partner u' carries the offline bound maxCross(u') over its own
+// candidate events, and the query scans partners in decreasing
+//
+//	bound(u') = b(u') + max_x a(x) + maxCross(u')
+//
+// order — an upper bound on every one of u's pairs — stopping as soon as
+// the next bound cannot beat the n-th best exact score. This is the same
+// threshold-algorithm contract as Index (sorted access by bound, cheap
+// random access, early termination, exact results), specialized to the
+// pair structure. Even a full scan costs one addition per pair instead of
+// one K-dim dot product, so it lower-bounds brute force by a factor ~K;
+// the threshold stop then prunes on top of that.
+type FastIndex struct {
+	set *CandidateSet
+	// order holds pair indices grouped by partner via a counting sort;
+	// partnerStart[u] .. partnerStart[u+1] delimit partner u's pairs
+	// within it. The indirection makes the index independent of the
+	// set's pair ordering (Dynamic.Rebuild appends out of order).
+	order        []int32
+	partnerStart []int32
+	// maxCross[u] is max over u's candidate pairs of the cross term.
+	maxCross []float32
+}
+
+// NewFastIndex builds the per-partner grouping and offline bounds.
+func NewFastIndex(set *CandidateSet) *FastIndex {
+	nu := len(set.Partners)
+	f := &FastIndex{
+		set:          set,
+		order:        make([]int32, len(set.Pairs)),
+		partnerStart: make([]int32, nu+1),
+		maxCross:     make([]float32, nu),
+	}
+	counts := make([]int32, nu+1)
+	for _, p := range set.Pairs {
+		counts[p.Partner+1]++
+	}
+	for u := 0; u < nu; u++ {
+		counts[u+1] += counts[u]
+	}
+	copy(f.partnerStart, counts)
+	cursor := make([]int32, nu)
+	for i, p := range set.Pairs {
+		f.order[f.partnerStart[p.Partner]+cursor[p.Partner]] = int32(i)
+		cursor[p.Partner]++
+	}
+
+	for u := range f.maxCross {
+		lo, hi := f.partnerStart[u], f.partnerStart[u+1]
+		if lo == hi {
+			continue
+		}
+		best := set.Cross[f.order[lo]]
+		for i := lo + 1; i < hi; i++ {
+			if c := set.Cross[f.order[i]]; c > best {
+				best = c
+			}
+		}
+		f.maxCross[u] = best
+	}
+	return f
+}
+
+// TopN returns the exact top-n event-partner pairs for the user vector,
+// descending by score, with access statistics. RandomAccesses counts
+// exactly the pairs whose score was materialized.
+func (f *FastIndex) TopN(userVec []float32, n int) ([]Result, SearchStats) {
+	return f.TopNExcluding(userVec, n, -1)
+}
+
+// TopNExcluding is TopN with one partner excluded from the results — the
+// serving path excludes the querying user, whose self-pairs would
+// otherwise crowd the top of the list (u·u is a squared norm and u's own
+// candidate events score u·x twice). Pass a negative ID to exclude no one.
+func (f *FastIndex) TopNExcluding(userVec []float32, n int, exclude int32) ([]Result, SearchStats) {
+	set := f.set
+	nc := len(set.Pairs)
+	stats := SearchStats{Candidates: nc}
+	if n <= 0 || nc == 0 {
+		return nil, stats
+	}
+	if n > nc {
+		n = nc
+	}
+
+	// Per-query event and partner affinities.
+	a := make([]float32, len(set.Events))
+	var amax float32
+	for x, ev := range set.Events {
+		a[x] = vecmath.Dot(userVec, ev)
+		if x == 0 || a[x] > amax {
+			amax = a[x]
+		}
+	}
+	nu := len(set.Partners)
+	type pb struct {
+		u     int32
+		b     float32
+		bound float32
+	}
+	bounds := make([]pb, 0, nu)
+	for u := 0; u < nu; u++ {
+		if f.partnerStart[u] == f.partnerStart[u+1] {
+			continue // partner contributes no candidates
+		}
+		b := vecmath.Dot(userVec, set.Partners[u])
+		bounds = append(bounds, pb{int32(u), b, b + amax + f.maxCross[u]})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].bound > bounds[j].bound })
+	stats.SortedAccesses = len(bounds)
+
+	h := &resultHeap{}
+	heap.Init(h)
+	for _, cand := range bounds {
+		if h.Len() == n && (*h)[0].Score >= cand.bound {
+			break // no remaining partner can beat the current top n
+		}
+		if cand.u == exclude {
+			continue
+		}
+		u := cand.u
+		b := cand.b
+		for oi := f.partnerStart[u]; oi < f.partnerStart[u+1]; oi++ {
+			i := f.order[oi]
+			stats.RandomAccesses++
+			s := a[set.Pairs[i].Event] + b + set.Cross[i]
+			if h.Len() < n {
+				heap.Push(h, Result{set.Pairs[i].Event, u, s})
+			} else if s > (*h)[0].Score {
+				(*h)[0] = Result{set.Pairs[i].Event, u, s}
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	return drainDescending(h), stats
+}

@@ -1,0 +1,84 @@
+package ta
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// persisted is the gob wire format for a candidate set. The index's
+// sorted lists and rotation are rebuilt on load: they derive entirely
+// from the set, and rebuilding keeps the format small and forward-
+// compatible with index-layout changes.
+type persisted struct {
+	K        int
+	Events   [][]float32
+	Partners [][]float32
+	Pairs    []Candidate
+	Cross    []float32
+}
+
+// Encode writes the candidate set with encoding/gob.
+func (c *CandidateSet) Encode(w io.Writer) error {
+	p := persisted{K: c.K, Events: c.Events, Partners: c.Partners, Pairs: c.Pairs, Cross: c.Cross}
+	if err := gob.NewEncoder(w).Encode(&p); err != nil {
+		return fmt.Errorf("ta: encode candidate set: %w", err)
+	}
+	return nil
+}
+
+// DecodeCandidateSet reads a candidate set written by Encode, validating
+// its internal consistency.
+func DecodeCandidateSet(r io.Reader) (*CandidateSet, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("ta: decode candidate set: %w", err)
+	}
+	if p.K <= 0 || len(p.Events) == 0 || len(p.Partners) == 0 {
+		return nil, fmt.Errorf("ta: decoded candidate set malformed (K=%d events=%d partners=%d)",
+			p.K, len(p.Events), len(p.Partners))
+	}
+	if len(p.Pairs) != len(p.Cross) {
+		return nil, fmt.Errorf("ta: pair/cross length mismatch: %d vs %d", len(p.Pairs), len(p.Cross))
+	}
+	for _, v := range p.Events {
+		if len(v) != p.K {
+			return nil, fmt.Errorf("ta: event vector length %d, want %d", len(v), p.K)
+		}
+	}
+	for _, v := range p.Partners {
+		if len(v) != p.K {
+			return nil, fmt.Errorf("ta: partner vector length %d, want %d", len(v), p.K)
+		}
+	}
+	for i, pair := range p.Pairs {
+		if int(pair.Event) >= len(p.Events) || int(pair.Partner) >= len(p.Partners) || pair.Event < 0 || pair.Partner < 0 {
+			return nil, fmt.Errorf("ta: pair %d out of range: %+v", i, pair)
+		}
+	}
+	return &CandidateSet{K: p.K, Events: p.Events, Partners: p.Partners, Pairs: p.Pairs, Cross: p.Cross}, nil
+}
+
+// SaveFile writes the candidate set to path.
+func (c *CandidateSet) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ta: save candidate set: %w", err)
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCandidateSetFile reads a candidate set from path.
+func LoadCandidateSetFile(path string) (*CandidateSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ta: load candidate set: %w", err)
+	}
+	defer f.Close()
+	return DecodeCandidateSet(f)
+}

@@ -1,0 +1,265 @@
+// Package ta implements the paper's fast online event-partner
+// recommendation (Section IV): the space transformation that turns the
+// joint score u·x + u'·x + u·u' into a single inner product, the
+// per-partner top-k event pruning that shrinks the candidate set from
+// |U|·|X| to |U|·k, and Fagin's Threshold Algorithm over per-dimension
+// sorted lists (GEM-TA), with a brute-force scorer (GEM-BF) as the
+// comparison point of Table VI.
+package ta
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ebsn/internal/vecmath"
+)
+
+// Candidate is one event-partner pair in the transformed space.
+type Candidate struct {
+	Event   int32 // index into the event vector set
+	Partner int32 // index into the partner vector set
+}
+
+// CandidateSet holds the materialized transformed space: every candidate
+// pair (x, u') mapped to the (2K+1)-dimensional point p = (x, u', x·u').
+// Points are not stored explicitly — the first K coordinates depend only
+// on the event and the next K only on the partner, so the set stores the
+// original vectors plus the pair list and the precomputed cross term.
+type CandidateSet struct {
+	K        int
+	Events   [][]float32 // event vectors (index space of Candidate.Event)
+	Partners [][]float32 // partner/user vectors
+	Pairs    []Candidate
+	Cross    []float32 // x·u' per pair — the (2K+1)-th coordinate
+}
+
+// Dims returns the transformed-space dimensionality 2K+1.
+func (c *CandidateSet) Dims() int { return 2*c.K + 1 }
+
+// Point materializes the transformed point of pair i (mostly for tests).
+func (c *CandidateSet) Point(i int) []float32 {
+	p := make([]float32, c.Dims())
+	pair := c.Pairs[i]
+	copy(p[:c.K], c.Events[pair.Event])
+	copy(p[c.K:2*c.K], c.Partners[pair.Partner])
+	p[2*c.K] = c.Cross[i]
+	return p
+}
+
+// Query materializes the transformed query point q_u = (u, u, 1).
+func Query(userVec []float32) []float32 {
+	k := len(userVec)
+	q := make([]float32, 2*k+1)
+	copy(q[:k], userVec)
+	copy(q[k:2*k], userVec)
+	q[2*k] = 1
+	return q
+}
+
+// coord returns coordinate d of pair i without materializing the point.
+func (c *CandidateSet) coord(i int, d int) float32 {
+	switch {
+	case d < c.K:
+		return c.Events[c.Pairs[i].Event][d]
+	case d < 2*c.K:
+		return c.Partners[c.Pairs[i].Partner][d-c.K]
+	default:
+		return c.Cross[i]
+	}
+}
+
+// Score computes the pair's joint score for the given user vector using
+// the untransformed identity u·x + u'·x + u·u'; by construction it equals
+// the transformed inner product q_u·p (verified by property test).
+func (c *CandidateSet) Score(userVec []float32, i int) float32 {
+	pair := c.Pairs[i]
+	xv := c.Events[pair.Event]
+	pv := c.Partners[pair.Partner]
+	return vecmath.Dot(userVec, xv) + c.Cross[i] + vecmath.Dot(userVec, pv)
+}
+
+// BuildConfig controls candidate-set construction.
+type BuildConfig struct {
+	// TopKEvents keeps only each partner's k highest-scoring events
+	// (their own preference u'·x). Zero keeps the full cross product —
+	// the paper's unpruned space.
+	TopKEvents int
+	// Workers bounds build parallelism (0 = serial).
+	Workers int
+}
+
+// BuildCandidates constructs the transformed candidate space over the
+// given event and partner vectors. With pruning enabled, each partner
+// contributes only their top-k events, reducing the space from |U|·|X| to
+// |U|·k exactly as Section IV proposes: a partner is unlikely to accept
+// an invitation to an event they have no interest in.
+func BuildCandidates(events, partners [][]float32, cfg BuildConfig) (*CandidateSet, error) {
+	if len(events) == 0 || len(partners) == 0 {
+		return nil, fmt.Errorf("ta: empty event or partner set")
+	}
+	k := len(events[0])
+	for _, v := range events {
+		if len(v) != k {
+			return nil, fmt.Errorf("ta: inconsistent event vector lengths")
+		}
+	}
+	for _, v := range partners {
+		if len(v) != k {
+			return nil, fmt.Errorf("ta: partner vector length %d, want %d", len(v), k)
+		}
+	}
+	cs := &CandidateSet{K: k, Events: events, Partners: partners}
+
+	topK := cfg.TopKEvents
+	if topK <= 0 || topK > len(events) {
+		topK = len(events)
+	}
+
+	// Per-partner candidate events, computed in parallel.
+	perPartner := make([][]int32, len(partners))
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(partners) + workers - 1) / workers
+	for lo := 0; lo < len(partners); lo += chunk {
+		hi := lo + chunk
+		if hi > len(partners) {
+			hi = len(partners)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				perPartner[u] = topEventsFor(partners[u], events, topK)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	for u, evs := range perPartner {
+		for _, x := range evs {
+			cs.Pairs = append(cs.Pairs, Candidate{Event: x, Partner: int32(u)})
+			cs.Cross = append(cs.Cross, vecmath.Dot(events[x], partners[u]))
+		}
+	}
+	return cs, nil
+}
+
+// topEventsFor returns the indices of the top-k events by u'·x, sorted by
+// event index for deterministic output.
+func topEventsFor(partner []float32, events [][]float32, k int) []int32 {
+	if k >= len(events) {
+		out := make([]int32, len(events))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	type sx struct {
+		x int32
+		s float32
+	}
+	h := make([]sx, 0, k) // min-heap on s
+	less := func(i, j int) bool { return h[i].s < h[j].s }
+	push := func(e sx) {
+		h = append(h, e)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if less(i, p) {
+				h[i], h[p] = h[p], h[i]
+				i = p
+			} else {
+				break
+			}
+		}
+	}
+	fix := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(l, m) {
+				m = l
+			}
+			if r < len(h) && less(r, m) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for x, ev := range events {
+		s := vecmath.Dot(partner, ev)
+		if len(h) < k {
+			push(sx{int32(x), s})
+		} else if s > h[0].s {
+			h[0] = sx{int32(x), s}
+			fix()
+		}
+	}
+	out := make([]int32, len(h))
+	for i, e := range h {
+		out[i] = e.x
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Result is one recommended event-partner pair with its score.
+type Result struct {
+	Event   int32
+	Partner int32
+	Score   float32
+}
+
+// BruteForceTopN scores every candidate (GEM-BF) and returns the top n by
+// score, descending, ties broken by pair order.
+func (c *CandidateSet) BruteForceTopN(userVec []float32, n int) []Result {
+	if n <= 0 {
+		return nil
+	}
+	h := &resultHeap{}
+	heap.Init(h)
+	for i := range c.Pairs {
+		s := c.Score(userVec, i)
+		if h.Len() < n {
+			heap.Push(h, Result{c.Pairs[i].Event, c.Pairs[i].Partner, s})
+		} else if s > (*h)[0].Score {
+			(*h)[0] = Result{c.Pairs[i].Event, c.Pairs[i].Partner, s}
+			heap.Fix(h, 0)
+		}
+	}
+	return drainDescending(h)
+}
+
+// resultHeap is a min-heap on Score so the root is the weakest retained
+// result.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func drainDescending(h *resultHeap) []Result {
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package text_test
+
+import (
+	"fmt"
+
+	"ebsn/internal/text"
+)
+
+func ExampleTokenize() {
+	fmt.Println(text.Tokenize("Jazz Night @ Blue-Note, 8pm!"))
+	// Output: [jazz night blue note 8pm]
+}
+
+func ExampleBuildVocabulary() {
+	docs := [][]string{
+		text.Tokenize("jazz night downtown"),
+		text.Tokenize("jazz brunch and poetry"),
+		text.Tokenize("the poetry reading"),
+	}
+	vocab := text.BuildVocabulary(docs, text.VocabConfig{MinDocFreq: 2})
+	// "jazz" and "poetry" appear in two documents each; everything else
+	// is dropped (df 1) or a stopword ("and", "the").
+	fmt.Println(vocab.Size())
+	fmt.Println(vocab.Word(0), vocab.Word(1))
+	// Output:
+	// 2
+	// jazz poetry
+}

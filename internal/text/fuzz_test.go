@@ -1,0 +1,64 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize asserts tokenizer invariants on arbitrary input: tokens
+// are non-empty, lowercase, and contain no separator runes.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Jazz Night @ Blue-Note, 8pm!")
+	f.Add("")
+	f.Add("日本語のイベント 🎉 mixed WITH ascii")
+	f.Add("a\x00b\xff\xfe")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("separator rune %q survived in token %q", r, tok)
+				}
+			}
+			// Lowercasing is idempotent. (Some uppercase-category runes,
+			// e.g. U+2107 EULER CONSTANT, have no lowercase mapping and
+			// legitimately survive ToLower — found by this fuzzer.)
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lowercase-stable", tok)
+			}
+		}
+	})
+}
+
+// FuzzTFIDF asserts that arbitrary documents never produce non-positive
+// weights, duplicate word IDs, or out-of-order entries.
+func FuzzTFIDF(f *testing.F) {
+	docs := [][]string{
+		{"jazz", "night"},
+		{"jazz", "festival", "music"},
+		{"rock", "music"},
+	}
+	vocab := BuildVocabulary(docs, VocabConfig{MinDocFreq: 1})
+	f.Add("jazz music music unknown")
+	f.Add("")
+	f.Add("the the the")
+	f.Fuzz(func(t *testing.T, s string) {
+		ws := vocab.TFIDF(Tokenize(s))
+		prev := int32(-1)
+		for _, e := range ws {
+			if e.Weight <= 0 {
+				t.Fatalf("non-positive weight %v", e.Weight)
+			}
+			if e.Word <= prev {
+				t.Fatalf("unsorted or duplicate word IDs: %d after %d", e.Word, prev)
+			}
+			if int(e.Word) >= vocab.Size() {
+				t.Fatalf("word ID %d out of vocabulary", e.Word)
+			}
+			prev = e.Word
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package text implements the content pipeline for the event-content
+// graph: tokenization, stopword filtering, vocabulary construction with
+// document-frequency cutoffs, and the TF-IDF weighting the paper uses for
+// event-word edges (Definition 6).
+package text
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it on any non-letter, non-digit rune.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// defaultStopwords is a small English stopword list; the synthetic corpus
+// generator plants a handful of these as function words so the filter has
+// real work to do.
+var defaultStopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"by": {}, "for": {}, "from": {}, "has": {}, "he": {}, "in": {}, "is": {},
+	"it": {}, "its": {}, "of": {}, "on": {}, "or": {}, "that": {}, "the": {},
+	"to": {}, "was": {}, "we": {}, "were": {}, "will": {}, "with": {}, "you": {},
+	"this": {}, "not": {}, "but": {}, "they": {}, "their": {}, "our": {},
+}
+
+// IsStopword reports whether w is in the built-in stopword list.
+func IsStopword(w string) bool {
+	_, ok := defaultStopwords[w]
+	return ok
+}
+
+// Vocabulary maps word strings to dense int32 IDs and records document
+// frequencies for IDF computation.
+type Vocabulary struct {
+	ids   map[string]int32
+	words []string
+	df    []int32
+	docs  int
+}
+
+// VocabConfig controls vocabulary construction.
+type VocabConfig struct {
+	// MinDocFreq drops words appearing in fewer documents than this.
+	MinDocFreq int
+	// MaxDocFraction drops words appearing in more than this fraction of
+	// documents (corpus-specific stopwords). Zero means no ceiling.
+	MaxDocFraction float64
+	// KeepStopwords retains built-in stopwords if true.
+	KeepStopwords bool
+}
+
+// BuildVocabulary scans tokenized documents and returns the retained
+// vocabulary. Word IDs are assigned in decreasing document-frequency order
+// (ties broken lexicographically) so that ID 0 is the most common retained
+// word — a convenient property for debugging and for Zipf checks in tests.
+func BuildVocabulary(docs [][]string, cfg VocabConfig) *Vocabulary {
+	if cfg.MinDocFreq < 1 {
+		cfg.MinDocFreq = 1
+	}
+	df := make(map[string]int32)
+	for _, doc := range docs {
+		seen := make(map[string]struct{}, len(doc))
+		for _, w := range doc {
+			if w == "" {
+				continue
+			}
+			if !cfg.KeepStopwords && IsStopword(w) {
+				continue
+			}
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			df[w]++
+		}
+	}
+	maxDF := int32(math.MaxInt32)
+	if cfg.MaxDocFraction > 0 {
+		maxDF = int32(cfg.MaxDocFraction * float64(len(docs)))
+	}
+	type wf struct {
+		w string
+		f int32
+	}
+	var kept []wf
+	for w, f := range df {
+		if f >= int32(cfg.MinDocFreq) && f <= maxDF {
+			kept = append(kept, wf{w, f})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].f != kept[j].f {
+			return kept[i].f > kept[j].f
+		}
+		return kept[i].w < kept[j].w
+	})
+	v := &Vocabulary{
+		ids:   make(map[string]int32, len(kept)),
+		words: make([]string, len(kept)),
+		df:    make([]int32, len(kept)),
+		docs:  len(docs),
+	}
+	for i, e := range kept {
+		v.ids[e.w] = int32(i)
+		v.words[i] = e.w
+		v.df[i] = e.f
+	}
+	return v
+}
+
+// Size returns the number of retained words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// NumDocs returns the corpus size the vocabulary was built from.
+func (v *Vocabulary) NumDocs() int { return v.docs }
+
+// ID returns the word's ID, or -1 if it was not retained.
+func (v *Vocabulary) ID(w string) int32 {
+	if id, ok := v.ids[w]; ok {
+		return id
+	}
+	return -1
+}
+
+// Word returns the string for a word ID.
+func (v *Vocabulary) Word(id int32) string { return v.words[id] }
+
+// DocFreq returns the document frequency of a word ID.
+func (v *Vocabulary) DocFreq(id int32) int32 { return v.df[id] }
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/df) of a word ID.
+func (v *Vocabulary) IDF(id int32) float64 {
+	return math.Log(1 + float64(v.docs)/float64(v.df[id]))
+}
+
+// WordWeight is one TF-IDF-weighted vocabulary entry of a document.
+type WordWeight struct {
+	Word   int32
+	Weight float32
+}
+
+// TFIDF converts one tokenized document into TF-IDF weights over the
+// vocabulary. Term frequency is raw count normalized by document length;
+// out-of-vocabulary tokens are skipped. The result is sorted by word ID.
+func (v *Vocabulary) TFIDF(doc []string) []WordWeight {
+	counts := make(map[int32]int)
+	total := 0
+	for _, w := range doc {
+		id := v.ID(w)
+		if id < 0 {
+			continue
+		}
+		counts[id]++
+		total++
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]WordWeight, 0, len(counts))
+	for id, c := range counts {
+		tf := float64(c) / float64(total)
+		out = append(out, WordWeight{Word: id, Weight: float32(tf * v.IDF(id))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
+	return out
+}

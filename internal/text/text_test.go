@@ -1,0 +1,188 @@
+package text
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"rock-climbing @ 7pm", []string{"rock", "climbing", "7pm"}},
+		{"", nil},
+		{"   ", nil},
+		{"ONE two Three", []string{"one", "two", "three"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") {
+		t.Error("'the' not a stopword")
+	}
+	if IsStopword("concert") {
+		t.Error("'concert' flagged as stopword")
+	}
+}
+
+func docs() [][]string {
+	return [][]string{
+		{"jazz", "concert", "the", "night"},
+		{"jazz", "festival", "music"},
+		{"rock", "concert", "music", "music"},
+		{"poetry", "reading"},
+	}
+}
+
+func TestBuildVocabularyDropsStopwords(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 1})
+	if v.ID("the") != -1 {
+		t.Error("stopword retained")
+	}
+	if v.ID("jazz") < 0 {
+		t.Error("'jazz' dropped")
+	}
+}
+
+func TestBuildVocabularyMinDocFreq(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 2})
+	for _, w := range []string{"jazz", "concert", "music"} {
+		if v.ID(w) < 0 {
+			t.Errorf("df>=2 word %q dropped", w)
+		}
+	}
+	for _, w := range []string{"festival", "rock", "poetry"} {
+		if v.ID(w) >= 0 {
+			t.Errorf("df=1 word %q retained", w)
+		}
+	}
+}
+
+func TestBuildVocabularyMaxDocFraction(t *testing.T) {
+	many := make([][]string, 10)
+	for i := range many {
+		many[i] = []string{"common", "word"}
+	}
+	many[0] = append(many[0], "rare")
+	v := BuildVocabulary(many, VocabConfig{MinDocFreq: 1, MaxDocFraction: 0.5})
+	if v.ID("common") != -1 {
+		t.Error("over-frequent word retained")
+	}
+	if v.ID("rare") < 0 {
+		t.Error("rare word dropped")
+	}
+}
+
+func TestVocabularyIDOrderByFrequency(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 1})
+	// "concert", "jazz" and "music" each have df=2, everything else df=1.
+	// IDs 0..2 must be those three (lexicographic ties).
+	got := []string{v.Word(0), v.Word(1), v.Word(2)}
+	want := []string{"concert", "jazz", "music"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("top IDs = %v, want %v", got, want)
+	}
+}
+
+func TestDocFreqAndIDF(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 1})
+	id := v.ID("music")
+	if v.DocFreq(id) != 2 {
+		t.Errorf("df(music) = %d, want 2", v.DocFreq(id))
+	}
+	want := math.Log(1 + 4.0/2.0)
+	if math.Abs(v.IDF(id)-want) > 1e-12 {
+		t.Errorf("IDF(music) = %v, want %v", v.IDF(id), want)
+	}
+	if v.NumDocs() != 4 {
+		t.Errorf("NumDocs = %d", v.NumDocs())
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 1})
+	ws := v.TFIDF([]string{"music", "music", "jazz", "unknownword"})
+	if len(ws) != 2 {
+		t.Fatalf("TFIDF entries = %d, want 2", len(ws))
+	}
+	// Entries are sorted by word ID; jazz (df 2) and music (df 2) both kept.
+	var musicW, jazzW float32
+	for _, e := range ws {
+		switch v.Word(e.Word) {
+		case "music":
+			musicW = e.Weight
+		case "jazz":
+			jazzW = e.Weight
+		}
+	}
+	// music tf = 2/3, jazz tf = 1/3, same IDF -> music weight is double.
+	if math.Abs(float64(musicW/jazzW)-2) > 1e-5 {
+		t.Errorf("music/jazz weight ratio = %v, want 2", musicW/jazzW)
+	}
+}
+
+func TestTFIDFEmptyAndOOV(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 1})
+	if got := v.TFIDF(nil); got != nil {
+		t.Errorf("TFIDF(nil) = %v", got)
+	}
+	if got := v.TFIDF([]string{"zzz", "qqq"}); got != nil {
+		t.Errorf("TFIDF(all-OOV) = %v", got)
+	}
+}
+
+func TestTFIDFWeightsPositiveAndSortedProperty(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 1})
+	words := []string{"jazz", "concert", "night", "festival", "music", "rock", "poetry", "reading"}
+	f := func(picks []uint8) bool {
+		var doc []string
+		for _, p := range picks {
+			doc = append(doc, words[int(p)%len(words)])
+		}
+		ws := v.TFIDF(doc)
+		prev := int32(-1)
+		for _, e := range ws {
+			if e.Weight <= 0 || e.Word <= prev {
+				return false
+			}
+			prev = e.Word
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHigherTFMeansHigherWeightProperty(t *testing.T) {
+	v := BuildVocabulary(docs(), VocabConfig{MinDocFreq: 1})
+	// Within one document, a word with strictly higher count and equal IDF
+	// must get a strictly higher weight. jazz and music have equal df.
+	doc := []string{"music", "music", "music", "jazz"}
+	ws := v.TFIDF(doc)
+	var musicW, jazzW float32
+	for _, e := range ws {
+		switch v.Word(e.Word) {
+		case "music":
+			musicW = e.Weight
+		case "jazz":
+			jazzW = e.Weight
+		}
+	}
+	if musicW <= jazzW {
+		t.Errorf("weight(music)=%v <= weight(jazz)=%v despite higher tf", musicW, jazzW)
+	}
+}

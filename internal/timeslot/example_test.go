@@ -1,0 +1,31 @@
+package timeslot_test
+
+import (
+	"fmt"
+	"time"
+
+	"ebsn/internal/timeslot"
+)
+
+// The paper's running example: an event at 2017-06-29 18:00 links to the
+// 18:00 hour slot, the Thursday day slot, and the weekday type slot.
+func ExampleSlots() {
+	start := time.Date(2017, 6, 29, 18, 0, 0, 0, time.UTC)
+	for _, slot := range timeslot.Slots(start) {
+		fmt.Println(timeslot.Name(slot))
+	}
+	// Output:
+	// 18:00
+	// Thursday
+	// weekday
+}
+
+func ExampleName() {
+	fmt.Println(timeslot.Name(timeslot.HourSlot(9)))
+	fmt.Println(timeslot.Name(timeslot.DaySlot(5)))
+	fmt.Println(timeslot.Name(timeslot.WeekendSlot()))
+	// Output:
+	// 09:00
+	// Saturday
+	// weekend
+}

@@ -1,0 +1,84 @@
+// Package timeslot implements the paper's multi-scale time discretization
+// for the event-time graph: 33 time-slot nodes comprising 24 hour-of-day
+// slots, 7 day-of-week slots, and 2 weekday/weekend slots. Each event links
+// to exactly three slots (Definition 5): its hour, its day, and its weekday
+// type. For example 2017-06-29 18:00 (a Thursday) maps to {18:00, Thursday,
+// weekday}.
+package timeslot
+
+import (
+	"fmt"
+	"time"
+)
+
+// Slot counts per scale and the fixed layout of the 33-slot ID space:
+// [0,24) hours, [24,31) days (Monday=24 … Sunday=30), 31 weekday,
+// 32 weekend.
+const (
+	NumHourSlots    = 24
+	NumDaySlots     = 7
+	NumWeekdaySlots = 2
+	NumSlots        = NumHourSlots + NumDaySlots + NumWeekdaySlots
+
+	dayBase     = NumHourSlots
+	weekdaySlot = dayBase + NumDaySlots
+	weekendSlot = weekdaySlot + 1
+
+	// SlotsPerEvent is how many time nodes each event links to.
+	SlotsPerEvent = 3
+)
+
+// HourSlot returns the slot ID for hour h in [0, 24).
+func HourSlot(h int) int32 {
+	if h < 0 || h >= 24 {
+		panic(fmt.Sprintf("timeslot: hour %d out of range", h))
+	}
+	return int32(h)
+}
+
+// DaySlot returns the slot ID for weekday d, with Monday = 0 … Sunday = 6.
+func DaySlot(d int) int32 {
+	if d < 0 || d >= 7 {
+		panic(fmt.Sprintf("timeslot: day %d out of range", d))
+	}
+	return int32(dayBase + d)
+}
+
+// WeekdaySlot and WeekendSlot return the third-scale slot IDs.
+func WeekdaySlot() int32 { return weekdaySlot }
+
+// WeekendSlot returns the weekend slot ID.
+func WeekendSlot() int32 { return weekendSlot }
+
+// mondayIndexed converts time.Weekday (Sunday=0) to Monday=0 indexing.
+func mondayIndexed(w time.Weekday) int {
+	return (int(w) + 6) % 7
+}
+
+// Slots returns the three slot IDs for t: hour, day-of-week, and
+// weekday/weekend.
+func Slots(t time.Time) [SlotsPerEvent]int32 {
+	day := mondayIndexed(t.Weekday())
+	third := weekdaySlot
+	if t.Weekday() == time.Saturday || t.Weekday() == time.Sunday {
+		third = weekendSlot
+	}
+	return [SlotsPerEvent]int32{HourSlot(t.Hour()), DaySlot(day), int32(third)}
+}
+
+// Name returns a human-readable label for a slot ID, e.g. "18:00",
+// "Thursday", "weekday".
+func Name(slot int32) string {
+	switch {
+	case slot >= 0 && slot < NumHourSlots:
+		return fmt.Sprintf("%02d:00", slot)
+	case slot >= dayBase && slot < dayBase+NumDaySlots:
+		return [...]string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}[slot-dayBase]
+	case slot == weekdaySlot:
+		return "weekday"
+	case slot == weekendSlot:
+		return "weekend"
+	default:
+		panic(fmt.Sprintf("timeslot: slot %d out of range", slot))
+	}
+}

@@ -1,0 +1,110 @@
+package timeslot
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNumSlotsIs33(t *testing.T) {
+	if NumSlots != 33 {
+		t.Fatalf("NumSlots = %d, want 33 (24 hours + 7 days + 2 weekday types)", NumSlots)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// The paper's example: "2017-06-29 18:00" corresponds to 18:00,
+	// Thursday, and weekday.
+	ts := time.Date(2017, 6, 29, 18, 0, 0, 0, time.UTC)
+	slots := Slots(ts)
+	if Name(slots[0]) != "18:00" {
+		t.Errorf("hour slot = %s, want 18:00", Name(slots[0]))
+	}
+	if Name(slots[1]) != "Thursday" {
+		t.Errorf("day slot = %s, want Thursday", Name(slots[1]))
+	}
+	if Name(slots[2]) != "weekday" {
+		t.Errorf("type slot = %s, want weekday", Name(slots[2]))
+	}
+}
+
+func TestWeekend(t *testing.T) {
+	sat := time.Date(2017, 7, 1, 10, 0, 0, 0, time.UTC) // Saturday
+	slots := Slots(sat)
+	if Name(slots[1]) != "Saturday" || Name(slots[2]) != "weekend" {
+		t.Errorf("Saturday slots = %s/%s", Name(slots[1]), Name(slots[2]))
+	}
+	sun := time.Date(2017, 7, 2, 23, 0, 0, 0, time.UTC) // Sunday
+	slots = Slots(sun)
+	if Name(slots[1]) != "Sunday" || Name(slots[2]) != "weekend" {
+		t.Errorf("Sunday slots = %s/%s", Name(slots[1]), Name(slots[2]))
+	}
+}
+
+func TestSlotsDisjointScales(t *testing.T) {
+	f := func(unix int64) bool {
+		ts := time.Unix(unix%4e9, 0).UTC()
+		s := Slots(ts)
+		return s[0] >= 0 && s[0] < NumHourSlots &&
+			s[1] >= NumHourSlots && s[1] < NumHourSlots+NumDaySlots &&
+			s[2] >= NumHourSlots+NumDaySlots && s[2] < NumSlots
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHourSlotAndDaySlotRanges(t *testing.T) {
+	for h := 0; h < 24; h++ {
+		if s := HourSlot(h); int(s) != h {
+			t.Errorf("HourSlot(%d) = %d", h, s)
+		}
+	}
+	for d := 0; d < 7; d++ {
+		if s := DaySlot(d); int(s) != 24+d {
+			t.Errorf("DaySlot(%d) = %d", d, s)
+		}
+	}
+}
+
+func TestPanicsOutOfRange(t *testing.T) {
+	for name, f := range map[string]func(){
+		"hour-neg": func() { HourSlot(-1) },
+		"hour-24":  func() { HourSlot(24) },
+		"day-neg":  func() { DaySlot(-1) },
+		"day-7":    func() { DaySlot(7) },
+		"name-big": func() { Name(NumSlots) },
+		"name-neg": func() { Name(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllNamesDistinct(t *testing.T) {
+	seen := make(map[string]int32)
+	for s := int32(0); s < NumSlots; s++ {
+		n := Name(s)
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("slots %d and %d share name %q", prev, s, n)
+		}
+		seen[n] = s
+	}
+}
+
+func TestMondayIndexing(t *testing.T) {
+	mon := time.Date(2017, 7, 3, 9, 0, 0, 0, time.UTC) // Monday
+	slots := Slots(mon)
+	if slots[1] != DaySlot(0) {
+		t.Errorf("Monday maps to day slot %d, want %d", slots[1], DaySlot(0))
+	}
+	if WeekdaySlot() != 31 || WeekendSlot() != 32 {
+		t.Errorf("weekday/weekend slots = %d/%d, want 31/32", WeekdaySlot(), WeekendSlot())
+	}
+}

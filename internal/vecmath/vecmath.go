@@ -1,0 +1,159 @@
+// Package vecmath provides the dense float32 vector kernels used by the
+// embedding models. Everything here is hot-path code: the functions avoid
+// allocation, take pre-sized slices, and are written so the compiler can
+// eliminate bounds checks in the inner loops.
+package vecmath
+
+import (
+	"math"
+)
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; Dot panics otherwise, because a silent truncation would corrupt
+// model scores.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	var s float32
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst += alpha*src element-wise.
+func Axpy(alpha float32, src, dst []float32) {
+	if len(src) != len(dst) {
+		panic("vecmath: Axpy length mismatch")
+	}
+	for i, sv := range src {
+		dst[i] += alpha * sv
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(alpha float32, v []float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// SumSq returns the sum of squared elements of v.
+func SumSq(v []float32) float32 {
+	var s float32
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	return float32(math.Sqrt(float64(SumSq(v))))
+}
+
+// ClampNonNeg applies the rectifier max(x, 0) to every element of v in
+// place. GEM projects embeddings onto the non-negative orthant after each
+// gradient step; the non-negativity is also what makes the adaptive
+// sampler's dimension distribution p(f|v) ∝ v_f·σ_f a valid distribution.
+func ClampNonNeg(v []float32) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed in float64 internally for
+// stability at large |x|.
+func Sigmoid(x float32) float32 {
+	// For very negative x, exp(-x) overflows float32 math; float64 is safe
+	// for the whole float32 input range.
+	return float32(1.0 / (1.0 + math.Exp(-float64(x))))
+}
+
+// sigmoid lookup table covering [-sigTableRange, sigTableRange]. Outside
+// the range the function is within 3e-4 of 0 or 1, so clamping is fine for
+// SGD purposes. word2vec and LINE use the same trick.
+const (
+	sigTableSize  = 2048
+	sigTableRange = 8.0
+)
+
+var sigTable [sigTableSize + 1]float32
+
+func init() {
+	for i := 0; i <= sigTableSize; i++ {
+		x := -sigTableRange + 2*sigTableRange*float64(i)/float64(sigTableSize)
+		sigTable[i] = float32(1.0 / (1.0 + math.Exp(-x)))
+	}
+}
+
+// FastSigmoid returns a table-interpolated sigmoid accurate to about 1e-4
+// on [-8, 8] and clamped to {~0, ~1} outside. Used in SGD inner loops
+// where exact transcendental accuracy is wasted effort.
+func FastSigmoid(x float32) float32 {
+	if x <= -sigTableRange {
+		return sigTable[0]
+	}
+	if x >= sigTableRange {
+		return sigTable[sigTableSize]
+	}
+	pos := (float64(x) + sigTableRange) * sigTableSize / (2 * sigTableRange)
+	i := int(pos)
+	frac := float32(pos - float64(i))
+	return sigTable[i] + frac*(sigTable[i+1]-sigTable[i])
+}
+
+// ColumnMeanVar computes per-dimension mean and variance across a row-major
+// matrix of n rows by k columns stored contiguously in data (len = n*k).
+// The outputs mean and variance must each have length k. Used by the
+// adaptive sampler's dimension distribution, which weights dimensions by
+// their value spread across nodes.
+func ColumnMeanVar(data []float32, n, k int, mean, variance []float32) {
+	if n*k != len(data) {
+		panic("vecmath: ColumnMeanVar size mismatch")
+	}
+	if len(mean) != k || len(variance) != k {
+		panic("vecmath: ColumnMeanVar output size mismatch")
+	}
+	for f := 0; f < k; f++ {
+		mean[f] = 0
+		variance[f] = 0
+	}
+	if n == 0 {
+		return
+	}
+	for r := 0; r < n; r++ {
+		row := data[r*k : (r+1)*k]
+		for f, x := range row {
+			mean[f] += x
+		}
+	}
+	inv := 1 / float32(n)
+	for f := 0; f < k; f++ {
+		mean[f] *= inv
+	}
+	for r := 0; r < n; r++ {
+		row := data[r*k : (r+1)*k]
+		for f, x := range row {
+			d := x - mean[f]
+			variance[f] += d * d
+		}
+	}
+	for f := 0; f < k; f++ {
+		variance[f] *= inv
+	}
+}
+
+// HasNaN reports whether v contains a NaN or infinity. Training code uses
+// it as a cheap guard in tests and debug assertions.
+func HasNaN(v []float32) bool {
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float32
+		want float32
+	}{
+		{[]float32{}, []float32{}, 0},
+		{[]float32{1}, []float32{2}, 2},
+		{[]float32{1, 2, 3}, []float32{4, 5, 6}, 32},
+		{[]float32{-1, 0, 1}, []float32{1, 100, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); got != c.want {
+			t.Errorf("Dot(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot did not panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	dst := []float32{1, 2, 3}
+	Axpy(2, []float32{1, 1, 1}, dst)
+	want := []float32{3, 4, 5}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAxpyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Axpy did not panic on length mismatch")
+		}
+	}()
+	Axpy(1, []float32{1, 2}, []float32{1})
+}
+
+func TestScale(t *testing.T) {
+	v := []float32{1, -2, 0.5}
+	Scale(-2, v)
+	want := []float32{-2, 4, -1}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("Scale result %v, want %v", v, want)
+		}
+	}
+}
+
+func TestNormAndSumSq(t *testing.T) {
+	v := []float32{3, 4}
+	if got := SumSq(v); got != 25 {
+		t.Errorf("SumSq = %v, want 25", got)
+	}
+	if got := Norm(v); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestClampNonNeg(t *testing.T) {
+	v := []float32{-1, 0, 2, -0.001}
+	ClampNonNeg(v)
+	want := []float32{0, 0, 2, 0}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("ClampNonNeg result %v, want %v", v, want)
+		}
+	}
+}
+
+func TestSigmoidEndpointsAndMidpoint(t *testing.T) {
+	if got := Sigmoid(0); math.Abs(float64(got)-0.5) > 1e-7 {
+		t.Errorf("Sigmoid(0) = %v, want 0.5", got)
+	}
+	if got := Sigmoid(100); got < 0.9999 {
+		t.Errorf("Sigmoid(100) = %v, want ~1", got)
+	}
+	if got := Sigmoid(-100); got > 0.0001 {
+		t.Errorf("Sigmoid(-100) = %v, want ~0", got)
+	}
+}
+
+func TestSigmoidSymmetryProperty(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		return math.Abs(float64(Sigmoid(x)+Sigmoid(-x))-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastSigmoidAccuracy(t *testing.T) {
+	for x := float32(-8); x <= 8; x += 0.003 {
+		exact := Sigmoid(x)
+		fast := FastSigmoid(x)
+		if math.Abs(float64(exact-fast)) > 2e-4 {
+			t.Fatalf("FastSigmoid(%v) = %v, exact %v", x, fast, exact)
+		}
+	}
+}
+
+func TestFastSigmoidClamping(t *testing.T) {
+	if got := FastSigmoid(50); got != FastSigmoid(8) {
+		t.Errorf("FastSigmoid(50) = %v, want clamp to FastSigmoid(8)", got)
+	}
+	if got := FastSigmoid(-50); got != FastSigmoid(-8) {
+		t.Errorf("FastSigmoid(-50) = %v, want clamp to FastSigmoid(-8)", got)
+	}
+	if FastSigmoid(8) < 0.999 || FastSigmoid(-8) > 0.001 {
+		t.Error("FastSigmoid tails are not near 0/1")
+	}
+}
+
+func TestFastSigmoidMonotoneProperty(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return FastSigmoid(lo) <= FastSigmoid(hi)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnMeanVar(t *testing.T) {
+	// 3 rows x 2 cols:
+	// col0: 1, 2, 3  -> mean 2, var 2/3
+	// col1: 0, 0, 6  -> mean 2, var 8
+	data := []float32{1, 0, 2, 0, 3, 6}
+	mean := make([]float32, 2)
+	variance := make([]float32, 2)
+	ColumnMeanVar(data, 3, 2, mean, variance)
+	if math.Abs(float64(mean[0])-2) > 1e-6 || math.Abs(float64(mean[1])-2) > 1e-6 {
+		t.Errorf("mean = %v, want [2 2]", mean)
+	}
+	if math.Abs(float64(variance[0])-2.0/3.0) > 1e-5 {
+		t.Errorf("var[0] = %v, want 2/3", variance[0])
+	}
+	if math.Abs(float64(variance[1])-8) > 1e-5 {
+		t.Errorf("var[1] = %v, want 8", variance[1])
+	}
+}
+
+func TestColumnMeanVarEmpty(t *testing.T) {
+	mean := make([]float32, 3)
+	variance := make([]float32, 3)
+	ColumnMeanVar(nil, 0, 3, mean, variance)
+	for f := 0; f < 3; f++ {
+		if mean[f] != 0 || variance[f] != 0 {
+			t.Fatal("empty matrix should give zero stats")
+		}
+	}
+}
+
+func TestColumnMeanVarNonNegativeProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		k := 4
+		n := len(raw) / k
+		if n == 0 {
+			return true
+		}
+		data := raw[:n*k]
+		for i, x := range data {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				data[i] = 0
+			}
+		}
+		mean := make([]float32, k)
+		variance := make([]float32, k)
+		ColumnMeanVar(data, n, k, mean, variance)
+		for _, v := range variance {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	if HasNaN([]float32{1, 2, 3}) {
+		t.Error("HasNaN flagged a clean vector")
+	}
+	if !HasNaN([]float32{1, float32(math.NaN())}) {
+		t.Error("HasNaN missed a NaN")
+	}
+	if !HasNaN([]float32{float32(math.Inf(1))}) {
+		t.Error("HasNaN missed an Inf")
+	}
+}
+
+func BenchmarkDot64(b *testing.B) {
+	x := make([]float32, 64)
+	y := make([]float32, 64)
+	for i := range x {
+		x[i] = float32(i) * 0.01
+		y[i] = float32(64-i) * 0.01
+	}
+	b.ReportAllocs()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkFastSigmoid(b *testing.B) {
+	b.ReportAllocs()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += FastSigmoid(float32(i%16) - 8)
+	}
+	_ = sink
+}

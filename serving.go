@@ -1,0 +1,185 @@
+package ebsn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ebsn/internal/ta"
+	"ebsn/internal/vecmath"
+)
+
+// TopEventsBatch computes top-n cold-event recommendations for many users
+// concurrently — the offline path behind daily-digest jobs. Results are
+// indexed like users; workers ≤ 0 means Config.Threads.
+func (r *Recommender) TopEventsBatch(users []int32, n, workers int) ([][]Recommendation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ebsn: n must be positive")
+	}
+	for _, u := range users {
+		if int(u) < 0 || int(u) >= r.dataset.NumUsers {
+			return nil, fmt.Errorf("ebsn: user %d out of range [0,%d)", u, r.dataset.NumUsers)
+		}
+	}
+	if workers <= 0 {
+		workers = r.cfg.Threads
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][]Recommendation, len(users))
+	var wg sync.WaitGroup
+	chunk := (len(users) + workers - 1) / workers
+	var firstErr error
+	var mu sync.Mutex
+	for lo := 0; lo < len(users); lo += chunk {
+		hi := lo + chunk
+		if hi > len(users) {
+			hi = len(users)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				recs, err := r.TopEvents(users[i], n)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = recs
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// LiveEventID identifies an event ingested after training: negative
+// values distinguish it from dataset event IDs in PairRecommendation
+// results. ID -1 is the first ingested event, -2 the second, and so on.
+type LiveEventID = int32
+
+// IngestColdEvent folds a brand-new event (created after training) into
+// the serving path: its embedding is synthesized from trained word,
+// region and time vectors (FoldInEvent), and its candidate pairs join the
+// joint-recommendation index's delta buffer immediately — no retraining,
+// no index rebuild. The returned LiveEventID appears (negated) as the
+// Event field of PairRecommendations that include it.
+func (r *Recommender) IngestColdEvent(words []string, venue int32, start time.Time) (LiveEventID, error) {
+	vec, err := r.FoldInEvent(words, venue, start)
+	if err != nil {
+		return 0, err
+	}
+	if r.taDynamic == nil {
+		if r.taIndex == nil {
+			k := len(r.split.TestEvents) / 20
+			if k < 1 {
+				k = 1
+			}
+			if err := r.PrepareJoint(k); err != nil {
+				return 0, err
+			}
+		}
+		r.taDynamic = ta.NewDynamic(r.taSet, r.taPruneK)
+	}
+	if err := r.taDynamic.AddEvent(vec); err != nil {
+		return 0, err
+	}
+	r.liveEvents++
+	return -int32(r.liveEvents), nil
+}
+
+// TopEventPartnersLive is TopEventPartners over the base index plus every
+// event ingested since. Live events surface with negative Event IDs (see
+// LiveEventID); dataset events keep their usual IDs.
+func (r *Recommender) TopEventPartnersLive(user int32, n int) ([]PairRecommendation, error) {
+	if int(user) < 0 || int(user) >= r.dataset.NumUsers {
+		return nil, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("ebsn: n must be positive")
+	}
+	if r.taDynamic == nil {
+		return r.TopEventPartners(user, n)
+	}
+	res, _ := r.taDynamic.TopNExcluding(r.model.UserVec(user), n, user)
+	base := len(r.split.TestEvents)
+	out := make([]PairRecommendation, 0, n)
+	for _, rr := range res {
+		var event int32
+		switch {
+		case rr.FromDelta:
+			// Delta events are numbered by arrival within the current
+			// delta; compacted events shift the numbering, so offset by
+			// how many were already folded into the base.
+			compacted := r.liveEvents - r.taDynamic.DeltaEvents()
+			event = -int32(compacted) - (rr.Event + 1)
+		case int(rr.Event) >= base:
+			// A previously compacted live event: positions past the
+			// original test events map back to arrival order.
+			event = -(rr.Event - int32(base) + 1)
+		default:
+			event = r.split.TestEvents[rr.Event]
+		}
+		out = append(out, PairRecommendation{Event: event, Partner: rr.Partner, Score: rr.Score})
+		if len(out) == n {
+			break
+		}
+	}
+	return out, nil
+}
+
+// CompactLiveEvents folds all ingested events into the main index (a
+// rebuild), keeping query latency flat as the delta grows. Live events
+// keep their negative LiveEventIDs in subsequent results: compaction is
+// invisible to callers apart from the latency profile.
+func (r *Recommender) CompactLiveEvents() {
+	if r.taDynamic != nil {
+		r.taDynamic.Rebuild()
+	}
+}
+
+// LiveEventCount returns how many events were ingested since training.
+func (r *Recommender) LiveEventCount() int { return r.liveEvents }
+
+// ScoreBreakdown decomposes a joint recommendation score into the three
+// pairwise terms of Eqn. 8 — the explanation surface for "why this event,
+// why this partner": the user's own affinity for the event, the partner's
+// affinity for it, and the social proximity of the two users.
+type ScoreBreakdown struct {
+	UserEvent    float32 // u·x  — how much the target user likes the event
+	PartnerEvent float32 // u'·x — how much the partner likes the event
+	Social       float32 // u·u' — how close the two users are
+	Total        float32
+}
+
+// Explain returns the score decomposition for (user, partner, event) with
+// a dataset event ID.
+func (r *Recommender) Explain(user, partner, event int32) (ScoreBreakdown, error) {
+	if int(user) < 0 || int(user) >= r.dataset.NumUsers {
+		return ScoreBreakdown{}, fmt.Errorf("ebsn: user %d out of range", user)
+	}
+	if int(partner) < 0 || int(partner) >= r.dataset.NumUsers {
+		return ScoreBreakdown{}, fmt.Errorf("ebsn: partner %d out of range", partner)
+	}
+	if int(event) < 0 || int(event) >= r.dataset.NumEvents() {
+		return ScoreBreakdown{}, fmt.Errorf("ebsn: event %d out of range", event)
+	}
+	b := ScoreBreakdown{
+		UserEvent:    r.model.ScoreUserEvent(user, event),
+		PartnerEvent: r.model.ScoreUserEvent(partner, event),
+		Social:       vecmath.Dot(r.model.UserVec(user), r.model.UserVec(partner)),
+	}
+	b.Total = b.UserEvent + b.PartnerEvent + b.Social
+	return b, nil
+}

@@ -1,0 +1,155 @@
+package ebsn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTopEventsBatchMatchesSingle(t *testing.T) {
+	rec := tinyRecommender(t)
+	users := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	batch, err := rec.TopEventsBatch(users, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(users) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, u := range users {
+		single, err := rec.TopEvents(u, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single) != len(batch[i]) {
+			t.Fatalf("user %d: batch %d vs single %d results", u, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if single[j] != batch[i][j] {
+				t.Fatalf("user %d rank %d: %+v vs %+v", u, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
+func TestTopEventsBatchValidation(t *testing.T) {
+	rec := tinyRecommender(t)
+	if _, err := rec.TopEventsBatch([]int32{0}, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := rec.TopEventsBatch([]int32{-5}, 3, 1); err == nil {
+		t.Error("bad user accepted")
+	}
+	if out, err := rec.TopEventsBatch(nil, 3, 1); err != nil || len(out) != 0 {
+		t.Error("empty user list should be a no-op")
+	}
+}
+
+func TestIngestColdEventSurfacesInLiveResults(t *testing.T) {
+	// Fresh recommender: this test mutates serving state.
+	rec, err := New(Config{City: CityTiny, Seed: 31, Threads: 4, TrainSteps: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rec.Dataset()
+
+	// Without ingestion, live results must equal the static path.
+	static, err := rec.TopEventPartners(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := rec.TopEventPartnersLive(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range static {
+		if static[i] != live[i] {
+			t.Fatalf("live path diverges without ingestion at %d", i)
+		}
+	}
+
+	// Ingest a clone of a popular event; it should be able to reach the
+	// top of some user's list since its embedding mirrors a real one.
+	template := int32(rec.Split().TestEvents[0])
+	id, err := rec.IngestColdEvent(d.Events[template].Words, d.Events[template].Venue,
+		time.Date(2013, 2, 1, 19, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != -1 {
+		t.Fatalf("first live event id = %d, want -1", id)
+	}
+	if rec.LiveEventCount() != 1 {
+		t.Fatalf("LiveEventCount = %d", rec.LiveEventCount())
+	}
+
+	// The live event must appear in at least one user's top list.
+	found := false
+	for u := int32(0); int(u) < d.NumUsers && !found; u += 3 {
+		pairs, err := rec.TopEventPartnersLive(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			if p.Event == id {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("ingested event never surfaced in live recommendations")
+	}
+
+	// Compaction preserves the live ID mapping.
+	rec.CompactLiveEvents()
+	found = false
+	for u := int32(0); int(u) < d.NumUsers && !found; u += 3 {
+		pairs, err := rec.TopEventPartnersLive(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			if p.Event == id {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("live event lost its ID after compaction")
+	}
+
+	// A second ingest after compaction gets ID -2.
+	id2, err := rec.IngestColdEvent(d.Events[template].Words, d.Events[template].Venue,
+		time.Date(2013, 2, 2, 19, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != -2 {
+		t.Fatalf("second live event id = %d, want -2", id2)
+	}
+}
+
+func TestExplainDecomposition(t *testing.T) {
+	rec := tinyRecommender(t)
+	b, err := rec.Explain(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Model().ScoreTriple(1, 2, 3)
+	if diff := b.Total - want; diff > 1e-4 || diff < -1e-4 {
+		t.Errorf("breakdown total %v != triple score %v", b.Total, want)
+	}
+	if b.Total != b.UserEvent+b.PartnerEvent+b.Social {
+		t.Error("breakdown terms do not sum to total")
+	}
+	if _, err := rec.Explain(-1, 2, 3); err == nil {
+		t.Error("bad user accepted")
+	}
+	if _, err := rec.Explain(1, 999999, 3); err == nil {
+		t.Error("bad partner accepted")
+	}
+	if _, err := rec.Explain(1, 2, 999999); err == nil {
+		t.Error("bad event accepted")
+	}
+}
