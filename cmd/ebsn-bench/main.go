@@ -7,6 +7,12 @@
 //	ebsn-bench -exp fig3 -city small
 //	ebsn-bench -exp all -city small -steps 1200000 -threads 8
 //	ebsn-bench -exp tab6 -city small -queries 100
+//
+// With -serve it instead load-tests the production HTTP stack (the
+// serve package) and appends throughput/latency results to
+// BENCH_serve.json:
+//
+//	ebsn-bench -serve -city tiny -conc 16 -duration 5s
 package main
 
 import (
@@ -31,12 +37,23 @@ func main() {
 		cases   = flag.Int("cases", 2000, "max evaluation cases per protocol run")
 		queries = flag.Int("queries", 50, "query users for the online-efficiency experiments")
 		outDir  = flag.String("out", "", "also write each table as TSV into this directory")
+
+		serveMode = flag.Bool("serve", false, "load-test the HTTP serving stack instead of running paper experiments")
+		conc      = flag.Int("conc", 16, "concurrent clients for -serve")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration for -serve")
+		benchOut  = flag.String("benchout", "BENCH_serve.json", "trajectory file for -serve results (empty disables)")
 	)
 	flag.Parse()
 
 	cityID, err := ebsn.ParseCity(*city)
 	if err != nil {
 		fatal(err)
+	}
+	if *serveMode {
+		if err := runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *benchOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	gen := ebsn.GeneratorConfigFor(cityID, *seed)
 

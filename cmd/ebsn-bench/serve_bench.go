@@ -1,0 +1,161 @@
+// The -serve experiment: load-test the production HTTP stack (the serve
+// package) with concurrent clients against an in-process listener and
+// record the throughput/latency trajectory in BENCH_serve.json, so
+// serving-performance changes across PRs are measurable.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ebsn"
+	"ebsn/serve"
+)
+
+// serveBenchRun is one appended record in the BENCH_serve.json
+// trajectory.
+type serveBenchRun struct {
+	Timestamp    string  `json:"timestamp"`
+	City         string  `json:"city"`
+	Seed         uint64  `json:"seed"`
+	Concurrency  int     `json:"concurrency"`
+	DurationS    float64 `json:"duration_s"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// runServeBench trains (or reuses the scale default budget for) a model,
+// stands up the full serving stack on an ephemeral port, and drives it
+// with conc closed-loop clients for the given duration.
+func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc int, duration time.Duration, outPath string) error {
+	fmt.Printf("serve bench: training %s (seed %d)...\n", city, seed)
+	t0 := time.Now()
+	rec, err := ebsn.New(ebsn.Config{City: city, Seed: seed, K: k, Threads: threads, TrainSteps: steps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model ready in %.1fs; warming TA index...\n", time.Since(t0).Seconds())
+
+	s := serve.New(rec, serve.Config{MaxInFlight: conc * 2})
+	if err := s.Warm(); err != nil {
+		return err
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	numUsers := rec.Dataset().NumUsers
+	paths := []string{"/v1/events", "/v1/partners", "/v1/partners/live"}
+	deadline := time.Now().Add(duration)
+
+	type workerResult struct {
+		latencies []float64 // ms
+		errors    int
+	}
+	results := make([]workerResult, conc)
+	var wg sync.WaitGroup
+	fmt.Printf("firing %d concurrent clients for %s...\n", conc, duration)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)*1000 + int64(w)))
+			client := srv.Client()
+			for time.Now().Before(deadline) {
+				user := rng.Intn(numUsers)
+				path := paths[rng.Intn(len(paths))]
+				url := fmt.Sprintf("%s%s?user=%d&n=10", srv.URL, path, user)
+				q0 := time.Now()
+				resp, err := client.Get(url)
+				lat := float64(time.Since(q0).Microseconds()) / 1000
+				if err != nil {
+					results[w].errors++
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					results[w].errors++
+					continue
+				}
+				results[w].latencies = append(results[w].latencies, lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var all []float64
+	errors := 0
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		errors += r.errors
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("serve bench: no successful requests (errors=%d)", errors)
+	}
+	sort.Float64s(all)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	hits, misses := s.Cache().Stats()
+	run := serveBenchRun{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		City:        city.String(),
+		Seed:        seed,
+		Concurrency: conc,
+		DurationS:   duration.Seconds(),
+		Requests:    len(all),
+		Errors:      errors,
+		QPS:         float64(len(all)) / duration.Seconds(),
+		P50Ms:       q(0.50),
+		P95Ms:       q(0.95),
+		P99Ms:       q(0.99),
+	}
+	if total := hits + misses; total > 0 {
+		run.CacheHitRate = float64(hits) / float64(total)
+	}
+
+	fmt.Printf("\nserve bench (%s, %d clients, %.0fs):\n", city, conc, duration.Seconds())
+	fmt.Printf("  requests   %d (%d errors)\n", run.Requests, run.Errors)
+	fmt.Printf("  throughput %.0f req/s\n", run.QPS)
+	fmt.Printf("  latency    p50 %.3fms   p95 %.3fms   p99 %.3fms\n", run.P50Ms, run.P95Ms, run.P99Ms)
+	fmt.Printf("  cache hit  %.1f%%\n", run.CacheHitRate*100)
+
+	if outPath != "" {
+		if err := appendServeBenchRun(outPath, run); err != nil {
+			return err
+		}
+		fmt.Println("appended run to", outPath)
+	}
+	return nil
+}
+
+// appendServeBenchRun reads the existing trajectory (a JSON array),
+// appends run, and writes it back.
+func appendServeBenchRun(path string, run serveBenchRun) error {
+	var runs []serveBenchRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("serve bench: %s exists but is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, run)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

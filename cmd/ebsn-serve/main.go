@@ -1,0 +1,114 @@
+// ebsn-serve is the production recommendation daemon: it loads (or
+// trains) a model, wraps it in the serve package's HTTP stack — result
+// cache, load shedding, per-request timeouts, panic recovery, JSON
+// metrics — and serves the joint event-partner API until SIGINT/SIGTERM,
+// then drains connections and exits cleanly.
+//
+// Usage:
+//
+//	ebsn-serve -city tiny -addr :8080
+//	ebsn-serve -model runs/beijing -threads 8 -cache 65536 -maxinflight 512
+//	curl 'http://localhost:8080/v1/events?user=3&n=5'
+//	curl 'http://localhost:8080/metrics'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ebsn"
+	"ebsn/serve"
+)
+
+func main() {
+	var (
+		city        = flag.String("city", "tiny", "synthetic dataset scale: tiny small beijing shanghai (ignored with -model)")
+		variant     = flag.String("variant", "gem-a", "model family: gem-a gem-p pte")
+		seed        = flag.Uint64("seed", 1, "generator and training seed")
+		steps       = flag.Int64("steps", 0, "training budget N (0 = scale default)")
+		threads     = flag.Int("threads", 4, "training and index-build threads")
+		model       = flag.String("model", "", "load a trained model directory (ebsn-train output) instead of training")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cache       = flag.Int("cache", 4096, "result cache capacity in entries (0 = default, negative disables)")
+		cacheTTL    = flag.Duration("cachettl", time.Minute, "result cache TTL")
+		maxInflight = flag.Int("maxinflight", 256, "concurrent requests before load shedding with 503")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request handler timeout")
+		drain       = flag.Duration("drain", 10*time.Second, "connection-drain budget on shutdown")
+		pruneK      = flag.Int("prunek", 0, "TA candidate pruning per partner (0 = 5% heuristic, negative = full space)")
+		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ebsn-serve: ", log.LstdFlags)
+
+	variantID, err := ebsn.ParseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := ebsn.Config{Seed: *seed, Variant: variantID, Threads: *threads, TrainSteps: *steps}
+
+	var rec *ebsn.Recommender
+	t0 := time.Now()
+	if *model != "" {
+		logger.Printf("loading model from %s...", *model)
+		rec, err = ebsn.Open(*model, cfg)
+	} else {
+		cfg.City, err = ebsn.ParseCity(*city)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Printf("training %s on %s city (seed %d)...", variantID, cfg.City, *seed)
+		rec, err = ebsn.New(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	logger.Printf("model ready in %.1fs: %s", time.Since(t0).Seconds(), rec.Dataset().Stats())
+
+	s := serve.New(rec, serve.Config{
+		PruneK:         *pruneK,
+		CacheCapacity:  *cache,
+		CacheTTL:       *cacheTTL,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		Logger:         logger,
+		AccessLog:      !*quiet,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Serve immediately so /healthz answers while the TA index builds;
+	// /readyz flips to 200 once Warm finishes.
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(ctx, *addr) }()
+
+	t0 = time.Now()
+	logger.Printf("listening on %s, building TA index...", *addr)
+	if err := s.Warm(); err != nil {
+		fatal(err)
+	}
+	host := *addr
+	if strings.HasPrefix(host, ":") {
+		host = "localhost" + host
+	}
+	logger.Printf("ready in %.1fs — try curl 'http://%s/v1/events?user=3&n=5'", time.Since(t0).Seconds(), host)
+
+	if err := <-errc; err != nil {
+		fatal(err)
+	}
+	logger.Println("shutdown complete")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebsn-serve:", err)
+	os.Exit(1)
+}

@@ -47,6 +47,10 @@ type (
 	ModelConfig = core.Config
 	// GeneratorConfig parameterizes the synthetic city generator.
 	GeneratorConfig = datagen.Config
+	// SearchStats reports how much work one TA query did (sorted and
+	// random accesses against the candidate count) — the per-query
+	// observability surface behind the paper's pruning claims.
+	SearchStats = ta.SearchStats
 )
 
 // City selects a built-in synthetic dataset scale.
@@ -372,11 +376,18 @@ func (r *Recommender) PrepareJoint(pruneK int) error {
 // the TA index over the transformed space. Event IDs in the result are
 // dataset event IDs; partners are user IDs.
 func (r *Recommender) TopEventPartners(user int32, n int) ([]PairRecommendation, error) {
+	out, _, err := r.TopEventPartnersStats(user, n)
+	return out, err
+}
+
+// TopEventPartnersStats is TopEventPartners plus the TA work counters for
+// the query — what a serving layer aggregates into its metrics.
+func (r *Recommender) TopEventPartnersStats(user int32, n int) ([]PairRecommendation, SearchStats, error) {
 	if int(user) < 0 || int(user) >= r.dataset.NumUsers {
-		return nil, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
+		return nil, SearchStats{}, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
 	}
 	if n <= 0 {
-		return nil, fmt.Errorf("ebsn: n must be positive")
+		return nil, SearchStats{}, fmt.Errorf("ebsn: n must be positive")
 	}
 	if r.taIndex == nil {
 		// Default pruning: 5% of test events per partner, the point where
@@ -386,10 +397,10 @@ func (r *Recommender) TopEventPartners(user int32, n int) ([]PairRecommendation,
 			k = 1
 		}
 		if err := r.PrepareJoint(k); err != nil {
-			return nil, err
+			return nil, SearchStats{}, err
 		}
 	}
-	res, _ := r.taIndex.TopNExcluding(r.model.UserVec(user), n, user)
+	res, stats := r.taIndex.TopNExcluding(r.model.UserVec(user), n, user)
 	out := make([]PairRecommendation, 0, len(res))
 	for _, rr := range res {
 		out = append(out, PairRecommendation{
@@ -398,7 +409,7 @@ func (r *Recommender) TopEventPartners(user int32, n int) ([]PairRecommendation,
 			Score:   rr.Score,
 		})
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // LoadDatasetCSV imports a dataset directory written by SaveDatasetCSV.

@@ -1,126 +1,40 @@
-// A minimal HTTP recommendation service on top of the library: the shape
-// a production deployment of the paper's system would take. Training
-// happens at startup; the TA index is built once; queries are served from
-// memory.
+// A minimal HTTP recommendation service: train on the tiny city, then
+// hand everything — routing, caching, load shedding, metrics, graceful
+// shutdown — to the production serve package. cmd/ebsn-serve is the
+// configurable daemon; this is the smallest embedding of the same stack.
 //
 //	go run ./examples/server
-//	curl 'http://localhost:8080/events?user=3&n=5'
-//	curl 'http://localhost:8080/partners?user=3&n=5'
-//	curl 'http://localhost:8080/stats'
+//	curl 'http://localhost:8080/v1/events?user=3&n=5'
+//	curl 'http://localhost:8080/v1/partners?user=3&n=5'
+//	curl 'http://localhost:8080/metrics'
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"log"
-	"net/http"
-	"strconv"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"ebsn"
+	"ebsn/serve"
 )
-
-type server struct {
-	rec *ebsn.Recommender
-}
 
 func main() {
 	log.Println("training model (tiny city)...")
-	rec, err := ebsn.New(ebsn.Config{
-		City:    ebsn.CityTiny,
-		Seed:    9,
-		Variant: ebsn.GEMA,
-		Threads: 4,
-	})
+	rec, err := ebsn.New(ebsn.Config{City: ebsn.CityTiny, Seed: 9, Variant: ebsn.GEMA, Threads: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := serve.New(rec, serve.Config{Logger: log.Default(), AccessLog: true})
 	log.Println("building TA index...")
-	if err := rec.PrepareJoint(0); err != nil {
+	if err := s.Warm(); err != nil {
 		log.Fatal(err)
 	}
-	s := &server{rec: rec}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/partners", s.handlePartners)
-	mux.HandleFunc("/stats", s.handleStats)
-
-	addr := ":8080"
-	log.Println("serving on", addr)
-	log.Fatal(http.ListenAndServe(addr, mux))
-}
-
-func (s *server) params(w http.ResponseWriter, r *http.Request) (user int32, n int, ok bool) {
-	u, err := strconv.Atoi(r.URL.Query().Get("user"))
-	if err != nil || u < 0 || u >= s.rec.Dataset().NumUsers {
-		http.Error(w, "events: invalid or missing user parameter", http.StatusBadRequest)
-		return 0, 0, false
-	}
-	n = 10
-	if raw := r.URL.Query().Get("n"); raw != "" {
-		if v, err := strconv.Atoi(raw); err == nil && v > 0 && v <= 100 {
-			n = v
-		} else {
-			http.Error(w, "invalid n parameter", http.StatusBadRequest)
-			return 0, 0, false
-		}
-	}
-	return int32(u), n, true
-}
-
-func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	user, n, ok := s.params(w, r)
-	if !ok {
-		return
-	}
-	recs, err := s.rec.TopEvents(user, n)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	type outEvent struct {
-		Event int32   `json:"event"`
-		Start string  `json:"start"`
-		Score float32 `json:"score"`
-	}
-	d := s.rec.Dataset()
-	out := make([]outEvent, len(recs))
-	for i, e := range recs {
-		out[i] = outEvent{e.Event, d.Events[e.Event].Start.Format("2006-01-02T15:04"), e.Score}
-	}
-	writeJSON(w, out)
-}
-
-func (s *server) handlePartners(w http.ResponseWriter, r *http.Request) {
-	user, n, ok := s.params(w, r)
-	if !ok {
-		return
-	}
-	pairs, err := s.rec.TopEventPartners(user, n)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	type outPair struct {
-		Event   int32   `json:"event"`
-		Partner int32   `json:"partner"`
-		Friend  bool    `json:"friend"`
-		Score   float32 `json:"score"`
-	}
-	d := s.rec.Dataset()
-	out := make([]outPair, len(pairs))
-	for i, p := range pairs {
-		out[i] = outPair{p.Event, p.Partner, d.AreFriends(user, p.Partner), p.Score}
-	}
-	writeJSON(w, out)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.rec.Dataset().Stats())
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Println("encode:", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Println("serving on :8080")
+	if err := s.ListenAndServe(ctx, ":8080"); err != nil {
+		log.Fatal(err)
 	}
 }

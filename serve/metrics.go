@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ebsn"
+)
+
+// latencyBoundsMs are the fixed histogram bucket upper bounds, in
+// milliseconds. Observations above the last bound land in an overflow
+// bucket. Fixed buckets keep Observe lock-free (one atomic increment)
+// at the cost of interpolated quantiles — the standard serving
+// trade-off.
+var latencyBoundsMs = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+type Histogram struct {
+	buckets   []atomic.Uint64 // len(latencyBoundsMs)+1; last is overflow
+	count     atomic.Uint64
+	sumMicros atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Uint64, len(latencyBoundsMs)+1)}
+}
+
+// Observe records one request duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ms := float64(d.Microseconds()) / 1000
+	i := sort.SearchFloat64s(latencyBoundsMs, ms)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMicros.Add(uint64(d.Microseconds()))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// MeanMs returns the mean observed latency in milliseconds.
+func (h *Histogram) MeanMs() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumMicros.Load()) / 1000 / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in milliseconds by
+// linear interpolation inside the covering bucket. Overflow
+// observations report the last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	lower := 0.0
+	for i := range h.buckets {
+		b := float64(h.buckets[i].Load())
+		if i == len(latencyBoundsMs) {
+			return latencyBoundsMs[len(latencyBoundsMs)-1]
+		}
+		upper := latencyBoundsMs[i]
+		if b > 0 && cum+b >= rank {
+			return lower + (rank-cum)/b*(upper-lower)
+		}
+		cum += b
+		lower = upper
+	}
+	return latencyBoundsMs[len(latencyBoundsMs)-1]
+}
+
+// EndpointMetrics aggregates one endpoint's counters and latency
+// histogram.
+type EndpointMetrics struct {
+	count     atomic.Uint64
+	status4xx atomic.Uint64
+	status5xx atomic.Uint64
+	hist      *Histogram
+}
+
+// Observe records one finished request with its HTTP status.
+func (e *EndpointMetrics) Observe(status int, d time.Duration) {
+	e.count.Add(1)
+	switch {
+	case status >= 500:
+		e.status5xx.Add(1)
+	case status >= 400:
+		e.status4xx.Add(1)
+	}
+	e.hist.Observe(d)
+}
+
+// Metrics is the server-wide instrument panel: per-endpoint counters and
+// latency histograms, load-shedding and panic counts, an in-flight
+// gauge, and cumulative TA search work. Everything is atomic — recording
+// on the hot path never takes a lock.
+type Metrics struct {
+	start     time.Time
+	order     []string
+	endpoints map[string]*EndpointMetrics
+
+	shed     atomic.Uint64
+	panics   atomic.Uint64
+	inflight atomic.Int64
+
+	taQueries    atomic.Uint64
+	taSorted     atomic.Uint64
+	taRandom     atomic.Uint64
+	taCandidates atomic.Uint64
+}
+
+// NewMetrics creates a Metrics with one EndpointMetrics per name. The
+// endpoint set is fixed at creation so lookups are lock-free.
+func NewMetrics(endpointNames ...string) *Metrics {
+	m := &Metrics{
+		start:     time.Now(),
+		order:     append([]string(nil), endpointNames...),
+		endpoints: make(map[string]*EndpointMetrics, len(endpointNames)),
+	}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &EndpointMetrics{hist: newHistogram()}
+	}
+	return m
+}
+
+// Endpoint returns the metrics bucket for name (nil when unknown).
+func (m *Metrics) Endpoint(name string) *EndpointMetrics { return m.endpoints[name] }
+
+// RecordShed counts one load-shed (503) response.
+func (m *Metrics) RecordShed() { m.shed.Add(1) }
+
+// RecordPanic counts one recovered handler panic.
+func (m *Metrics) RecordPanic() { m.panics.Add(1) }
+
+// RecordTA folds one TA query's work counters into the running totals.
+func (m *Metrics) RecordTA(s ebsn.SearchStats) {
+	m.taQueries.Add(1)
+	m.taSorted.Add(uint64(s.SortedAccesses))
+	m.taRandom.Add(uint64(s.RandomAccesses))
+	m.taCandidates.Add(uint64(s.Candidates))
+}
+
+// AddInFlight moves the in-flight request gauge by delta.
+func (m *Metrics) AddInFlight(delta int64) { m.inflight.Add(delta) }
+
+// EndpointSnapshot is the rendered view of one endpoint.
+type EndpointSnapshot struct {
+	Count     uint64  `json:"count"`
+	Status4xx uint64  `json:"status_4xx"`
+	Status5xx uint64  `json:"status_5xx"`
+	QPS       float64 `json:"qps"`
+	MeanMs    float64 `json:"mean_ms"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// TASnapshot is the cumulative TA search work across joint queries.
+type TASnapshot struct {
+	Queries        uint64  `json:"queries"`
+	SortedAccesses uint64  `json:"sorted_accesses"`
+	RandomAccesses uint64  `json:"random_accesses"`
+	Candidates     uint64  `json:"candidates"`
+	AccessFraction float64 `json:"access_fraction"`
+}
+
+// MetricsSnapshot is the /metrics JSON payload's instrument section.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	InFlight      int64                       `json:"in_flight"`
+	Shed          uint64                      `json:"shed"`
+	Panics        uint64                      `json:"panics"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	TA            TASnapshot                  `json:"ta"`
+}
+
+// Snapshot renders the current counters. Values are read without
+// stopping writers, so a snapshot taken under load is approximate.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	uptime := time.Since(m.start).Seconds()
+	snap := MetricsSnapshot{
+		UptimeSeconds: uptime,
+		InFlight:      m.inflight.Load(),
+		Shed:          m.shed.Load(),
+		Panics:        m.panics.Load(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(m.order)),
+	}
+	for _, name := range m.order {
+		e := m.endpoints[name]
+		es := EndpointSnapshot{
+			Count:     e.count.Load(),
+			Status4xx: e.status4xx.Load(),
+			Status5xx: e.status5xx.Load(),
+			MeanMs:    e.hist.MeanMs(),
+			P50Ms:     e.hist.Quantile(0.50),
+			P95Ms:     e.hist.Quantile(0.95),
+			P99Ms:     e.hist.Quantile(0.99),
+		}
+		if uptime > 0 {
+			es.QPS = float64(es.Count) / uptime
+		}
+		snap.Endpoints[name] = es
+	}
+	snap.TA = TASnapshot{
+		Queries:        m.taQueries.Load(),
+		SortedAccesses: m.taSorted.Load(),
+		RandomAccesses: m.taRandom.Load(),
+		Candidates:     m.taCandidates.Load(),
+	}
+	if snap.TA.Candidates > 0 {
+		snap.TA.AccessFraction = float64(snap.TA.RandomAccesses) / float64(snap.TA.Candidates)
+	}
+	return snap
+}

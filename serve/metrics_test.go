@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"ebsn"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 90 fast requests (~0.2ms) and 10 slow ones (~80ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 0 || p50 > 1 {
+		t.Fatalf("p50 = %vms, want in (0, 1]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 50 || p99 > 100 {
+		t.Fatalf("p99 = %vms, want in [50, 100]", p99)
+	}
+	if mean := h.MeanMs(); mean < 5 || mean > 20 {
+		t.Fatalf("mean = %vms, want ~8", mean)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := newHistogram()
+	h.Observe(30 * time.Second) // beyond the last bound
+	last := latencyBoundsMs[len(latencyBoundsMs)-1]
+	if got := h.Quantile(0.5); got != last {
+		t.Fatalf("overflow quantile = %v, want %v", got, last)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics("events", "partners")
+	ep := m.Endpoint("events")
+	if ep == nil {
+		t.Fatal("Endpoint(events) = nil")
+	}
+	if m.Endpoint("nope") != nil {
+		t.Fatal("unknown endpoint not nil")
+	}
+	ep.Observe(200, 2*time.Millisecond)
+	ep.Observe(400, 1*time.Millisecond)
+	ep.Observe(500, 1*time.Millisecond)
+	m.RecordShed()
+	m.RecordPanic()
+	m.RecordTA(ebsn.SearchStats{SortedAccesses: 10, RandomAccesses: 20, Candidates: 100})
+	m.RecordTA(ebsn.SearchStats{SortedAccesses: 5, RandomAccesses: 5, Candidates: 100})
+
+	snap := m.Snapshot()
+	es := snap.Endpoints["events"]
+	if es.Count != 3 || es.Status4xx != 1 || es.Status5xx != 1 {
+		t.Fatalf("events snapshot = %+v", es)
+	}
+	if es.P50Ms <= 0 {
+		t.Fatal("p50 not positive after traffic")
+	}
+	if snap.Shed != 1 || snap.Panics != 1 {
+		t.Fatalf("shed/panics = %d/%d", snap.Shed, snap.Panics)
+	}
+	if snap.TA.Queries != 2 || snap.TA.RandomAccesses != 25 || snap.TA.Candidates != 200 {
+		t.Fatalf("TA snapshot = %+v", snap.TA)
+	}
+	if snap.TA.AccessFraction != 0.125 {
+		t.Fatalf("access fraction = %v, want 0.125", snap.TA.AccessFraction)
+	}
+	if empty := snap.Endpoints["partners"]; empty.Count != 0 {
+		t.Fatalf("partners should be untouched: %+v", empty)
+	}
+}

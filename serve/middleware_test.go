@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrencyLimitSheds(t *testing.T) {
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	shed := 0
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inside <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}), WithConcurrencyLimit(1, func() { shed++ }))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("first request status = %d", resp.StatusCode)
+		}
+	}()
+	<-inside // the single slot is now held
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if shed != 1 {
+		t.Fatalf("shed count = %d, want 1", shed)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestConcurrencyLimitRecovers(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), WithConcurrencyLimit(1, nil))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sequential request %d shed: %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestRecoveryTurnsPanicInto500(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	panics := 0
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), WithRecovery(logger, func() { panics++ }))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ { // the process must survive repeat panics
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic status = %d, want 500", resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "boom") {
+			t.Fatalf("panic body = %q", body)
+		}
+	}
+	if panics != 2 {
+		t.Fatalf("panic counter = %d, want 2", panics)
+	}
+	if !strings.Contains(buf.String(), "boom") {
+		t.Fatal("panic not logged")
+	}
+}
+
+func TestTimeoutMiddleware(t *testing.T) {
+	slow := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-slow:
+		case <-r.Context().Done():
+		}
+		w.WriteHeader(http.StatusOK)
+	}), WithTimeout(30*time.Millisecond))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	close(slow)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timeout status = %d, want 503", resp.StatusCode)
+	}
+	// Disabled timeout passes the handler through untouched.
+	if WithTimeout(0)(http.NotFoundHandler()) == nil {
+		t.Fatal("disabled timeout returned nil handler")
+	}
+}
+
+func TestLoggingMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}), WithLogging(log.New(&buf, "", 0)))
+	req := httptest.NewRequest("GET", "/v1/events?user=1", nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	line := buf.String()
+	if !strings.Contains(line, "GET /v1/events 418") {
+		t.Fatalf("access log line = %q", line)
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mw := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), mw("outer"), mw("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if strings.Join(order, ",") != "outer,inner,handler" {
+		t.Fatalf("chain order = %v", order)
+	}
+}

@@ -1,0 +1,596 @@
+// Package serve is the production HTTP layer over a trained
+// ebsn.Recommender: a long-lived daemon exposing the paper's two online
+// recommendation paths (cold-event ranking and TA-accelerated joint
+// event-partner ranking) plus live cold-event ingestion, behind a
+// middleware stack with request logging, panic recovery, per-request
+// timeouts and semaphore-based load shedding. A sharded LRU cache with
+// a generation counter fronts the query endpoints; /metrics renders
+// atomic counters and fixed-bucket latency histograms as JSON.
+//
+// Endpoints:
+//
+//	GET  /v1/events?user=U&n=N        top-N cold events for user U
+//	GET  /v1/partners?user=U&n=N      top-N event-partner pairs (static index)
+//	GET  /v1/partners/live?user=U&n=N same, including live-ingested events
+//	GET  /v1/explain?user=U&partner=P&event=E   score decomposition (Eqn. 8)
+//	POST /v1/ingest                   fold a brand-new event into serving
+//	POST /v1/compact                  fold the live delta into the main index
+//	GET  /healthz                     liveness (always 200)
+//	GET  /readyz                      readiness (503 until Warm completes)
+//	GET  /metrics                     JSON metrics snapshot
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ebsn"
+)
+
+// Config tunes the server. The zero value is serviceable: every field
+// has a production-shaped default.
+type Config struct {
+	// PruneK is the per-partner candidate pruning for PrepareJoint:
+	// 0 keeps the paper's 5%-of-test-events heuristic, < 0 keeps the
+	// full candidate space, > 0 is used as-is.
+	PruneK int
+	// DefaultN is the result count when ?n= is absent (default 10).
+	DefaultN int
+	// MaxN caps ?n= (default 100).
+	MaxN int
+	// CacheCapacity is the total cached responses (default 4096;
+	// < 0 disables caching).
+	CacheCapacity int
+	// CacheShards is the cache shard count (default 8).
+	CacheShards int
+	// CacheTTL bounds entry staleness (default 60s; < 0 disables expiry).
+	CacheTTL time.Duration
+	// MaxInFlight is the concurrency bound before load shedding
+	// (default 256).
+	MaxInFlight int
+	// RequestTimeout bounds handler time per request (default 5s;
+	// < 0 disables).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds connection draining on shutdown (default 10s).
+	DrainTimeout time.Duration
+	// Logger receives access-log and panic lines (nil = quiet).
+	Logger *log.Logger
+	// AccessLog enables per-request log lines on Logger.
+	AccessLog bool
+}
+
+func (c *Config) fill() {
+	if c.DefaultN == 0 {
+		c.DefaultN = 10
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 100
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 8
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = time.Minute
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Server wraps a Recommender in the production HTTP stack. Create with
+// New, then call Warm to build the TA index and flip readiness.
+//
+// Concurrency: query handlers hold a read lock; ingestion and
+// compaction hold the write lock, serializing the Recommender's
+// mutating methods as its contract requires.
+type Server struct {
+	rec     *ebsn.Recommender
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	handler http.Handler
+
+	mu    sync.RWMutex // guards rec's live/ingest state
+	gen   atomic.Uint64
+	ready atomic.Bool
+}
+
+// endpointNames is the fixed metrics key set, one per instrumented route.
+const (
+	epEvents       = "events"
+	epPartners     = "partners"
+	epPartnersLive = "partners_live"
+	epExplain      = "explain"
+	epIngest       = "ingest"
+	epCompact      = "compact"
+)
+
+// New assembles the server around a trained recommender. The joint
+// index is not built yet — call Warm (readiness stays false and /v1
+// endpoints answer 503 until then).
+func New(rec *ebsn.Recommender, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		rec:     rec,
+		cfg:     cfg,
+		metrics: NewMetrics(epEvents, epPartners, epPartnersLive, epExplain, epIngest, epCompact),
+	}
+	if cfg.CacheCapacity > 0 {
+		s.cache = NewCache(cfg.CacheCapacity, cfg.CacheShards, cfg.CacheTTL)
+	}
+
+	api := http.NewServeMux()
+	api.HandleFunc("GET /v1/events", s.api(epEvents, s.handleEvents))
+	api.HandleFunc("GET /v1/partners", s.api(epPartners, s.handlePartners))
+	api.HandleFunc("GET /v1/partners/live", s.api(epPartnersLive, s.handlePartnersLive))
+	api.HandleFunc("GET /v1/explain", s.api(epExplain, s.handleExplain))
+	api.HandleFunc("POST /v1/ingest", s.api(epIngest, s.handleIngest))
+	api.HandleFunc("POST /v1/compact", s.api(epCompact, s.handleCompact))
+
+	// Health and metrics bypass shedding and timeouts: a saturated
+	// server must still answer its orchestrator.
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	root.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
+	root.HandleFunc("GET /metrics", s.handleMetrics)
+	root.Handle("/v1/", Chain(api,
+		WithConcurrencyLimit(cfg.MaxInFlight, s.metrics.RecordShed),
+		WithTimeout(cfg.RequestTimeout),
+	))
+
+	var accessLogger *log.Logger
+	if cfg.AccessLog {
+		accessLogger = cfg.Logger
+	}
+	s.handler = Chain(root,
+		WithLogging(accessLogger),
+		WithRecovery(cfg.Logger, s.metrics.RecordPanic),
+	)
+	return s
+}
+
+// Warm builds the TA index (PrepareJoint) and marks the server ready.
+// Safe to call from a goroutine while the listener is already up:
+// /healthz answers during warm-up, /readyz flips afterwards.
+func (s *Server) Warm() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ready.Load() {
+		return nil
+	}
+	pruneK := s.cfg.PruneK
+	switch {
+	case pruneK < 0:
+		pruneK = 0 // PrepareJoint(0) keeps the full space
+	case pruneK == 0:
+		pruneK = len(s.rec.Split().TestEvents) / 20
+		if pruneK < 1 {
+			pruneK = 1
+		}
+	}
+	if err := s.rec.PrepareJoint(pruneK); err != nil {
+		return err
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether Warm has completed.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Generation returns the cache generation counter; it bumps on every
+// ingest and compaction, orphaning older cached responses.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// Metrics exposes the server's instrument panel.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache returns the response cache (nil when disabled).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ServeHTTP implements http.Handler with the full middleware stack.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Serve accepts connections on l until ctx is canceled, then drains
+// in-flight requests for up to Config.DrainTimeout before returning.
+// A clean shutdown returns nil.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-errc // reap http.ErrServerClosed
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// api wraps a handler with the per-endpoint plumbing every /v1 route
+// shares: readiness gating, the in-flight gauge, and status + latency
+// metrics.
+func (s *Server) api(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server warming up")
+			return
+		}
+		s.metrics.AddInFlight(1)
+		defer s.metrics.AddInFlight(-1)
+		rec := &statusRecorder{ResponseWriter: w}
+		t0 := time.Now()
+		h(rec, r)
+		ep.Observe(rec.statusOr200(), time.Since(t0))
+	}
+}
+
+// ---- request parsing ----
+
+func (s *Server) parseUserN(r *http.Request) (user int32, n int, err error) {
+	rawUser := r.URL.Query().Get("user")
+	u, convErr := strconv.Atoi(rawUser)
+	if rawUser == "" || convErr != nil || u < 0 || u >= s.rec.Dataset().NumUsers {
+		return 0, 0, fmt.Errorf("invalid or missing user parameter (0 ≤ user < %d)", s.rec.Dataset().NumUsers)
+	}
+	n = s.cfg.DefaultN
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, convErr := strconv.Atoi(raw)
+		if convErr != nil || v <= 0 || v > s.cfg.MaxN {
+			return 0, 0, fmt.Errorf("invalid n parameter (1 ≤ n ≤ %d)", s.cfg.MaxN)
+		}
+		n = v
+	}
+	return int32(u), n, nil
+}
+
+func parseID(r *http.Request, key string, limit int) (int32, error) {
+	raw := r.URL.Query().Get(key)
+	v, err := strconv.Atoi(raw)
+	if raw == "" || err != nil || v < 0 || v >= limit {
+		return 0, fmt.Errorf("invalid or missing %s parameter (0 ≤ %s < %d)", key, key, limit)
+	}
+	return int32(v), nil
+}
+
+// ---- response shapes ----
+
+// EventResult is one recommended event.
+type EventResult struct {
+	Event int32   `json:"event"`
+	Start string  `json:"start,omitempty"`
+	Score float32 `json:"score"`
+}
+
+// PairResult is one recommended event-partner pair. Live is true for
+// events ingested after training (negative IDs).
+type PairResult struct {
+	Event   int32   `json:"event"`
+	Live    bool    `json:"live,omitempty"`
+	Start   string  `json:"start,omitempty"`
+	Partner int32   `json:"partner"`
+	Friend  bool    `json:"friend"`
+	Score   float32 `json:"score"`
+}
+
+// RankingResponse is the payload of the three query endpoints.
+type RankingResponse struct {
+	User   int32         `json:"user"`
+	N      int           `json:"n"`
+	Events []EventResult `json:"events,omitempty"`
+	Pairs  []PairResult  `json:"pairs,omitempty"`
+}
+
+// ExplainResponse decomposes one (user, partner, event) score per the
+// paper's Eqn. 8.
+type ExplainResponse struct {
+	User         int32   `json:"user"`
+	Partner      int32   `json:"partner"`
+	Event        int32   `json:"event"`
+	UserEvent    float32 `json:"user_event"`
+	PartnerEvent float32 `json:"partner_event"`
+	Social       float32 `json:"social"`
+	Total        float32 `json:"total"`
+	Friend       bool    `json:"friend"`
+}
+
+// IngestRequest is the POST /v1/ingest body.
+type IngestRequest struct {
+	// Words is the event description, tokenized.
+	Words []string `json:"words"`
+	// Venue is a known venue ID (the fold-in anchor).
+	Venue int32 `json:"venue"`
+	// Start is the event start time, RFC 3339.
+	Start time.Time `json:"start"`
+}
+
+// IngestResponse reports the assigned live event ID.
+type IngestResponse struct {
+	ID         int32  `json:"id"`
+	LiveEvents int    `json:"live_events"`
+	Generation uint64 `json:"generation"`
+}
+
+// CompactResponse reports the post-compaction state.
+type CompactResponse struct {
+	LiveEvents int    `json:"live_events"`
+	Generation uint64 `json:"generation"`
+}
+
+// ServerMetrics is the full /metrics payload.
+type ServerMetrics struct {
+	MetricsSnapshot
+	Generation uint64        `json:"generation"`
+	LiveEvents int           `json:"live_events"`
+	Cache      CacheSnapshot `json:"cache"`
+}
+
+// CacheSnapshot is the cache section of /metrics.
+type CacheSnapshot struct {
+	Enabled  bool    `json:"enabled"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	user, n, err := s.parseUserN(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := cacheKey(epEvents, user, n, s.gen.Load())
+	if v, ok := s.cacheGet(key); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	s.mu.RLock()
+	recs, err := s.rec.TopEvents(user, n)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	d := s.rec.Dataset()
+	resp := &RankingResponse{User: user, N: n, Events: make([]EventResult, len(recs))}
+	for i, e := range recs {
+		resp.Events[i] = EventResult{
+			Event: e.Event,
+			Start: d.Events[e.Event].Start.Format(time.RFC3339),
+			Score: e.Score,
+		}
+	}
+	s.cachePut(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePartners(w http.ResponseWriter, r *http.Request) {
+	s.servePairs(w, r, epPartners, func(user int32, n int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error) {
+		return s.rec.TopEventPartnersStats(user, n)
+	})
+}
+
+func (s *Server) handlePartnersLive(w http.ResponseWriter, r *http.Request) {
+	s.servePairs(w, r, epPartnersLive, func(user int32, n int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error) {
+		return s.rec.TopEventPartnersLiveStats(user, n)
+	})
+}
+
+func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
+	query func(int32, int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error)) {
+	user, n, err := s.parseUserN(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := cacheKey(ep, user, n, s.gen.Load())
+	if v, ok := s.cacheGet(key); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	s.mu.RLock()
+	pairs, stats, err := query(user, n)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.RecordTA(stats)
+	d := s.rec.Dataset()
+	resp := &RankingResponse{User: user, N: n, Pairs: make([]PairResult, len(pairs))}
+	for i, p := range pairs {
+		pr := PairResult{
+			Event:   p.Event,
+			Live:    p.Event < 0,
+			Partner: p.Partner,
+			Friend:  d.AreFriends(user, p.Partner),
+			Score:   p.Score,
+		}
+		if p.Event >= 0 {
+			pr.Start = d.Events[p.Event].Start.Format(time.RFC3339)
+		}
+		resp.Pairs[i] = pr
+	}
+	s.cachePut(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	d := s.rec.Dataset()
+	user, err := parseID(r, "user", d.NumUsers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	partner, err := parseID(r, "partner", d.NumUsers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	event, err := parseID(r, "event", d.NumEvents())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.RLock()
+	b, err := s.rec.Explain(user, partner, event)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, &ExplainResponse{
+		User: user, Partner: partner, Event: event,
+		UserEvent: b.UserEvent, PartnerEvent: b.PartnerEvent,
+		Social: b.Social, Total: b.Total,
+		Friend: d.AreFriends(user, partner),
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad ingest body: "+err.Error())
+		return
+	}
+	if len(req.Words) == 0 {
+		writeError(w, http.StatusBadRequest, "ingest: words must be non-empty")
+		return
+	}
+	if int(req.Venue) < 0 || int(req.Venue) >= len(s.rec.Dataset().Venues) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("ingest: venue %d out of range [0,%d)", req.Venue, len(s.rec.Dataset().Venues)))
+		return
+	}
+	if req.Start.IsZero() {
+		writeError(w, http.StatusBadRequest, "ingest: start must be a valid RFC 3339 time")
+		return
+	}
+	s.mu.Lock()
+	id, err := s.rec.IngestColdEvent(req.Words, req.Venue, req.Start)
+	live := s.rec.LiveEventCount()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	gen := s.gen.Add(1)
+	writeJSON(w, http.StatusOK, &IngestResponse{ID: id, LiveEvents: live, Generation: gen})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.rec.CompactLiveEvents()
+	live := s.rec.LiveEventCount()
+	s.mu.Unlock()
+	gen := s.gen.Add(1)
+	writeJSON(w, http.StatusOK, &CompactResponse{LiveEvents: live, Generation: gen})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	live := s.rec.LiveEventCount()
+	s.mu.RUnlock()
+	m := ServerMetrics{
+		MetricsSnapshot: s.metrics.Snapshot(),
+		Generation:      s.gen.Load(),
+		LiveEvents:      live,
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.Stats()
+		m.Cache = CacheSnapshot{
+			Enabled:  true,
+			Hits:     hits,
+			Misses:   misses,
+			Entries:  s.cache.Len(),
+			Capacity: s.cache.Capacity(),
+		}
+		if total := hits + misses; total > 0 {
+			m.Cache.HitRate = float64(hits) / float64(total)
+		}
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// ---- cache plumbing ----
+
+func cacheKey(ep string, user int32, n int, gen uint64) string {
+	return ep + "|u" + strconv.Itoa(int(user)) + "|n" + strconv.Itoa(n) + "|g" + strconv.FormatUint(gen, 10)
+}
+
+func (s *Server) cacheGet(key string) (any, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.Get(key)
+}
+
+func (s *Server) cachePut(key string, v any) {
+	if s.cache != nil {
+		s.cache.Put(key, v)
+	}
+}
+
+// ---- JSON helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

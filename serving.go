@@ -3,6 +3,7 @@ package ebsn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ebsn/internal/ta"
@@ -11,15 +12,12 @@ import (
 
 // TopEventsBatch computes top-n cold-event recommendations for many users
 // concurrently — the offline path behind daily-digest jobs. Results are
-// indexed like users; workers ≤ 0 means Config.Threads.
+// indexed like users; workers ≤ 0 means Config.Threads. The first
+// per-user error cancels the remaining work: other workers stop at their
+// next user instead of finishing chunks whose results are already doomed.
 func (r *Recommender) TopEventsBatch(users []int32, n, workers int) ([][]Recommendation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ebsn: n must be positive")
-	}
-	for _, u := range users {
-		if int(u) < 0 || int(u) >= r.dataset.NumUsers {
-			return nil, fmt.Errorf("ebsn: user %d out of range [0,%d)", u, r.dataset.NumUsers)
-		}
 	}
 	if workers <= 0 {
 		workers = r.cfg.Threads
@@ -33,6 +31,7 @@ func (r *Recommender) TopEventsBatch(users []int32, n, workers int) ([][]Recomme
 	out := make([][]Recommendation, len(users))
 	var wg sync.WaitGroup
 	chunk := (len(users) + workers - 1) / workers
+	var failed atomic.Bool
 	var firstErr error
 	var mu sync.Mutex
 	for lo := 0; lo < len(users); lo += chunk {
@@ -44,8 +43,12 @@ func (r *Recommender) TopEventsBatch(users []int32, n, workers int) ([][]Recomme
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if failed.Load() {
+					return
+				}
 				recs, err := r.TopEvents(users[i], n)
 				if err != nil {
+					failed.Store(true)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -103,16 +106,23 @@ func (r *Recommender) IngestColdEvent(words []string, venue int32, start time.Ti
 // event ingested since. Live events surface with negative Event IDs (see
 // LiveEventID); dataset events keep their usual IDs.
 func (r *Recommender) TopEventPartnersLive(user int32, n int) ([]PairRecommendation, error) {
+	out, _, err := r.TopEventPartnersLiveStats(user, n)
+	return out, err
+}
+
+// TopEventPartnersLiveStats is TopEventPartnersLive plus the TA work
+// counters for the query.
+func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecommendation, SearchStats, error) {
 	if int(user) < 0 || int(user) >= r.dataset.NumUsers {
-		return nil, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
+		return nil, SearchStats{}, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
 	}
 	if n <= 0 {
-		return nil, fmt.Errorf("ebsn: n must be positive")
+		return nil, SearchStats{}, fmt.Errorf("ebsn: n must be positive")
 	}
 	if r.taDynamic == nil {
-		return r.TopEventPartners(user, n)
+		return r.TopEventPartnersStats(user, n)
 	}
-	res, _ := r.taDynamic.TopNExcluding(r.model.UserVec(user), n, user)
+	res, stats := r.taDynamic.TopNExcluding(r.model.UserVec(user), n, user)
 	base := len(r.split.TestEvents)
 	out := make([]PairRecommendation, 0, n)
 	for _, rr := range res {
@@ -136,7 +146,7 @@ func (r *Recommender) TopEventPartnersLive(user int32, n int) ([]PairRecommendat
 			break
 		}
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // CompactLiveEvents folds all ingested events into the main index (a

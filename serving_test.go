@@ -42,6 +42,16 @@ func TestTopEventsBatchValidation(t *testing.T) {
 	if out, err := rec.TopEventsBatch(nil, 3, 1); err != nil || len(out) != 0 {
 		t.Error("empty user list should be a no-op")
 	}
+	// A bad user in the middle of a large batch surfaces its error (and
+	// cancels the remaining workers' chunks).
+	users := make([]int32, 64)
+	for i := range users {
+		users[i] = int32(i % rec.Dataset().NumUsers)
+	}
+	users[40] = int32(rec.Dataset().NumUsers) // out of range
+	if out, err := rec.TopEventsBatch(users, 3, 4); err == nil || out != nil {
+		t.Error("mid-batch bad user not reported")
+	}
 }
 
 func TestIngestColdEventSurfacesInLiveResults(t *testing.T) {
@@ -127,6 +137,111 @@ func TestIngestColdEventSurfacesInLiveResults(t *testing.T) {
 	}
 	if id2 != -2 {
 		t.Fatalf("second live event id = %d, want -2", id2)
+	}
+}
+
+func TestLiveIngestLifecycle(t *testing.T) {
+	// The full serving lifecycle: ingest → query → compact → ingest →
+	// query, asserting live IDs stay stable across compaction and the
+	// ranking itself is unchanged by it (compaction only moves pairs
+	// from the delta into the main index).
+	rec, err := New(Config{City: CityTiny, Seed: 47, Threads: 4, TrainSteps: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rec.Dataset()
+	templates := rec.Split().TestEvents
+	if len(templates) < 3 {
+		t.Fatalf("tiny split has only %d test events", len(templates))
+	}
+	ingest := func(i int) LiveEventID {
+		t.Helper()
+		e := d.Events[templates[i%len(templates)]]
+		id, err := rec.IngestColdEvent(e.Words, e.Venue, time.Date(2013, 2, 1+i, 19, 0, 0, 0, time.UTC))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+
+	// Two ingests into the delta.
+	if id := ingest(0); id != -1 {
+		t.Fatalf("first ingest id = %d, want -1", id)
+	}
+	if id := ingest(1); id != -2 {
+		t.Fatalf("second ingest id = %d, want -2", id)
+	}
+	if rec.LiveEventCount() != 2 {
+		t.Fatalf("LiveEventCount = %d, want 2", rec.LiveEventCount())
+	}
+
+	users := []int32{0, 2, 4, 6, 8}
+	before := make(map[int32][]PairRecommendation)
+	for _, u := range users {
+		pairs, err := rec.TopEventPartnersLive(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[u] = pairs
+	}
+
+	// Compaction must not change what any user sees: the same
+	// (event, partner) pairs with the same scores up to the float drift
+	// of recomputing cross terms during the rebuild.
+	rec.CompactLiveEvents()
+	if rec.LiveEventCount() != 2 {
+		t.Fatalf("LiveEventCount after compaction = %d, want 2", rec.LiveEventCount())
+	}
+	type pairKey struct{ event, partner int32 }
+	for _, u := range users {
+		after, err := rec.TopEventPartnersLive(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after) != len(before[u]) {
+			t.Fatalf("user %d: %d results after compaction, %d before", u, len(after), len(before[u]))
+		}
+		want := make(map[pairKey]float32, len(before[u]))
+		for _, p := range before[u] {
+			want[pairKey{p.Event, p.Partner}] = p.Score
+		}
+		for _, p := range after {
+			score, ok := want[pairKey{p.Event, p.Partner}]
+			if !ok {
+				t.Fatalf("user %d: pair %+v appeared only after compaction", u, p)
+			}
+			if diff := p.Score - score; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("user %d: pair (%d,%d) score %v → %v across compaction",
+					u, p.Event, p.Partner, score, p.Score)
+			}
+		}
+	}
+
+	// A third ingest lands in the (now empty) delta with the next ID,
+	// and mixed delta + compacted results keep distinct stable IDs.
+	if id := ingest(2); id != -3 {
+		t.Fatalf("post-compaction ingest id = %d, want -3", id)
+	}
+	if rec.LiveEventCount() != 3 {
+		t.Fatalf("LiveEventCount = %d, want 3", rec.LiveEventCount())
+	}
+	seen := map[int32]bool{}
+	for u := int32(0); int(u) < d.NumUsers; u += 2 {
+		pairs, err := rec.TopEventPartnersLive(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			if p.Event < 0 {
+				seen[p.Event] = true
+				if p.Event < -3 {
+					t.Fatalf("impossible live ID %d with 3 ingested events", p.Event)
+				}
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Error("no live event surfaced in any top-10 list")
 	}
 }
 
