@@ -4,12 +4,18 @@
 // metrics — and serves the joint event-partner API until SIGINT/SIGTERM,
 // then drains connections and exits cleanly.
 //
+// A retrained model is picked up without restarting: SIGHUP (or POST
+// /v1/reload) loads the snapshot file, rebuilds the TA index off the
+// request path, and atomically swaps the serving model — in-flight
+// queries finish on the old model, no request fails.
+//
 // Usage:
 //
 //	ebsn-serve -city tiny -addr :8080
 //	ebsn-serve -model runs/beijing -threads 8 -cache 65536 -maxinflight 512
 //	curl 'http://localhost:8080/v1/events?user=3&n=5'
 //	curl 'http://localhost:8080/metrics'
+//	kill -HUP $(pidof ebsn-serve)   # swap in runs/beijing/model.gob after a retrain
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +49,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request handler timeout")
 		drain       = flag.Duration("drain", 10*time.Second, "connection-drain budget on shutdown")
 		pruneK      = flag.Int("prunek", 0, "TA candidate pruning per partner (0 = 5% heuristic, negative = full space)")
+		snapshot    = flag.String("snapshot", "", "model snapshot file for SIGHUP / POST /v1/reload (default <model>/model.gob)")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
 	)
 	flag.Parse()
@@ -72,8 +80,13 @@ func main() {
 	}
 	logger.Printf("model ready in %.1fs: %s", time.Since(t0).Seconds(), rec.Dataset().Stats())
 
+	if *snapshot == "" && *model != "" {
+		*snapshot = filepath.Join(*model, "model.gob")
+	}
+
 	s := serve.New(rec, serve.Config{
 		PruneK:         *pruneK,
+		SnapshotPath:   *snapshot,
 		CacheCapacity:  *cache,
 		CacheTTL:       *cacheTTL,
 		MaxInFlight:    *maxInflight,
@@ -85,6 +98,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-swaps the snapshot without dropping connections —
+	// the conventional "reload your config" signal, here reloading the
+	// model itself.
+	sighup := make(chan os.Signal, 1)
+	signal.Notify(sighup, syscall.SIGHUP)
+	go func() {
+		for range sighup {
+			if err := s.Reload(""); err != nil {
+				logger.Printf("SIGHUP reload failed: %v", err)
+			} else {
+				logger.Printf("SIGHUP reload succeeded")
+			}
+		}
+	}()
 
 	// Serve immediately so /healthz answers while the TA index builds;
 	// /readyz flips to 200 once Warm finishes.

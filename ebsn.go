@@ -45,6 +45,10 @@ type (
 	Model = core.Model
 	// ModelConfig is the full GEM hyper-parameter set.
 	ModelConfig = core.Config
+	// ModelSnapshot is the serializable state of a trained model — what
+	// SaveModel writes and what checkpoint/resume and live reload move
+	// between processes.
+	ModelSnapshot = core.Snapshot
 	// GeneratorConfig parameterizes the synthetic city generator.
 	GeneratorConfig = datagen.Config
 	// SearchStats reports how much work one TA query did (sorted and
@@ -254,6 +258,22 @@ func New(cfg Config) (*Recommender, error) {
 // Build runs the pipeline on a caller-supplied dataset (e.g. one imported
 // with LoadDatasetCSV). The dataset must be finalized.
 func Build(d *ebsnet.Dataset, cfg Config) (*Recommender, error) {
+	r, err := Assemble(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.model.TrainSteps(r.model.Cfg.TotalSteps)
+	return r, nil
+}
+
+// Assemble runs the pipeline up to (but not including) training: the
+// dataset is filtered and split, the five relation graphs are built, and
+// the model is constructed with random initialization and its TotalSteps
+// budget resolved (cfg.TrainSteps, or ≈25 samples per edge when zero).
+// Callers drive training themselves via Model().TrainStepsCtx — the
+// checkpoint/resume path of cmd/ebsn-train — or restore a saved
+// ModelSnapshot with Model().RestoreSnapshot.
+func Assemble(d *ebsnet.Dataset, cfg Config) (*Recommender, error) {
 	cfg.fill()
 	filtered, err := d.FilterMinEvents(cfg.MinEventsPerUser)
 	if err != nil {
@@ -288,8 +308,6 @@ func Build(d *ebsnet.Dataset, cfg Config) (*Recommender, error) {
 	if err != nil {
 		return nil, err
 	}
-	model.TrainSteps(steps)
-
 	return &Recommender{cfg: cfg, dataset: filtered, split: split, graphs: graphs, model: model}, nil
 }
 
@@ -418,9 +436,41 @@ func LoadDatasetCSV(dir string) (*Dataset, error) { return ebsnet.ImportCSV(dir)
 // SaveDatasetCSV exports the dataset as CSV files under dir.
 func SaveDatasetCSV(d *Dataset, dir string) error { return ebsnet.ExportCSV(d, dir) }
 
-// SaveModel writes the trained embeddings to path (encoding/gob).
+// SaveModel writes the trained embeddings to path in the versioned,
+// checksummed snapshot format. The write is atomic (temp file + fsync +
+// rename): a crash mid-save leaves the previous file intact.
 func (r *Recommender) SaveModel(path string) error {
 	return r.model.Snapshot().SaveFile(path)
+}
+
+// LoadModelSnapshot reads a model snapshot written by SaveModel (or by a
+// pre-versioning build; legacy bare-gob files still load). Corrupt or
+// truncated files fail with a descriptive error.
+func LoadModelSnapshot(path string) (*ModelSnapshot, error) {
+	return core.LoadSnapshotFile(path)
+}
+
+// WithSnapshot returns a new Recommender that shares this one's dataset,
+// split and relation graphs (all immutable after assembly) but serves
+// the embeddings in snap — the zero-downtime reload path: build the
+// replacement off the request path, PrepareJoint it, then swap. The
+// snapshot must come from a model trained on the same dataset; matrix
+// shape mismatches are rejected. Live-ingested events and lazily built
+// TA state are not carried over.
+func (r *Recommender) WithSnapshot(snap *ModelSnapshot) (*Recommender, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("ebsn: nil snapshot")
+	}
+	model, err := core.NewModel(r.graphs, snap.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.RestoreSnapshot(snap); err != nil {
+		return nil, err
+	}
+	cfg := r.cfg
+	cfg.K = snap.Cfg.K
+	return &Recommender{cfg: cfg, dataset: r.dataset, split: r.split, graphs: r.graphs, model: model}, nil
 }
 
 // GenerateDataset synthesizes a city dataset without building a pipeline.

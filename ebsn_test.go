@@ -16,7 +16,7 @@ func tinyRecommender(t testing.TB) *Recommender {
 	if cachedRec != nil {
 		return cachedRec
 	}
-	rec, err := New(Config{City: CityTiny, Seed: 5, Threads: 4, TrainSteps: 600_000})
+	rec, err := New(Config{City: CityTiny, Seed: 5, Threads: 4, TrainSteps: tinyTrainSteps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +65,8 @@ func TestNewPipeline(t *testing.T) {
 	if rec.Dataset() == nil || rec.Split() == nil || rec.RelationGraphs() == nil || rec.Model() == nil {
 		t.Fatal("pipeline components missing")
 	}
-	if rec.Model().Steps() != 600_000 {
-		t.Errorf("Steps = %d", rec.Model().Steps())
+	if rec.Model().Steps() != tinyTrainSteps {
+		t.Errorf("Steps = %d, want %d", rec.Model().Steps(), tinyTrainSteps)
 	}
 	// Every surviving user attended at least 5 events (paper filter).
 	d := rec.Dataset()

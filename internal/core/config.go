@@ -178,6 +178,9 @@ func (c *Config) Validate() error {
 	if c.InitStdDev == 0 {
 		c.InitStdDev = 0.01
 	}
+	if c.TotalSteps < 0 {
+		return fmt.Errorf("core: TotalSteps must be non-negative (0 disables decay), got %d", c.TotalSteps)
+	}
 	if c.Threads == 0 {
 		c.Threads = 1
 	}

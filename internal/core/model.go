@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ebsn/internal/alias"
 	"ebsn/internal/ebsnet"
@@ -45,6 +46,7 @@ type Model struct {
 	steps     int64        // total gradient steps taken
 	src       *rng.Source  // sequential-trainer stream; workers split from it
 	workerSeq uint64
+	hogwildMu sync.Mutex // serializes gradient steps under the race detector only
 }
 
 // NewModel builds an untrained model over the relation graphs. The graphs

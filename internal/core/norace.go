@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// See race.go: normal builds keep Hogwild lock-free, so the guarded
+// branches in trainWorker are dead code eliminated by the compiler.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled gates the Hogwild serialization in trainWorker: the
+// trainer's benign embedding races (asynchronous SGD, exactly as in
+// the paper) would otherwise flood `go test -race` and mask real data
+// races in the code around it.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"ebsn/internal/graph"
@@ -19,45 +20,96 @@ import (
 // TrainSteps may be called repeatedly; Tables II/III checkpoint a single
 // run by alternating TrainSteps and evaluation.
 func (m *Model) TrainSteps(n int64) {
-	if n <= 0 {
-		return
-	}
-	defer func() { m.steps += n }()
+	m.TrainStepsCtx(context.Background(), n)
+}
 
-	if m.Cfg.Threads <= 1 {
-		m.trainWorker(n, m.src, m.steps, 1)
-		return
+// TrainStepsCtx is TrainSteps with cooperative cancellation: when ctx is
+// canceled every worker stops at its next step boundary (no update is
+// abandoned mid-write), and the model's step counter advances by exactly
+// the steps actually taken — a checkpoint written afterwards resumes the
+// decay schedule where training really stopped. Returns the number of
+// steps taken (n unless canceled).
+func (m *Model) TrainStepsCtx(ctx context.Context, n int64) int64 {
+	if n <= 0 {
+		return 0
 	}
+	if m.Cfg.Threads <= 1 {
+		taken := m.trainWorker(ctx, n, m.src, m.steps, 1)
+		m.steps += taken
+		return taken
+	}
+	spans := planWorkers(n, m.Cfg.Threads)
+	taken := make([]int64, len(spans))
 	var wg sync.WaitGroup
-	per := n / int64(m.Cfg.Threads)
-	for w := 0; w < m.Cfg.Threads; w++ {
-		steps := per
-		if w == m.Cfg.Threads-1 {
-			steps = n - per*int64(m.Cfg.Threads-1)
-		}
-		if steps <= 0 {
+	for w, span := range spans {
+		if span.Steps <= 0 {
 			continue
 		}
 		m.workerSeq++
 		src := m.src.Split(m.workerSeq)
 		wg.Add(1)
-		go func(steps int64, src *rng.Source) {
+		go func(w int, span workerSpan, src *rng.Source) {
 			defer wg.Done()
 			// Workers interleave in step space for the decay schedule: an
-			// exact global counter would serialize them.
-			m.trainWorker(steps, src, m.steps, int64(m.Cfg.Threads))
-		}(steps, src)
+			// exact global counter would serialize them. Worker w owns the
+			// grid positions m.steps + Offset + s·Threads.
+			taken[w] = m.trainWorker(ctx, span.Steps, src, m.steps+span.Offset, int64(m.Cfg.Threads))
+		}(w, span, src)
 	}
 	wg.Wait()
+	var total int64
+	for _, t := range taken {
+		total += t
+	}
+	m.steps += total
+	return total
 }
 
-// trainWorker runs steps sequential gradient steps on one RNG stream.
-// startStep and stride position this worker in the global step count for
-// the learning-rate decay schedule.
-func (m *Model) trainWorker(steps int64, src *rng.Source, startStep, stride int64) {
+// workerSpan is one Hogwild worker's slice of an n-step run: Steps
+// gradient steps at the decay-grid offsets Offset, Offset+Threads,
+// Offset+2·Threads, ...
+type workerSpan struct {
+	Steps  int64
+	Offset int64
+}
+
+// planWorkers splits an n-step budget across threads so the union of
+// the workers' decay grids {Offset + s·threads : s < Steps} is exactly
+// {0, …, n−1}: worker w is staggered to offset w, and the n mod threads
+// remainder steps go to the first workers (whose grids extend furthest).
+func planWorkers(n int64, threads int) []workerSpan {
+	spans := make([]workerSpan, threads)
+	per, rem := n/int64(threads), n%int64(threads)
+	for w := range spans {
+		spans[w] = workerSpan{Steps: per, Offset: int64(w)}
+		if int64(w) < rem {
+			spans[w].Steps++
+		}
+	}
+	return spans
+}
+
+// cancelCheckMask batches the cancellation check to every 256 steps:
+// cheap enough to keep the hot loop tight, frequent enough that SIGINT
+// during training feels immediate.
+const cancelCheckMask = 255
+
+// trainWorker runs up to steps sequential gradient steps on one RNG
+// stream, stopping early at a step boundary if ctx is canceled; it
+// returns the steps actually taken. startStep and stride position this
+// worker in the global step count for the learning-rate decay schedule.
+func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, startStep, stride int64) int64 {
+	done := ctx.Done()
 	errI := make([]float32, m.Cfg.K)
 	errJ := make([]float32, m.Cfg.K)
 	for s := int64(0); s < steps; s++ {
+		if done != nil && s&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return s
+			default:
+			}
+		}
 		alpha := m.Cfg.LearningRate
 		if m.Cfg.TotalSteps > 0 {
 			frac := 1 - float32(startStep+s*stride)/float32(m.Cfg.TotalSteps)
@@ -67,8 +119,19 @@ func (m *Model) trainWorker(steps int64, src *rng.Source, startStep, stride int6
 			alpha *= frac
 		}
 		rel := &m.Relations[m.graphPick.Sample(src)]
+		// Hogwild's unsynchronized embedding updates are the paper's
+		// design, but they drown the race detector in benign reports and
+		// hide real synchronization bugs elsewhere. Race builds serialize
+		// the gradient step; normal builds compile this away.
+		if raceEnabled {
+			m.hogwildMu.Lock()
+		}
 		m.step(rel, src, alpha, errI, errJ)
+		if raceEnabled {
+			m.hogwildMu.Unlock()
+		}
 	}
+	return steps
 }
 
 // step performs one positive edge update with 2M (or M, unidirectional)

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestWorkerDecayGridCoversSingleThreadGrid verifies the Hogwild decay
+// schedule: the union of the staggered workers' effective-α grid
+// positions {Offset + s·Threads} must be exactly the single-thread grid
+// {0, …, n−1} — each decay position visited once, none skipped.
+func TestWorkerDecayGridCoversSingleThreadGrid(t *testing.T) {
+	cases := []struct {
+		n       int64
+		threads int
+	}{
+		{10, 3}, {12, 4}, {7, 8}, {1, 2}, {100_003, 7}, {64, 1}, {5, 5},
+	}
+	for _, tc := range cases {
+		spans := planWorkers(tc.n, tc.threads)
+		var total int64
+		seen := make(map[int64]bool, tc.n)
+		for _, span := range spans {
+			total += span.Steps
+			for s := int64(0); s < span.Steps; s++ {
+				pos := span.Offset + s*int64(tc.threads)
+				if pos < 0 || pos >= tc.n {
+					t.Fatalf("n=%d threads=%d: decay position %d outside [0,%d)",
+						tc.n, tc.threads, pos, tc.n)
+				}
+				if seen[pos] {
+					t.Fatalf("n=%d threads=%d: decay position %d visited twice",
+						tc.n, tc.threads, pos)
+				}
+				seen[pos] = true
+			}
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d threads=%d: workers sum to %d steps", tc.n, tc.threads, total)
+		}
+		if int64(len(seen)) != tc.n {
+			t.Fatalf("n=%d threads=%d: %d of %d decay positions covered",
+				tc.n, tc.threads, len(seen), tc.n)
+		}
+	}
+}
+
+func TestTrainStepsCtxPreCanceled(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.Threads = 3 })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if taken := m.TrainStepsCtx(ctx, 10_000); taken != 0 {
+		t.Fatalf("pre-canceled context took %d steps", taken)
+	}
+	if m.Steps() != 0 {
+		t.Fatalf("step counter advanced to %d without training", m.Steps())
+	}
+}
+
+func TestTrainStepsCtxCancelStopsEarly(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.K = 8; c.Threads = 2 })
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+
+	const budget = int64(1) << 40 // would run for years uncanceled
+	taken := m.TrainStepsCtx(ctx, budget)
+	if taken < 0 || taken >= budget {
+		t.Fatalf("taken = %d, want 0 <= taken < %d", taken, budget)
+	}
+	if taken == 0 {
+		// On a heavily loaded box the timer can win before the first
+		// step; the counter consistency below is still meaningful.
+		t.Log("cancel fired before the first step boundary")
+	}
+	if m.Steps() != taken {
+		t.Fatalf("Steps() = %d, TrainStepsCtx returned %d", m.Steps(), taken)
+	}
+
+	// Training resumes cleanly after cancellation.
+	if taken := m.TrainStepsCtx(context.Background(), 1000); taken != 1000 {
+		t.Fatalf("post-cancel training took %d steps, want 1000", taken)
+	}
+}
+
+func TestTrainStepsCtxFullRunCountsExactly(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.Threads = 4 })
+	if taken := m.TrainStepsCtx(context.Background(), 10_007); taken != 10_007 {
+		t.Fatalf("taken = %d, want 10007", taken)
+	}
+	if m.Steps() != 10_007 {
+		t.Fatalf("Steps() = %d, want 10007", m.Steps())
+	}
+}
+
+func TestValidateRejectsNegativeTotalSteps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalSteps = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative TotalSteps accepted (would silently disable decay)")
+	}
+	cfg.TotalSteps = 0 // explicitly disabled decay stays legal
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero TotalSteps rejected: %v", err)
+	}
+}

@@ -39,10 +39,12 @@ func (d *Dynamic) NumEvents() int { return len(d.set.Events) + len(d.deltaEvents
 // AddEvent registers a newly arrived event vector. Its candidate pairs
 // are the topK partners by the partner-preference score u'·x (the same
 // pruning rule the offline build uses), or all partners when topK ≤ 0.
+// The vector is copied, so the caller may reuse its slice.
 func (d *Dynamic) AddEvent(vec []float32) error {
 	if len(vec) != d.set.K {
 		return fmt.Errorf("ta: event vector length %d, want %d", len(vec), d.set.K)
 	}
+	vec = append(make([]float32, 0, len(vec)), vec...)
 	eventIdx := int32(len(d.deltaEvents))
 	d.deltaEvents = append(d.deltaEvents, vec)
 

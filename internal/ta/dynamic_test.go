@@ -130,6 +130,48 @@ func TestDynamicRebuildFoldsDelta(t *testing.T) {
 	dyn.Rebuild()
 }
 
+func TestAddEventCopiesCallerVector(t *testing.T) {
+	// Regression: AddEvent used to retain the caller's slice, so later
+	// mutation silently corrupted delta scoring and the post-Rebuild
+	// candidate set.
+	cs := buildSmallSet(t, 61, 20, 15, 6, 0, false)
+	dyn := NewDynamic(cs, 0)
+	src := rng.New(62)
+	u := randomVecs(src, 1, 6, false)[0]
+
+	vec := make([]float32, 6)
+	for f := range vec {
+		vec[f] = u[f] * 10
+	}
+	if err := dyn.AddEvent(vec); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := dyn.TopN(u, 5)
+
+	// The caller trashes its slice after the call.
+	for f := range vec {
+		vec[f] = -1e9
+	}
+
+	after, _ := dyn.TopN(u, 5)
+	for i := range before {
+		if !approxEqual(before[i].Score, after[i].Score) {
+			t.Fatalf("rank %d: delta scoring changed after caller mutated its slice: %v vs %v",
+				i, before[i].Score, after[i].Score)
+		}
+	}
+
+	// Rebuild must fold the original vector, not the mutated one.
+	dyn.Rebuild()
+	rebuilt, _ := dyn.TopN(u, 5)
+	for i := range before {
+		if !approxEqual(before[i].Score, rebuilt[i].Score) {
+			t.Fatalf("rank %d: rebuilt index reflects caller's mutation: %v vs %v",
+				i, before[i].Score, rebuilt[i].Score)
+		}
+	}
+}
+
 func TestDynamicRejectsBadVector(t *testing.T) {
 	cs := buildSmallSet(t, 49, 10, 5, 4, 0, true)
 	dyn := NewDynamic(cs, 0)

@@ -1,0 +1,11 @@
+//go:build !race
+
+package ebsn
+
+// Full training budgets for the shared facade-test model and the
+// checkpoint/resume lifecycle test; see race_test.go for why race
+// builds use shorter ones.
+const (
+	tinyTrainSteps      = 600_000
+	lifecycleTrainSteps = 100_000
+)

@@ -1,0 +1,13 @@
+//go:build race
+
+package ebsn
+
+// The race detector makes training expensive (and race builds
+// serialize the Hogwild step — see internal/core/race.go), so the full
+// 600k-step shared model would dominate the race suite. 100k steps on
+// the tiny city still clears every quality bar in these tests; race
+// builds exist to check synchronization, not convergence.
+const (
+	tinyTrainSteps      = 100_000
+	lifecycleTrainSteps = 10_000
+)

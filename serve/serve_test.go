@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -27,7 +29,7 @@ var (
 func testRecommender(t *testing.T) *ebsn.Recommender {
 	t.Helper()
 	recOnce.Do(func() {
-		recVal, recErr = ebsn.New(ebsn.Config{City: ebsn.CityTiny, Seed: 7, Threads: 4, TrainSteps: 400_000})
+		recVal, recErr = ebsn.New(ebsn.Config{City: ebsn.CityTiny, Seed: 7, Threads: 4, TrainSteps: testTrainSteps})
 	})
 	if recErr != nil {
 		t.Fatal(recErr)
@@ -415,6 +417,170 @@ func TestConcurrentTrafficWithIngest(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// saveTestSnapshot writes the shared recommender's model to a temp file
+// and returns the path.
+func saveTestSnapshot(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := testRecommender(t).SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReloadSwapsModelUnderConcurrentLoad(t *testing.T) {
+	snapPath := saveTestSnapshot(t)
+	s := warmServer(t, Config{SnapshotPath: snapPath})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Queries hammer the server while the model is swapped several
+	// times; every single response must be a 200.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := fmt.Sprintf("/v1/events?user=%d&n=5", (w+i)%8)
+				if i%2 == 1 {
+					path = fmt.Sprintf("/v1/partners?user=%d&n=5", (w+i)%8)
+				}
+				if resp := getJSON(t, srv, path, nil); resp.StatusCode != 200 {
+					t.Errorf("%s = %d during reload", path, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+
+	genBefore := s.Generation()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/v1/reload", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out ReloadResponse
+		if decErr := json.NewDecoder(resp.Body).Decode(&out); decErr != nil {
+			t.Fatal(decErr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("reload %d = %d", i, resp.StatusCode)
+		}
+		if out.Reload.Count != uint64(i+1) || out.Reload.Failures != 0 {
+			t.Fatalf("reload %d counters = %+v", i, out.Reload)
+		}
+		if out.ModelSteps <= 0 {
+			t.Fatalf("reload %d reports model steps %d", i, out.ModelSteps)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := s.Generation(); got != genBefore+3 {
+		t.Fatalf("generation %d → %d, want +3 (cache must be invalidated per reload)", genBefore, got)
+	}
+
+	var m ServerMetrics
+	getJSON(t, srv, "/metrics", &m)
+	if m.Reload.Count != 3 || m.Reload.Failures != 0 {
+		t.Fatalf("metrics reload section = %+v", m.Reload)
+	}
+	if m.Reload.LastSuccess == "" {
+		t.Fatal("metrics missing last reload timestamp")
+	}
+	if m.Reload.LastError != "" {
+		t.Fatalf("metrics report reload error %q after clean reloads", m.Reload.LastError)
+	}
+	if m.ModelSteps <= 0 {
+		t.Fatalf("metrics model_steps = %d", m.ModelSteps)
+	}
+}
+
+func TestReloadFailureKeepsServingOldModel(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.gob")
+	if err := os.WriteFile(corrupt, []byte("EBSNSNAPgarbage-that-is-not-a-snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := warmServer(t, Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/reload", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// No SnapshotPath configured and no path in the body.
+	if resp := post(""); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("pathless reload = %d, want 500", resp.StatusCode)
+	}
+	// Missing file.
+	if resp := post(`{"path":"` + filepath.Join(dir, "absent.gob") + `"}`); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("missing-file reload = %d, want 500", resp.StatusCode)
+	}
+	// Corrupt file.
+	if resp := post(`{"path":"` + corrupt + `"}`); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt-file reload = %d, want 500", resp.StatusCode)
+	}
+	// Malformed body.
+	if resp := post(`{"bogus":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed reload body = %d, want 400", resp.StatusCode)
+	}
+
+	// The old model keeps serving and the failures are on the panel.
+	if resp := getJSON(t, srv, "/v1/events?user=3&n=5", nil); resp.StatusCode != 200 {
+		t.Fatalf("query after failed reloads = %d", resp.StatusCode)
+	}
+	var m ServerMetrics
+	getJSON(t, srv, "/metrics", &m)
+	if m.Reload.Count != 0 || m.Reload.Failures != 3 {
+		t.Fatalf("reload section = %+v, want 3 failures", m.Reload)
+	}
+	if m.Reload.LastError == "" || m.Reload.LastErrorAt == "" {
+		t.Fatalf("last reload error not surfaced: %+v", m.Reload)
+	}
+}
+
+func TestReloadDropsLiveEventsAndKeepsConsistency(t *testing.T) {
+	snapPath := saveTestSnapshot(t)
+	s := warmServer(t, Config{SnapshotPath: snapPath})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	ingestTemplateEvent(t, srv)
+	resp, err := http.Post(srv.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("reload = %d", resp.StatusCode)
+	}
+	var m ServerMetrics
+	getJSON(t, srv, "/metrics", &m)
+	if m.LiveEvents != 0 {
+		t.Fatalf("live events after reload = %d, want 0 (retrained model supersedes the delta)", m.LiveEvents)
+	}
+	// Live path still answers against the fresh index.
+	if resp := getJSON(t, srv, "/v1/partners/live?user=2&n=5", nil); resp.StatusCode != 200 {
+		t.Fatalf("/v1/partners/live after reload = %d", resp.StatusCode)
+	}
 }
 
 func TestGracefulShutdown(t *testing.T) {

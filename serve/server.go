@@ -15,6 +15,7 @@
 //	GET  /v1/explain?user=U&partner=P&event=E   score decomposition (Eqn. 8)
 //	POST /v1/ingest                   fold a brand-new event into serving
 //	POST /v1/compact                  fold the live delta into the main index
+//	POST /v1/reload                   zero-downtime swap to a new model snapshot
 //	GET  /healthz                     liveness (always 200)
 //	GET  /readyz                      readiness (503 until Warm completes)
 //	GET  /metrics                     JSON metrics snapshot
@@ -23,7 +24,9 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -61,6 +64,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// DrainTimeout bounds connection draining on shutdown (default 10s).
 	DrainTimeout time.Duration
+	// SnapshotPath is the default model snapshot file for Reload — what
+	// /v1/reload (with an empty body) and the daemon's SIGHUP handler
+	// load. Empty means reloads must name a path explicitly.
+	SnapshotPath string
 	// Logger receives access-log and panic lines (nil = quiet).
 	Logger *log.Logger
 	// AccessLog enables per-request log lines on Logger.
@@ -97,19 +104,36 @@ func (c *Config) fill() {
 // Server wraps a Recommender in the production HTTP stack. Create with
 // New, then call Warm to build the TA index and flip readiness.
 //
-// Concurrency: query handlers hold a read lock; ingestion and
-// compaction hold the write lock, serializing the Recommender's
-// mutating methods as its contract requires.
+// Concurrency: query handlers hold a read lock; ingestion, compaction
+// and the reload swap hold the write lock, serializing the
+// Recommender's mutating methods as its contract requires. Reload
+// builds its replacement Recommender entirely outside the lock, so
+// in-flight queries finish against the old model and the swap itself is
+// one pointer write.
 type Server struct {
-	rec     *ebsn.Recommender
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
 	handler http.Handler
 
-	mu    sync.RWMutex // guards rec's live/ingest state
+	mu    sync.RWMutex // guards rec (the pointer and its live/ingest state)
+	rec   *ebsn.Recommender
 	gen   atomic.Uint64
 	ready atomic.Bool
+
+	reloadMu sync.Mutex // serializes Reload calls end to end
+	reload   reloadState
+}
+
+// reloadState is the observability record behind /metrics' reload
+// section. Reloads are rare; a mutex is fine.
+type reloadState struct {
+	mu        sync.Mutex
+	count     uint64
+	failures  uint64
+	lastOK    time.Time
+	lastErr   string
+	lastErrAt time.Time
 }
 
 // endpointNames is the fixed metrics key set, one per instrumented route.
@@ -158,6 +182,10 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 	root.HandleFunc("GET /metrics", s.handleMetrics)
+	// Reload bypasses shedding and the request timeout: rebuilding the
+	// TA index can take longer than a query budget, and a saturated
+	// server must still accept the swap that might relieve it.
+	root.HandleFunc("POST /v1/reload", s.handleReload)
 	root.Handle("/v1/", Chain(api,
 		WithConcurrencyLimit(cfg.MaxInFlight, s.metrics.RecordShed),
 		WithTimeout(cfg.RequestTimeout),
@@ -183,21 +211,89 @@ func (s *Server) Warm() error {
 	if s.ready.Load() {
 		return nil
 	}
-	pruneK := s.cfg.PruneK
-	switch {
-	case pruneK < 0:
-		pruneK = 0 // PrepareJoint(0) keeps the full space
-	case pruneK == 0:
-		pruneK = len(s.rec.Split().TestEvents) / 20
-		if pruneK < 1 {
-			pruneK = 1
-		}
-	}
-	if err := s.rec.PrepareJoint(pruneK); err != nil {
+	if err := s.rec.PrepareJoint(s.resolvePruneK(s.rec)); err != nil {
 		return err
 	}
 	s.ready.Store(true)
 	return nil
+}
+
+// resolvePruneK maps Config.PruneK onto a PrepareJoint argument: < 0
+// keeps the full candidate space, 0 applies the paper's
+// 5%-of-test-events heuristic, > 0 is used as-is.
+func (s *Server) resolvePruneK(rec *ebsn.Recommender) int {
+	pruneK := s.cfg.PruneK
+	switch {
+	case pruneK < 0:
+		return 0 // PrepareJoint(0) keeps the full space
+	case pruneK == 0:
+		pruneK = len(rec.Split().TestEvents) / 20
+		if pruneK < 1 {
+			pruneK = 1
+		}
+	}
+	return pruneK
+}
+
+// Reload loads the snapshot at path (Config.SnapshotPath when empty),
+// rebuilds a Recommender and its TA index entirely off the request
+// path, then atomically swaps it in and bumps the cache generation —
+// zero downtime: queries in flight finish against the old model, new
+// queries see the new one. Any live-ingested events are dropped (the
+// retrained model supersedes them). A failed reload leaves the serving
+// model untouched; success and failure are both recorded for /metrics.
+func (s *Server) Reload(path string) (err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	defer func() { s.recordReload(path, err) }()
+
+	if path == "" {
+		path = s.cfg.SnapshotPath
+	}
+	if path == "" {
+		return errors.New("serve: no snapshot path configured (set Config.SnapshotPath or name one in the reload request)")
+	}
+	snap, err := ebsn.LoadModelSnapshot(path)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	cur := s.rec
+	s.mu.RUnlock()
+	next, err := cur.WithSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	if err := next.PrepareJoint(s.resolvePruneK(next)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.rec = next
+	s.mu.Unlock()
+	s.gen.Add(1) // orphan every cached response from the old model
+	s.ready.Store(true)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("reloaded model from %s (steps=%d, generation=%d)", path, snap.Steps, s.gen.Load())
+	}
+	return nil
+}
+
+func (s *Server) recordReload(path string, err error) {
+	s.reload.mu.Lock()
+	defer s.reload.mu.Unlock()
+	if err == nil {
+		// The last failure stays visible as history; last_success vs
+		// last_error_at tells the reader which outcome is current.
+		s.reload.count++
+		s.reload.lastOK = time.Now()
+		return
+	}
+	s.reload.failures++
+	s.reload.lastErr = err.Error()
+	s.reload.lastErrAt = time.Now()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("reload from %q failed: %v", path, err)
+	}
 }
 
 // Ready reports whether Warm has completed.
@@ -273,11 +369,11 @@ func (s *Server) api(name string, h http.HandlerFunc) http.HandlerFunc {
 
 // ---- request parsing ----
 
-func (s *Server) parseUserN(r *http.Request) (user int32, n int, err error) {
+func (s *Server) parseUserN(rec *ebsn.Recommender, r *http.Request) (user int32, n int, err error) {
 	rawUser := r.URL.Query().Get("user")
 	u, convErr := strconv.Atoi(rawUser)
-	if rawUser == "" || convErr != nil || u < 0 || u >= s.rec.Dataset().NumUsers {
-		return 0, 0, fmt.Errorf("invalid or missing user parameter (0 ≤ user < %d)", s.rec.Dataset().NumUsers)
+	if rawUser == "" || convErr != nil || u < 0 || u >= rec.Dataset().NumUsers {
+		return 0, 0, fmt.Errorf("invalid or missing user parameter (0 ≤ user < %d)", rec.Dataset().NumUsers)
 	}
 	n = s.cfg.DefaultN
 	if raw := r.URL.Query().Get("n"); raw != "" {
@@ -363,12 +459,38 @@ type CompactResponse struct {
 	Generation uint64 `json:"generation"`
 }
 
+// ReloadRequest is the POST /v1/reload body; an empty body (or empty
+// path) reloads from Config.SnapshotPath.
+type ReloadRequest struct {
+	// Path is the snapshot file to load.
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the post-reload serving state.
+type ReloadResponse struct {
+	Generation uint64         `json:"generation"`
+	ModelSteps int64          `json:"model_steps"`
+	Reload     ReloadSnapshot `json:"reload"`
+}
+
+// ReloadSnapshot is the reload section of /metrics: how many swaps
+// succeeded and failed, when the last one landed, and the last error.
+type ReloadSnapshot struct {
+	Count       uint64 `json:"count"`
+	Failures    uint64 `json:"failures"`
+	LastSuccess string `json:"last_success,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	LastErrorAt string `json:"last_error_at,omitempty"`
+}
+
 // ServerMetrics is the full /metrics payload.
 type ServerMetrics struct {
 	MetricsSnapshot
-	Generation uint64        `json:"generation"`
-	LiveEvents int           `json:"live_events"`
-	Cache      CacheSnapshot `json:"cache"`
+	Generation uint64         `json:"generation"`
+	LiveEvents int            `json:"live_events"`
+	ModelSteps int64          `json:"model_steps"`
+	Reload     ReloadSnapshot `json:"reload"`
+	Cache      CacheSnapshot  `json:"cache"`
 }
 
 // CacheSnapshot is the cache section of /metrics.
@@ -384,24 +506,27 @@ type CacheSnapshot struct {
 // ---- handlers ----
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	user, n, err := s.parseUserN(r)
+	s.mu.RLock()
+	rec := s.rec
+	user, n, err := s.parseUserN(rec, r)
 	if err != nil {
+		s.mu.RUnlock()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	key := cacheKey(epEvents, user, n, s.gen.Load())
 	if v, ok := s.cacheGet(key); ok {
+		s.mu.RUnlock()
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	s.mu.RLock()
-	recs, err := s.rec.TopEvents(user, n)
-	s.mu.RUnlock()
+	recs, err := rec.TopEvents(user, n)
 	if err != nil {
+		s.mu.RUnlock()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	d := s.rec.Dataset()
+	d := rec.Dataset()
 	resp := &RankingResponse{User: user, N: n, Events: make([]EventResult, len(recs))}
 	for i, e := range recs {
 		resp.Events[i] = EventResult{
@@ -410,43 +535,43 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			Score: e.Score,
 		}
 	}
+	s.mu.RUnlock()
 	s.cachePut(key, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePartners(w http.ResponseWriter, r *http.Request) {
-	s.servePairs(w, r, epPartners, func(user int32, n int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error) {
-		return s.rec.TopEventPartnersStats(user, n)
-	})
+	s.servePairs(w, r, epPartners, (*ebsn.Recommender).TopEventPartnersStats)
 }
 
 func (s *Server) handlePartnersLive(w http.ResponseWriter, r *http.Request) {
-	s.servePairs(w, r, epPartnersLive, func(user int32, n int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error) {
-		return s.rec.TopEventPartnersLiveStats(user, n)
-	})
+	s.servePairs(w, r, epPartnersLive, (*ebsn.Recommender).TopEventPartnersLiveStats)
 }
 
 func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
-	query func(int32, int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error)) {
-	user, n, err := s.parseUserN(r)
+	query func(*ebsn.Recommender, int32, int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error)) {
+	s.mu.RLock()
+	rec := s.rec
+	user, n, err := s.parseUserN(rec, r)
 	if err != nil {
+		s.mu.RUnlock()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	key := cacheKey(ep, user, n, s.gen.Load())
 	if v, ok := s.cacheGet(key); ok {
+		s.mu.RUnlock()
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	s.mu.RLock()
-	pairs, stats, err := query(user, n)
-	s.mu.RUnlock()
+	pairs, stats, err := query(rec, user, n)
 	if err != nil {
+		s.mu.RUnlock()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.metrics.RecordTA(stats)
-	d := s.rec.Dataset()
+	d := rec.Dataset()
 	resp := &RankingResponse{User: user, N: n, Pairs: make([]PairResult, len(pairs))}
 	for i, p := range pairs {
 		pr := PairResult{
@@ -461,12 +586,16 @@ func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
 		}
 		resp.Pairs[i] = pr
 	}
+	s.mu.RUnlock()
 	s.cachePut(key, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	d := s.rec.Dataset()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec := s.rec
+	d := rec.Dataset()
 	user, err := parseID(r, "user", d.NumUsers)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -482,9 +611,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.RLock()
-	b, err := s.rec.Explain(user, partner, event)
-	s.mu.RUnlock()
+	b, err := rec.Explain(user, partner, event)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -509,18 +636,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ingest: words must be non-empty")
 		return
 	}
-	if int(req.Venue) < 0 || int(req.Venue) >= len(s.rec.Dataset().Venues) {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("ingest: venue %d out of range [0,%d)", req.Venue, len(s.rec.Dataset().Venues)))
-		return
-	}
 	if req.Start.IsZero() {
 		writeError(w, http.StatusBadRequest, "ingest: start must be a valid RFC 3339 time")
 		return
 	}
 	s.mu.Lock()
-	id, err := s.rec.IngestColdEvent(req.Words, req.Venue, req.Start)
-	live := s.rec.LiveEventCount()
+	rec := s.rec
+	if int(req.Venue) < 0 || int(req.Venue) >= len(rec.Dataset().Venues) {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("ingest: venue %d out of range [0,%d)", req.Venue, len(rec.Dataset().Venues)))
+		return
+	}
+	id, err := rec.IngestColdEvent(req.Words, req.Venue, req.Start)
+	live := rec.LiveEventCount()
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -539,14 +668,58 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &CompactResponse{LiveEvents: live, Generation: gen})
 }
 
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad reload body: "+err.Error())
+		return
+	}
+	if err := s.Reload(req.Path); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mu.RLock()
+	steps := s.rec.Model().Steps()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, &ReloadResponse{
+		Generation: s.gen.Load(),
+		ModelSteps: steps,
+		Reload:     s.reloadSnapshot(),
+	})
+}
+
+// reloadSnapshot renders the reload counters for /metrics and the
+// reload response.
+func (s *Server) reloadSnapshot() ReloadSnapshot {
+	s.reload.mu.Lock()
+	defer s.reload.mu.Unlock()
+	rs := ReloadSnapshot{
+		Count:     s.reload.count,
+		Failures:  s.reload.failures,
+		LastError: s.reload.lastErr,
+	}
+	if !s.reload.lastOK.IsZero() {
+		rs.LastSuccess = s.reload.lastOK.Format(time.RFC3339)
+	}
+	if !s.reload.lastErrAt.IsZero() {
+		rs.LastErrorAt = s.reload.lastErrAt.Format(time.RFC3339)
+	}
+	return rs
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	live := s.rec.LiveEventCount()
+	steps := s.rec.Model().Steps()
 	s.mu.RUnlock()
 	m := ServerMetrics{
 		MetricsSnapshot: s.metrics.Snapshot(),
 		Generation:      s.gen.Load(),
 		LiveEvents:      live,
+		ModelSteps:      steps,
+		Reload:          s.reloadSnapshot(),
 	}
 	if s.cache != nil {
 		hits, misses := s.cache.Stats()
