@@ -13,12 +13,23 @@
 // BENCH_serve.json:
 //
 //	ebsn-bench -serve -city tiny -conc 16 -duration 5s
+//
+// With -query it micro-benchmarks the TA query hot path and index
+// builds on synthetic vectors (no training) and appends the results to
+// BENCH_query.json:
+//
+//	ebsn-bench -query -events 2000 -partners 5000 -topk 50
+//
+// Either mode accepts -cpuprofile/-memprofile to write pprof profiles
+// of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,37 +53,102 @@ func main() {
 		conc      = flag.Int("conc", 16, "concurrent clients for -serve")
 		duration  = flag.Duration("duration", 5*time.Second, "load duration for -serve")
 		benchOut  = flag.String("benchout", "BENCH_serve.json", "trajectory file for -serve results (empty disables)")
+
+		queryMode = flag.Bool("query", false, "micro-benchmark the TA query hot path and index builds on synthetic vectors (no training)")
+		nEvents   = flag.Int("events", 2000, "synthetic event count for -query")
+		nPartners = flag.Int("partners", 5000, "synthetic partner count for -query")
+		topK      = flag.Int("topk", 50, "per-partner candidate pruning for -query")
+		topN      = flag.Int("topn", 10, "results per query for -query")
+		note      = flag.String("note", "", "free-form label recorded with the -query run")
+		queryOut  = flag.String("queryout", "BENCH_query.json", "trajectory file for -query results (empty disables)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 
-	cityID, err := ebsn.ParseCity(*city)
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
 	}
-	if *serveMode {
-		if err := runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *benchOut); err != nil {
-			fatal(err)
+	switch {
+	case *serveMode:
+		cityID, perr := ebsn.ParseCity(*city)
+		if perr != nil {
+			err = perr
+			break
 		}
-		return
+		err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *benchOut)
+	case *queryMode:
+		err = runQueryBench(*nEvents, *nPartners, *k, *topK, *topN, *seed, *note, *queryOut)
+	default:
+		err = runExperiments(*exp, *city, *seed, *steps, *k, *threads, *cases, *queries, *outDir)
 	}
-	gen := ebsn.GeneratorConfigFor(cityID, *seed)
+	stopProfiles()
+	if err != nil {
+		fatal(err)
+	}
+}
 
-	fmt.Printf("building environment for %s (seed %d)...\n", gen.Name, *seed)
+// startProfiles turns on the requested pprof collection and returns the
+// function that flushes it — called before exit even on failed runs.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Println("wrote CPU profile to", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ebsn-bench:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ebsn-bench:", err)
+			}
+			f.Close()
+			fmt.Println("wrote heap profile to", memPath)
+		}
+	}, nil
+}
+
+func runExperiments(exp, city string, seed uint64, steps int64, k, threads, cases, queries int, outDir string) error {
+	cityID, err := ebsn.ParseCity(city)
+	if err != nil {
+		return err
+	}
+	gen := ebsn.GeneratorConfigFor(cityID, seed)
+
+	fmt.Printf("building environment for %s (seed %d)...\n", gen.Name, seed)
 	start := time.Now()
 	env, err := experiments.NewEnv(gen)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	stats := env.Dataset.Stats()
 	fmt.Printf("dataset: %s (%.1fs)\n\n", stats, time.Since(start).Seconds())
 
 	opts := experiments.DefaultOptions()
-	opts.K = *k
-	opts.Threads = *threads
-	opts.EvalCases = *cases
-	opts.Seed = *seed
-	if *steps > 0 {
-		opts.BaseSteps = *steps
+	opts.K = k
+	opts.Threads = threads
+	opts.EvalCases = cases
+	opts.Seed = seed
+	if steps > 0 {
+		opts.BaseSteps = steps
 	} else if cityID == ebsn.CityBeijing || cityID == ebsn.CityShanghai {
 		// City-scale graphs carry ~20× the edges of the small preset.
 		opts.BaseSteps = 24_000_000
@@ -93,12 +169,12 @@ func main() {
 		{"tab4", func() (*experiments.Table, error) { return experiments.Tab4(env, opts, nil) }},
 		{"tab5", func() (*experiments.Table, error) { return experiments.Tab5(env, opts, nil) }},
 		{"fig6", func() (*experiments.Table, error) { return experiments.Fig6(env, opts, nil) }},
-		{"tab6", func() (*experiments.Table, error) { return experiments.Tab6(env, opts, *queries) }},
-		{"fig7", func() (*experiments.Table, error) { return experiments.Fig7(env, opts, *queries) }},
+		{"tab6", func() (*experiments.Table, error) { return experiments.Tab6(env, opts, queries) }},
+		{"fig7", func() (*experiments.Table, error) { return experiments.Fig7(env, opts, queries) }},
 		{"abl", func() (*experiments.Table, error) { return experiments.Ablations(env, opts) }},
 	}
 
-	want := strings.Split(*exp, ",")
+	want := strings.Split(exp, ",")
 	matched := false
 	for _, r := range runners {
 		extra := r.id == "fig3x" || r.id == "abl"
@@ -109,21 +185,22 @@ func main() {
 		t0 := time.Now()
 		tbl, err := r.run()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", r.id, err))
+			return fmt.Errorf("%s: %w", r.id, err)
 		}
 		fmt.Println(tbl)
-		if *outDir != "" {
-			path, err := tbl.WriteTSV(*outDir, r.id+"-"+gen.Name)
+		if outDir != "" {
+			path, err := tbl.WriteTSV(outDir, r.id+"-"+gen.Name)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Println("wrote", path)
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", r.id, time.Since(t0).Seconds())
 	}
 	if !matched {
-		fatal(fmt.Errorf("no experiment matches %q; see -h", *exp))
+		return fmt.Errorf("no experiment matches %q; see -h", exp)
 	}
+	return nil
 }
 
 func explicitly(want []string, id string) bool {

@@ -1,0 +1,182 @@
+// The -query experiment: micro-benchmark the TA query hot path and the
+// index builds on synthetic vectors — no dataset generation or training,
+// so the numbers isolate the retrieval engine. Results append to
+// BENCH_query.json, making hot-path regressions (latency, allocations,
+// build scaling) measurable across PRs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ebsn/internal/rng"
+	"ebsn/internal/ta"
+)
+
+// queryBenchRun is one appended record in the BENCH_query.json
+// trajectory.
+type queryBenchRun struct {
+	Timestamp string `json:"timestamp"`
+	Note      string `json:"note,omitempty"`
+	Events    int    `json:"events"`
+	Partners  int    `json:"partners"`
+	K         int    `json:"k"`
+	TopK      int    `json:"topk"`
+	TopN      int    `json:"topn"`
+	Pairs     int    `json:"pairs"`
+	Workers   int    `json:"workers"`
+
+	BuildCandidatesSerialMs   float64 `json:"build_candidates_serial_ms"`
+	BuildCandidatesParallelMs float64 `json:"build_candidates_parallel_ms"`
+	FastIndexSerialMs         float64 `json:"fastindex_serial_ms"`
+	FastIndexParallelMs       float64 `json:"fastindex_parallel_ms"`
+	FaginSerialMs             float64 `json:"fagin_serial_ms"`
+	FaginParallelMs           float64 `json:"fagin_parallel_ms"`
+
+	QueryIters    int     `json:"query_iters"`
+	QueryNsOp     float64 `json:"query_ns_op"`
+	QueryP50Us    float64 `json:"query_p50_us"`
+	QueryP95Us    float64 `json:"query_p95_us"`
+	QueryAllocsOp float64 `json:"query_allocs_op"`
+}
+
+// runQueryBench builds the synthetic candidate space, times the index
+// builds serial vs parallel, then drives the FastIndex query path with
+// rotating query vectors and excluded partners (cold cache by design)
+// through a warmed pooled scratch.
+func runQueryBench(nEvents, nPartners, k, topK, topN int, seed uint64, note, outPath string) error {
+	if nEvents <= 0 || nPartners <= 0 || k <= 0 || topN <= 0 {
+		return fmt.Errorf("query bench: events, partners, k and topn must be positive")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	src := rng.New(seed)
+	events := signedVecs(src, nEvents, k)
+	partners := signedVecs(src, nPartners, k)
+	fmt.Printf("query bench: %d events × %d partners, K=%d, topk=%d, %d workers\n",
+		nEvents, nPartners, k, topK, workers)
+
+	ms := func(f func()) float64 {
+		runtime.GC() // keep earlier builds' garbage out of this timing
+		t0 := time.Now()
+		f()
+		return float64(time.Since(t0).Microseconds()) / 1000
+	}
+
+	run := queryBenchRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Note:      note,
+		Events:    nEvents,
+		Partners:  nPartners,
+		K:         k,
+		TopK:      topK,
+		TopN:      topN,
+		Workers:   workers,
+	}
+
+	var cs *ta.CandidateSet
+	var err error
+	run.BuildCandidatesSerialMs = ms(func() {
+		cs, err = ta.BuildCandidates(events, partners, ta.BuildConfig{TopKEvents: topK, Workers: 1})
+	})
+	if err != nil {
+		return err
+	}
+	run.BuildCandidatesParallelMs = ms(func() {
+		cs, err = ta.BuildCandidates(events, partners, ta.BuildConfig{TopKEvents: topK, Workers: workers})
+	})
+	if err != nil {
+		return err
+	}
+	run.Pairs = len(cs.Pairs)
+
+	var f *ta.FastIndex
+	run.FastIndexSerialMs = ms(func() { f = ta.NewFastIndexWorkers(cs, 1) })
+	run.FastIndexParallelMs = ms(func() { f = ta.NewFastIndexWorkers(cs, workers) })
+	run.FaginSerialMs = ms(func() { ta.NewIndexWorkers(cs, 1) })
+	run.FaginParallelMs = ms(func() { ta.NewIndexWorkers(cs, workers) })
+
+	fmt.Printf("  build candidates  serial %.1fms   parallel %.1fms   (%d pairs)\n",
+		run.BuildCandidatesSerialMs, run.BuildCandidatesParallelMs, run.Pairs)
+	fmt.Printf("  build fastindex   serial %.1fms   parallel %.1fms\n",
+		run.FastIndexSerialMs, run.FastIndexParallelMs)
+	fmt.Printf("  build fagin       serial %.1fms   parallel %.1fms\n",
+		run.FaginSerialMs, run.FaginParallelMs)
+
+	// Query loop: 256 rotating query vectors defeat any per-vector cache
+	// effects; the excluded partner rotates too, matching the serving
+	// pattern (a user excluded from their own results).
+	queries := signedVecs(src, 256, k)
+	sc := ta.GetScratch()
+	defer ta.PutScratch(sc)
+	f.TopNExcludingScratch(queries[0], topN, 0, sc) // warm the scratch
+
+	var mem0, mem1 runtime.MemStats
+	latencies := make([]float64, 0, 4096)
+	deadline := time.Now().Add(2 * time.Second)
+	runtime.ReadMemStats(&mem0)
+	t0 := time.Now()
+	for i := 0; len(latencies) < 200 || time.Now().Before(deadline); i++ {
+		q0 := time.Now()
+		f.TopNExcludingScratch(queries[i%len(queries)], topN, int32(i%nPartners), sc)
+		latencies = append(latencies, float64(time.Since(q0).Nanoseconds()))
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&mem1)
+
+	iters := len(latencies)
+	sort.Float64s(latencies)
+	q := func(p float64) float64 { return latencies[int(p*float64(iters-1))] / 1000 }
+	run.QueryIters = iters
+	run.QueryNsOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	run.QueryP50Us = q(0.50)
+	run.QueryP95Us = q(0.95)
+	run.QueryAllocsOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(iters)
+
+	fmt.Printf("  query (top-%d)    %.0f ns/op   p50 %.1fµs   p95 %.1fµs   %.2f allocs/op   (%d iters)\n",
+		topN, run.QueryNsOp, run.QueryP50Us, run.QueryP95Us, run.QueryAllocsOp, iters)
+
+	if outPath != "" {
+		if err := appendQueryBenchRun(outPath, run); err != nil {
+			return err
+		}
+		fmt.Println("appended run to", outPath)
+	}
+	return nil
+}
+
+// signedVecs draws n random K-vectors with signed N(0, 1/K) entries —
+// the same distribution the trained embeddings roughly follow.
+func signedVecs(src *rng.Source, n, k int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, k)
+		for f := range v {
+			v[f] = float32(src.NormFloat64()) / float32(k)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// appendQueryBenchRun reads the existing trajectory (a JSON array),
+// appends run, and writes it back.
+func appendQueryBenchRun(path string, run queryBenchRun) error {
+	var runs []queryBenchRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("query bench: %s exists but is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, run)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

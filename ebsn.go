@@ -418,7 +418,12 @@ func (r *Recommender) TopEventPartnersStats(user int32, n int) ([]PairRecommenda
 			return nil, SearchStats{}, err
 		}
 	}
-	res, stats := r.taIndex.TopNExcluding(r.model.UserVec(user), n, user)
+	// Pooled scratch keeps the TA working set allocation-free; the raw
+	// results alias it, so they are converted before the scratch is
+	// returned.
+	sc := ta.GetScratch()
+	defer ta.PutScratch(sc)
+	res, stats := r.taIndex.TopNExcludingScratch(r.model.UserVec(user), n, user, sc)
 	out := make([]PairRecommendation, 0, len(res))
 	for _, rr := range res {
 		out = append(out, PairRecommendation{

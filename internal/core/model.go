@@ -163,8 +163,9 @@ func (m *Model) ScoreTriple(u, partner, x int32) float32 {
 // noiseNode draws one noise node on the given side of rel for a context
 // vector on the opposite side, honoring the configured sampler. The
 // degree sampler is the fallback when the adaptive dimension distribution
-// degenerates (all-zero context).
-func (m *Model) noiseNode(rel *Relation, side graph.Side, ctx []float32, src *rng.Source) int32 {
+// degenerates (all-zero context). ss is the worker's sampler scratch,
+// used only by the exact-adaptive ablation mode.
+func (m *Model) noiseNode(rel *Relation, side graph.Side, ctx []float32, src *rng.Source, ss *sampleScratch) int32 {
 	switch m.Cfg.Sampler {
 	case SamplerUniform:
 		return int32(src.Intn(rel.G.NumNodes(side)))
@@ -179,9 +180,9 @@ func (m *Model) noiseNode(rel *Relation, side graph.Side, ctx []float32, src *rn
 		return rel.G.SampleNoise(side, src)
 	case SamplerAdaptiveExact:
 		if side == graph.SideA {
-			return exactAdaptiveSample(ctx, rel.A, rel.geomA, src)
+			return exactAdaptiveSample(ctx, rel.A, rel.geomA, src, ss)
 		}
-		return exactAdaptiveSample(ctx, rel.B, rel.geomB, src)
+		return exactAdaptiveSample(ctx, rel.B, rel.geomB, src, ss)
 	default:
 		return rel.G.SampleNoise(side, src)
 	}

@@ -162,17 +162,36 @@ func abs64(x float32) float64 {
 	return float64(x)
 }
 
+// sampleScratch holds the exact adaptive sampler's per-draw ranking
+// buffers. The sampler re-ranks every node on every draw, and
+// allocating the score and id arrays each time made the (ablation-only)
+// exact mode an order of magnitude slower than the ranking itself
+// warrants — so each training worker owns one scratch and threads it
+// through step → noiseNode → exactAdaptiveSample.
+type sampleScratch struct {
+	scores []float64
+	ids    []int32
+}
+
+// grow sizes the buffers for n nodes, reusing capacity across draws.
+func (ss *sampleScratch) grow(n int) ([]float64, []int32) {
+	if cap(ss.scores) < n {
+		ss.scores = make([]float64, n)
+		ss.ids = make([]int32, n)
+	}
+	return ss.scores[:n], ss.ids[:n]
+}
+
 // exactAdaptiveSample implements the exact form of Eqn. 6 for the
 // ablation: rank every node of mat by its similarity σ(ctx·v) to the
 // context and return the node at a Geometric-sampled rank. O(|V|·K +
-// |V|·log|V|) per draw.
-func exactAdaptiveSample(ctx []float32, mat *Matrix, geom *rng.Geometric, src *rng.Source) int32 {
+// |V|·log|V|) per draw; ss provides the ranking buffers.
+func exactAdaptiveSample(ctx []float32, mat *Matrix, geom *rng.Geometric, src *rng.Source, ss *sampleScratch) int32 {
 	n := mat.N
-	scores := make([]float64, n)
+	scores, ids := ss.grow(n)
 	for i := 0; i < n; i++ {
 		scores[i] = float64(vecmath.Dot(ctx, mat.Row(int32(i))))
 	}
-	ids := make([]int32, n)
 	for i := range ids {
 		ids[i] = int32(i)
 	}

@@ -145,8 +145,9 @@ func TestExactAdaptiveSample(t *testing.T) {
 	// Context aligned with dim 0: similarity ranks node 0 first.
 	ctx := []float32{1, 0}
 	counts := make([]int, 6)
+	ss := &sampleScratch{}
 	for i := 0; i < 10000; i++ {
-		counts[exactAdaptiveSample(ctx, m, geom, src)]++
+		counts[exactAdaptiveSample(ctx, m, geom, src, ss)]++
 	}
 	if counts[0] < 5000 {
 		t.Errorf("exact sampler should concentrate on node 0: %v", counts)
@@ -177,8 +178,9 @@ func TestExactVsApproxAgreeOnSeparableContext(t *testing.T) {
 	geom := rng.NewGeometric(1, 20)
 	exCounts := make([]int, 20)
 	apCounts := make([]int, 20)
+	ss := &sampleScratch{}
 	for i := 0; i < 20000; i++ {
-		exCounts[exactAdaptiveSample(ctx, m, geom, src)]++
+		exCounts[exactAdaptiveSample(ctx, m, geom, src, ss)]++
 		apCounts[r.sample(ctx, src)]++
 	}
 	exTop := argmax(exCounts)

@@ -102,6 +102,7 @@ func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, s
 	done := ctx.Done()
 	errI := make([]float32, m.Cfg.K)
 	errJ := make([]float32, m.Cfg.K)
+	ss := &sampleScratch{}
 	for s := int64(0); s < steps; s++ {
 		if done != nil && s&cancelCheckMask == 0 {
 			select {
@@ -126,7 +127,7 @@ func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, s
 		if raceEnabled {
 			m.hogwildMu.Lock()
 		}
-		m.step(rel, src, alpha, errI, errJ)
+		m.step(rel, src, alpha, errI, errJ, ss)
 		if raceEnabled {
 			m.hogwildMu.Unlock()
 		}
@@ -136,7 +137,7 @@ func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, s
 
 // step performs one positive edge update with 2M (or M, unidirectional)
 // negative edges, following Eqn. 5.
-func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ []float32) {
+func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ []float32, ss *sampleScratch) {
 	e := rel.G.SampleEdge(src)
 	vi := rel.A.Row(e.A)
 	vj := rel.B.Row(e.B)
@@ -160,7 +161,7 @@ func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ [
 	for t := 0; t < mNeg; t++ {
 		k := int32(-1)
 		for try := 0; try < 5; try++ {
-			c := m.noiseNode(rel, graph.SideB, vi, src)
+			c := m.noiseNode(rel, graph.SideB, vi, src, ss)
 			if c == e.B || (rel.G.Symmetric() && c == e.A) {
 				continue
 			}
@@ -191,7 +192,7 @@ func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ [
 		for t := 0; t < mNeg; t++ {
 			k := int32(-1)
 			for try := 0; try < 5; try++ {
-				c := m.noiseNode(rel, graph.SideA, vj, src)
+				c := m.noiseNode(rel, graph.SideA, vj, src, ss)
 				if c == e.A || (rel.G.Symmetric() && c == e.B) {
 					continue
 				}

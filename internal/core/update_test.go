@@ -47,7 +47,7 @@ func TestStepPositiveTermMatchesEqn5(t *testing.T) {
 	m.Relations = []Relation{rel}
 	errI := make([]float32, 4)
 	errJ := make([]float32, 4)
-	m.step(&m.Relations[0], rng.New(1), alpha, errI, errJ)
+	m.step(&m.Relations[0], rng.New(1), alpha, errI, errJ, &sampleScratch{})
 
 	for f := 0; f < 4; f++ {
 		if math.Abs(float64(vi[f]-wantI[f])) > 1e-6 {
@@ -85,7 +85,7 @@ func TestStepNegativeTermDirection(t *testing.T) {
 	// effect must be clearly repulsive.
 	src := rng.New(7)
 	for i := 0; i < 50; i++ {
-		m.step(&m.Relations[0], src, 0.1, errI, errJ)
+		m.step(&m.Relations[0], src, 0.1, errI, errJ, &sampleScratch{})
 	}
 	if after := vecmath.Dot(A.Row(0), B.Row(1)); after >= dotBefore {
 		t.Errorf("negative pair similarity rose: %v -> %v", dotBefore, after)

@@ -1,0 +1,129 @@
+package ta
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+
+	"ebsn/internal/rng"
+)
+
+// benchSet builds the standard benchmark candidate space: 2000 events ×
+// 5000 partners at K=60 with top-50 pruning — 250k pairs, comfortably
+// above the 100k floor the build-scaling acceptance criterion asks for.
+func benchSet(b *testing.B) *CandidateSet {
+	b.Helper()
+	src := rng.New(91)
+	events := randomVecs(src, 2000, 60, true)
+	partners := randomVecs(src, 5000, 60, true)
+	cs, err := BuildCandidates(events, partners, BuildConfig{TopKEvents: 50, Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs
+}
+
+// BenchmarkTopNExcluding measures the serving hot path over a cold cache
+// of 256 rotating query vectors and rotating excluded partners.
+// "pooled" is the plain API (scratch from the sync.Pool, results
+// allocated for the caller); "scratch" is the caller-managed variant,
+// which must be allocation-free once the scratch is warm.
+func BenchmarkTopNExcluding(b *testing.B) {
+	cs := benchSet(b)
+	f := NewFastIndex(cs)
+	src := rng.New(93)
+	queries := randomVecs(src, 256, 60, true)
+	np := int32(len(cs.Partners))
+
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.TopNExcluding(queries[i%len(queries)], 10, int32(i)%np)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		sc := GetScratch()
+		defer PutScratch(sc)
+		f.TopNExcludingScratch(queries[0], 10, 0, sc) // warm the buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.TopNExcludingScratch(queries[i%len(queries)], 10, int32(i)%np, sc)
+		}
+	})
+}
+
+// BenchmarkIndexTopN measures the generic Fagin index hot path with
+// caller-managed scratch.
+func BenchmarkIndexTopN(b *testing.B) {
+	cs := benchSet(b)
+	idx := NewIndex(cs)
+	src := rng.New(94)
+	queries := randomVecs(src, 64, 60, true)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	idx.TopNScratch(queries[0], 10, sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.TopNScratch(queries[i%len(queries)], 10, sc)
+	}
+}
+
+// benchWorkerCounts covers the serial baseline and the machine's full
+// parallelism (plus an intermediate point when there is one).
+func benchWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	if max >= 4 {
+		counts = append(counts, max/2)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// BenchmarkBuildCandidates measures candidate-set construction (pruning
+// pass + packing) across worker counts; near-linear scaling is an
+// acceptance criterion of the parallel build.
+func BenchmarkBuildCandidates(b *testing.B) {
+	src := rng.New(92)
+	events := randomVecs(src, 2000, 60, true)
+	partners := randomVecs(src, 5000, 60, true)
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildCandidates(events, partners, BuildConfig{TopKEvents: 50, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNewFastIndex measures the grouped-bound index build (parallel
+// counting sort + offline bounds) across worker counts.
+func BenchmarkNewFastIndex(b *testing.B) {
+	cs := benchSet(b)
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewFastIndexWorkers(cs, w)
+			}
+		})
+	}
+}
+
+// BenchmarkNewIndex measures the Fagin index build (rotation + per-
+// dimension sorts) across worker counts.
+func BenchmarkNewIndex(b *testing.B) {
+	cs := benchSet(b)
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewIndexWorkers(cs, w)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package ta
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"ebsn/internal/vecmath"
@@ -48,17 +49,21 @@ func (d *Dynamic) AddEvent(vec []float32) error {
 	eventIdx := int32(len(d.deltaEvents))
 	d.deltaEvents = append(d.deltaEvents, vec)
 
-	partners := d.partnerIndices(vec)
-	for _, u := range partners {
+	// One streamed pass over the packed partner rows covers both the
+	// pruning scores and the cross terms of the retained pairs.
+	scores := make([]float32, len(d.set.Partners))
+	vecmath.DotBatch(vec, d.set.partnerData, d.set.K, scores)
+	for _, u := range d.partnerIndices(scores) {
 		d.deltaPairs = append(d.deltaPairs, Candidate{Event: eventIdx, Partner: u})
-		d.deltaCross = append(d.deltaCross, vecmath.Dot(vec, d.set.Partners[u]))
+		d.deltaCross = append(d.deltaCross, scores[u])
 	}
 	return nil
 }
 
 // partnerIndices returns the partners whose candidate list the new event
-// joins: everyone when unpruned, else the topK by their preference u'·x.
-func (d *Dynamic) partnerIndices(vec []float32) []int32 {
+// joins, given the per-partner preference scores u'·x: everyone when
+// unpruned, else the topK by score.
+func (d *Dynamic) partnerIndices(scores []float32) []int32 {
 	n := len(d.set.Partners)
 	if d.topK <= 0 || d.topK >= n {
 		out := make([]int32, n)
@@ -67,20 +72,13 @@ func (d *Dynamic) partnerIndices(vec []float32) []int32 {
 		}
 		return out
 	}
-	type us struct {
-		u int32
-		s float32
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
 	}
-	scored := make([]us, n)
-	for u := 0; u < n; u++ {
-		scored[u] = us{int32(u), vecmath.Dot(vec, d.set.Partners[u])}
-	}
-	sort.Slice(scored, func(i, j int) bool { return scored[i].s > scored[j].s })
-	out := make([]int32, d.topK)
-	for i := 0; i < d.topK; i++ {
-		out[i] = scored[i].u
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(out, func(i, j int) bool { return scores[out[i]] > scores[out[j]] })
+	out = out[:d.topK]
+	slices.Sort(out)
 	return out
 }
 
@@ -99,8 +97,22 @@ func (d *Dynamic) TopN(userVec []float32, n int) ([]DynamicResult, SearchStats) 
 // TopNExcluding is TopN with one partner excluded (see
 // FastIndex.TopNExcluding).
 func (d *Dynamic) TopNExcluding(userVec []float32, n int, exclude int32) ([]DynamicResult, SearchStats) {
-	base, stats := d.idx.TopNExcluding(userVec, n, exclude)
-	merged := make([]DynamicResult, 0, n+len(base))
+	sc := GetScratch()
+	defer PutScratch(sc)
+	merged, stats := d.topNExcluding(userVec, n, exclude, sc)
+	return append([]DynamicResult(nil), merged...), stats
+}
+
+// TopNExcludingScratch is TopNExcluding with caller-managed scratch; the
+// results alias sc and are valid only until its next use.
+func (d *Dynamic) TopNExcludingScratch(userVec []float32, n int, exclude int32, sc *Scratch) ([]DynamicResult, SearchStats) {
+	return d.topNExcluding(userVec, n, exclude, sc)
+}
+
+func (d *Dynamic) topNExcluding(userVec []float32, n int, exclude int32, sc *Scratch) ([]DynamicResult, SearchStats) {
+	base, stats := d.idx.topNExcluding(userVec, n, exclude, sc, sc.out[:0])
+	sc.out = base[:0]
+	merged := sc.dout[:0]
 	for _, r := range base {
 		merged = append(merged, DynamicResult{Result: r})
 	}
@@ -119,7 +131,17 @@ func (d *Dynamic) TopNExcluding(userVec []float32, n int, exclude int32) ([]Dyna
 		stats.RandomAccesses++
 	}
 	stats.Candidates += len(d.deltaPairs)
-	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Score > merged[j].Score })
+	slices.SortStableFunc(merged, func(a, b DynamicResult) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		default:
+			return 0
+		}
+	})
+	sc.dout = merged
 	if len(merged) > n {
 		merged = merged[:n]
 	}
@@ -129,6 +151,7 @@ func (d *Dynamic) TopNExcluding(userVec []float32, n int, exclude int32) ([]Dyna
 // Rebuild folds the delta into a fresh candidate set and index. Delta
 // events are appended to the base event list in arrival order, so their
 // post-rebuild Event indices are len(baseEvents) + arrival position.
+// The rebuilt index (grouping, bounds, re-pack) uses all available CPUs.
 func (d *Dynamic) Rebuild() {
 	if len(d.deltaEvents) == 0 {
 		return

@@ -1,9 +1,6 @@
 package ta
 
 import (
-	"container/heap"
-	"sort"
-
 	"ebsn/internal/vecmath"
 )
 
@@ -15,20 +12,25 @@ import (
 //
 //	score(u; x, u') = u·x + u·u' + x·u' = a(x) + b(u') + cross(x, u')
 //
-// a and b are computed once per query in (|X|+|U|)·K flops; cross is
+// a and b are computed once per query in (|X|+|U|)·K flops — streamed
+// over the set's packed row-major storage with vecmath.DotBatch; cross is
 // precomputed per pair at build time. Candidates are grouped by partner,
 // each partner u' carries the offline bound maxCross(u') over its own
-// candidate events, and the query scans partners in decreasing
+// candidate events, and the query consumes partners in decreasing
 //
 //	bound(u') = b(u') + max_x a(x) + maxCross(u')
 //
 // order — an upper bound on every one of u's pairs — stopping as soon as
-// the next bound cannot beat the n-th best exact score. This is the same
-// threshold-algorithm contract as Index (sorted access by bound, cheap
-// random access, early termination, exact results), specialized to the
-// pair structure. Even a full scan costs one addition per pair instead of
-// one K-dim dot product, so it lower-bounds brute force by a factor ~K;
-// the threshold stop then prunes on top of that.
+// the next bound cannot beat the n-th best exact score. The decreasing
+// order comes from a lazy max-heap over the bounds (O(|U|) to build, one
+// O(log|U|) pop per partner actually consumed), not a full sort: a query
+// that terminates after a few hundred partners never orders the other
+// hundreds of thousands. This is the same threshold-algorithm contract
+// as Index (sorted access by bound, cheap random access, early
+// termination, exact results), specialized to the pair structure. Even a
+// full scan costs one addition per pair instead of one K-dim dot
+// product, so it lower-bounds brute force by a factor ~K; the threshold
+// stop then prunes on top of that.
 type FastIndex struct {
 	set *CandidateSet
 	// order holds pair indices grouped by partner via a counting sort;
@@ -41,48 +43,112 @@ type FastIndex struct {
 	maxCross []float32
 }
 
-// NewFastIndex builds the per-partner grouping and offline bounds.
-func NewFastIndex(set *CandidateSet) *FastIndex {
+// partnerBound is one entry of the per-query lazy bound heap.
+type partnerBound struct {
+	u     int32
+	bound float32
+}
+
+// NewFastIndex builds the per-partner grouping and offline bounds using
+// all available CPUs. See NewFastIndexWorkers.
+func NewFastIndex(set *CandidateSet) *FastIndex { return NewFastIndexWorkers(set, 0) }
+
+// NewFastIndexWorkers builds the per-partner grouping and offline bounds
+// with the given parallelism (≤ 0 means GOMAXPROCS). The build is a
+// parallel counting sort: per-chunk partner counts, a prefix pass that
+// assigns every (chunk, partner) block its slot range, then fully
+// parallel placement — each chunk writes disjoint slots, and a partner's
+// pairs land in original order regardless of the worker count, so the
+// output is identical to the serial build. Packs the set as a side
+// effect.
+func NewFastIndexWorkers(set *CandidateSet, workers int) *FastIndex {
+	workers = resolveWorkers(workers)
+	set.Pack()
 	nu := len(set.Partners)
+	np := len(set.Pairs)
 	f := &FastIndex{
 		set:          set,
-		order:        make([]int32, len(set.Pairs)),
+		order:        make([]int32, np),
 		partnerStart: make([]int32, nu+1),
 		maxCross:     make([]float32, nu),
 	}
-	counts := make([]int32, nu+1)
-	for _, p := range set.Pairs {
-		counts[p.Partner+1]++
-	}
-	for u := 0; u < nu; u++ {
-		counts[u+1] += counts[u]
-	}
-	copy(f.partnerStart, counts)
-	cursor := make([]int32, nu)
-	for i, p := range set.Pairs {
-		f.order[f.partnerStart[p.Partner]+cursor[p.Partner]] = int32(i)
-		cursor[p.Partner]++
-	}
 
-	for u := range f.maxCross {
-		lo, hi := f.partnerStart[u], f.partnerStart[u+1]
-		if lo == hi {
-			continue
-		}
-		best := set.Cross[f.order[lo]]
-		for i := lo + 1; i < hi; i++ {
-			if c := set.Cross[f.order[i]]; c > best {
-				best = c
-			}
-		}
-		f.maxCross[u] = best
+	// Chunk the pair list. Each chunk counts its pairs per partner.
+	nchunks := workers
+	if nchunks > np {
+		nchunks = np
 	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	chunk := (np + nchunks - 1) / nchunks
+	counts := make([][]int32, 0, nchunks)
+	for lo := 0; lo < np; lo += chunk {
+		counts = append(counts, make([]int32, nu))
+	}
+	parallelFor(len(counts), workers, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > np {
+			hi = np
+		}
+		cnt := counts[c]
+		for _, p := range set.Pairs[lo:hi] {
+			cnt[p.Partner]++
+		}
+	})
+
+	// Prefix pass: partnerStart from the per-partner totals, then turn
+	// each chunk's count into its starting slot for that partner.
+	var run int32
+	for u := 0; u < nu; u++ {
+		f.partnerStart[u] = run
+		for _, cnt := range counts {
+			n := cnt[u]
+			cnt[u] = run
+			run += n
+		}
+	}
+	f.partnerStart[nu] = run
+
+	// Placement: each chunk fills its own slots.
+	parallelFor(len(counts), workers, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > np {
+			hi = np
+		}
+		cur := counts[c]
+		for i := lo; i < hi; i++ {
+			u := set.Pairs[i].Partner
+			f.order[cur[u]] = int32(i)
+			cur[u]++
+		}
+	})
+
+	// Offline per-partner cross-term bounds.
+	parallelChunks(nu, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			s, e := f.partnerStart[u], f.partnerStart[u+1]
+			if s == e {
+				continue
+			}
+			best := set.Cross[f.order[s]]
+			for i := s + 1; i < e; i++ {
+				if c := set.Cross[f.order[i]]; c > best {
+					best = c
+				}
+			}
+			f.maxCross[u] = best
+		}
+	})
 	return f
 }
 
 // TopN returns the exact top-n event-partner pairs for the user vector,
 // descending by score, with access statistics. RandomAccesses counts
-// exactly the pairs whose score was materialized.
+// exactly the pairs whose score was materialized; SortedAccesses counts
+// the partner bounds consumed from the lazy heap.
 func (f *FastIndex) TopN(userVec []float32, n int) ([]Result, SearchStats) {
 	return f.TopNExcluding(userVec, n, -1)
 }
@@ -92,6 +158,22 @@ func (f *FastIndex) TopN(userVec []float32, n int) ([]Result, SearchStats) {
 // otherwise crowd the top of the list (u·u is a squared norm and u's own
 // candidate events score u·x twice). Pass a negative ID to exclude no one.
 func (f *FastIndex) TopNExcluding(userVec []float32, n int, exclude int32) ([]Result, SearchStats) {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return f.topNExcluding(userVec, n, exclude, sc, nil)
+}
+
+// TopNExcludingScratch is TopNExcluding with caller-managed scratch:
+// every per-query buffer, including the returned slice, comes from sc,
+// so a warmed scratch makes the query allocation-free. The results alias
+// sc and are valid only until its next use.
+func (f *FastIndex) TopNExcludingScratch(userVec []float32, n int, exclude int32, sc *Scratch) ([]Result, SearchStats) {
+	res, stats := f.topNExcluding(userVec, n, exclude, sc, sc.out[:0])
+	sc.out = res[:0]
+	return res, stats
+}
+
+func (f *FastIndex) topNExcluding(userVec []float32, n int, exclude int32, sc *Scratch, dst []Result) ([]Result, SearchStats) {
 	set := f.set
 	nc := len(set.Pairs)
 	stats := SearchStats{Candidates: nc}
@@ -102,54 +184,89 @@ func (f *FastIndex) TopNExcluding(userVec []float32, n int, exclude int32) ([]Re
 		n = nc
 	}
 
-	// Per-query event and partner affinities.
-	a := make([]float32, len(set.Events))
+	// Per-query event and partner affinities, streamed over the packed
+	// rows.
+	sc.a = resizeF32(sc.a, len(set.Events))
+	a := sc.a
+	vecmath.DotBatch(userVec, set.eventData, set.K, a)
 	var amax float32
-	for x, ev := range set.Events {
-		a[x] = vecmath.Dot(userVec, ev)
-		if x == 0 || a[x] > amax {
-			amax = a[x]
+	for x, v := range a {
+		if x == 0 || v > amax {
+			amax = v
 		}
 	}
 	nu := len(set.Partners)
-	type pb struct {
-		u     int32
-		b     float32
-		bound float32
-	}
-	bounds := make([]pb, 0, nu)
+	sc.b = resizeF32(sc.b, nu)
+	b := sc.b
+	vecmath.DotBatch(userVec, set.partnerData, set.K, b)
+
+	// Lazy selection: heapify the partner bounds in O(|U|) and pop only
+	// as many as the threshold stop actually consumes.
+	bounds := sc.bounds[:0]
 	for u := 0; u < nu; u++ {
 		if f.partnerStart[u] == f.partnerStart[u+1] {
 			continue // partner contributes no candidates
 		}
-		b := vecmath.Dot(userVec, set.Partners[u])
-		bounds = append(bounds, pb{int32(u), b, b + amax + f.maxCross[u]})
+		bounds = append(bounds, partnerBound{int32(u), b[u] + amax + f.maxCross[u]})
 	}
-	sort.Slice(bounds, func(i, j int) bool { return bounds[i].bound > bounds[j].bound })
-	stats.SortedAccesses = len(bounds)
+	sc.bounds = bounds
+	heapifyBounds(bounds)
 
-	h := &resultHeap{}
-	heap.Init(h)
-	for _, cand := range bounds {
-		if h.Len() == n && (*h)[0].Score >= cand.bound {
+	h := &sc.results
+	*h = (*h)[:0]
+	for len(bounds) > 0 {
+		top := bounds[0]
+		if len(*h) == n && (*h)[0].Score >= top.bound {
 			break // no remaining partner can beat the current top n
 		}
-		if cand.u == exclude {
+		last := len(bounds) - 1
+		bounds[0] = bounds[last]
+		bounds = bounds[:last]
+		if last > 0 {
+			siftDownBounds(bounds, 0)
+		}
+		stats.SortedAccesses++
+		if top.u == exclude {
 			continue
 		}
-		u := cand.u
-		b := cand.b
+		u := top.u
+		bu := b[u]
 		for oi := f.partnerStart[u]; oi < f.partnerStart[u+1]; oi++ {
 			i := f.order[oi]
 			stats.RandomAccesses++
-			s := a[set.Pairs[i].Event] + b + set.Cross[i]
-			if h.Len() < n {
-				heap.Push(h, Result{set.Pairs[i].Event, u, s})
+			s := a[set.Pairs[i].Event] + bu + set.Cross[i]
+			if len(*h) < n {
+				h.push(Result{set.Pairs[i].Event, u, s})
 			} else if s > (*h)[0].Score {
-				(*h)[0] = Result{set.Pairs[i].Event, u, s}
-				heap.Fix(h, 0)
+				h.replaceMin(Result{set.Pairs[i].Event, u, s})
 			}
 		}
 	}
-	return drainDescending(h), stats
+	return h.drainDescending(dst), stats
+}
+
+// heapifyBounds establishes the max-heap invariant on bound.
+func heapifyBounds(b []partnerBound) {
+	for i := len(b)/2 - 1; i >= 0; i-- {
+		siftDownBounds(b, i)
+	}
+}
+
+// siftDownBounds restores the max-heap invariant below position i.
+func siftDownBounds(b []partnerBound, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(b) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(b) && b[r].bound > b[l].bound {
+			m = r
+		}
+		if b[i].bound >= b[m].bound {
+			return
+		}
+		b[i], b[m] = b[m], b[i]
+		i = m
+	}
 }

@@ -8,10 +8,8 @@
 package ta
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
-	"sync"
 
 	"ebsn/internal/vecmath"
 )
@@ -27,12 +25,51 @@ type Candidate struct {
 // Points are not stored explicitly — the first K coordinates depend only
 // on the event and the next K only on the partner, so the set stores the
 // original vectors plus the pair list and the precomputed cross term.
+//
+// The vectors have a second representation: Pack copies them into
+// contiguous row-major backing arrays and re-aliases every Events[i] /
+// Partners[u] row into them, so the per-query affinity passes stream
+// sequential memory (vecmath.DotBatch) instead of chasing one pointer
+// per row. The index constructors pack automatically; a set mutated
+// afterwards (Dynamic.Rebuild appends events) is re-packed on the next
+// index build.
 type CandidateSet struct {
 	K        int
 	Events   [][]float32 // event vectors (index space of Candidate.Event)
 	Partners [][]float32 // partner/user vectors
 	Pairs    []Candidate
 	Cross    []float32 // x·u' per pair — the (2K+1)-th coordinate
+
+	// Packed row-major mirrors of Events/Partners (see Pack). Queries
+	// require them; index constructors guarantee they are current.
+	eventData   []float32
+	partnerData []float32
+}
+
+// Pack (re)builds the contiguous row-major backing arrays and re-aliases
+// the per-row slices into them. Idempotent and cheap when already packed;
+// not safe to call concurrently with queries (index constructors call it
+// at build time, which the facade serializes as its contract requires).
+func (c *CandidateSet) Pack() {
+	c.eventData = packRows(c.Events, c.K, c.eventData)
+	c.partnerData = packRows(c.Partners, c.K, c.partnerData)
+}
+
+// packRows copies rows into one contiguous buffer and re-aliases each
+// row into it, returning the buffer. A prev buffer that already backs
+// the rows is reused untouched.
+func packRows(rows [][]float32, k int, prev []float32) []float32 {
+	if len(prev) == len(rows)*k && (len(rows) == 0 || &rows[0][0] == &prev[0]) {
+		return prev
+	}
+	data := make([]float32, len(rows)*k)
+	for i, r := range rows {
+		copy(data[i*k:(i+1)*k], r)
+	}
+	for i := range rows {
+		rows[i] = data[i*k : (i+1)*k : (i+1)*k]
+	}
+	return data
 }
 
 // Dims returns the transformed-space dimensionality 2K+1.
@@ -58,21 +95,11 @@ func Query(userVec []float32) []float32 {
 	return q
 }
 
-// coord returns coordinate d of pair i without materializing the point.
-func (c *CandidateSet) coord(i int, d int) float32 {
-	switch {
-	case d < c.K:
-		return c.Events[c.Pairs[i].Event][d]
-	case d < 2*c.K:
-		return c.Partners[c.Pairs[i].Partner][d-c.K]
-	default:
-		return c.Cross[i]
-	}
-}
-
 // Score computes the pair's joint score for the given user vector using
 // the untransformed identity u·x + u'·x + u·u'; by construction it equals
-// the transformed inner product q_u·p (verified by property test).
+// the transformed inner product q_u·p (verified by property test). After
+// Pack the row slices alias the contiguous backing arrays, so this reads
+// packed memory.
 func (c *CandidateSet) Score(userVec []float32, i int) float32 {
 	pair := c.Pairs[i]
 	xv := c.Events[pair.Event]
@@ -95,6 +122,12 @@ type BuildConfig struct {
 // contributes only their top-k events, reducing the space from |U|·|X| to
 // |U|·k exactly as Section IV proposes: a partner is unlikely to accept
 // an invitation to an event they have no interest in.
+//
+// Every partner contributes exactly min(TopKEvents, |X|) pairs, so the
+// pair array is sized up front and filled fully in parallel — including
+// the cross terms, which reuse the u'·x scores the pruning pass already
+// computed instead of re-deriving them with a second dot product per
+// pair. The input vectors are packed (see Pack) as a side effect.
 func BuildCandidates(events, partners [][]float32, cfg BuildConfig) (*CandidateSet, error) {
 	if len(events) == 0 || len(partners) == 0 {
 		return nil, fmt.Errorf("ta: empty event or partner set")
@@ -111,101 +144,92 @@ func BuildCandidates(events, partners [][]float32, cfg BuildConfig) (*CandidateS
 		}
 	}
 	cs := &CandidateSet{K: k, Events: events, Partners: partners}
+	cs.Pack()
 
 	topK := cfg.TopKEvents
 	if topK <= 0 || topK > len(events) {
 		topK = len(events)
 	}
+	per := topK
+	cs.Pairs = make([]Candidate, per*len(partners))
+	cs.Cross = make([]float32, per*len(partners))
 
-	// Per-partner candidate events, computed in parallel.
-	perPartner := make([][]int32, len(partners))
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
-	chunk := (len(partners) + workers - 1) / workers
-	for lo := 0; lo < len(partners); lo += chunk {
-		hi := lo + chunk
-		if hi > len(partners) {
-			hi = len(partners)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for u := lo; u < hi; u++ {
-				perPartner[u] = topEventsFor(partners[u], events, topK)
+	parallelChunks(len(partners), workers, func(lo, hi int) {
+		scores := make([]float32, len(events))
+		heap := make([]eventScore, 0, per)
+		ids := make([]int32, per)
+		for u := lo; u < hi; u++ {
+			vecmath.DotBatch(cs.Partners[u], cs.eventData, k, scores)
+			sel := selectTopEvents(scores, per, heap, ids)
+			base := u * per
+			for j, x := range sel {
+				cs.Pairs[base+j] = Candidate{Event: x, Partner: int32(u)}
+				cs.Cross[base+j] = scores[x]
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	for u, evs := range perPartner {
-		for _, x := range evs {
-			cs.Pairs = append(cs.Pairs, Candidate{Event: x, Partner: int32(u)})
-			cs.Cross = append(cs.Cross, vecmath.Dot(events[x], partners[u]))
 		}
-	}
+	})
 	return cs, nil
 }
 
-// topEventsFor returns the indices of the top-k events by u'·x, sorted by
-// event index for deterministic output.
-func topEventsFor(partner []float32, events [][]float32, k int) []int32 {
-	if k >= len(events) {
-		out := make([]int32, len(events))
+// eventScore is one entry of the pruning pass's top-k min-heap.
+type eventScore struct {
+	x int32
+	s float32
+}
+
+// selectTopEvents returns the indices of the top-k events by score,
+// sorted by event index for deterministic output. Ties keep the earliest
+// events, matching the historical behavior (a later event only displaces
+// the heap minimum on a strictly greater score). h and out are caller
+// scratch; the result aliases out.
+func selectTopEvents(scores []float32, k int, h []eventScore, out []int32) []int32 {
+	if k >= len(scores) {
+		out = out[:len(scores)]
 		for i := range out {
 			out[i] = int32(i)
 		}
 		return out
 	}
-	type sx struct {
-		x int32
-		s float32
-	}
-	h := make([]sx, 0, k) // min-heap on s
-	less := func(i, j int) bool { return h[i].s < h[j].s }
-	push := func(e sx) {
-		h = append(h, e)
-		i := len(h) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if less(i, p) {
+	h = h[:0]
+	for x, s := range scores {
+		if len(h) < k {
+			// Sift up.
+			h = append(h, eventScore{int32(x), s})
+			i := len(h) - 1
+			for i > 0 {
+				p := (i - 1) / 2
+				if h[i].s >= h[p].s {
+					break
+				}
 				h[i], h[p] = h[p], h[i]
 				i = p
-			} else {
-				break
 			}
-		}
-	}
-	fix := func() {
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(h) && less(l, m) {
-				m = l
-			}
-			if r < len(h) && less(r, m) {
-				m = r
-			}
-			if m == i {
-				break
-			}
-			h[i], h[m] = h[m], h[i]
-			i = m
-		}
-	}
-	for x, ev := range events {
-		s := vecmath.Dot(partner, ev)
-		if len(h) < k {
-			push(sx{int32(x), s})
 		} else if s > h[0].s {
-			h[0] = sx{int32(x), s}
-			fix()
+			// Replace the minimum and sift down.
+			h[0] = eventScore{int32(x), s}
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				m := i
+				if l < len(h) && h[l].s < h[m].s {
+					m = l
+				}
+				if r < len(h) && h[r].s < h[m].s {
+					m = r
+				}
+				if m == i {
+					break
+				}
+				h[i], h[m] = h[m], h[i]
+				i = m
+			}
 		}
 	}
-	out := make([]int32, len(h))
+	out = out[:len(h)]
 	for i, e := range h {
 		out[i] = e.x
 	}
@@ -226,40 +250,78 @@ func (c *CandidateSet) BruteForceTopN(userVec []float32, n int) []Result {
 	if n <= 0 {
 		return nil
 	}
-	h := &resultHeap{}
-	heap.Init(h)
+	var h resultHeap
 	for i := range c.Pairs {
 		s := c.Score(userVec, i)
-		if h.Len() < n {
-			heap.Push(h, Result{c.Pairs[i].Event, c.Pairs[i].Partner, s})
-		} else if s > (*h)[0].Score {
-			(*h)[0] = Result{c.Pairs[i].Event, c.Pairs[i].Partner, s}
-			heap.Fix(h, 0)
+		if len(h) < n {
+			h.push(Result{c.Pairs[i].Event, c.Pairs[i].Partner, s})
+		} else if s > h[0].Score {
+			h.replaceMin(Result{c.Pairs[i].Event, c.Pairs[i].Partner, s})
 		}
 	}
-	return drainDescending(h)
+	return h.drainDescending(nil)
 }
 
 // resultHeap is a min-heap on Score so the root is the weakest retained
-// result.
+// result. The heap is hand-rolled (no container/heap) so pushes take no
+// interface boxing allocation — it sits on the query hot path.
 type resultHeap []Result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push adds r, sifting up.
+func (h *resultHeap) push(r Result) {
+	*h = append(*h, r)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[i].Score >= s[p].Score {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
 }
 
-func drainDescending(h *resultHeap) []Result {
-	out := make([]Result, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Result)
+// replaceMin overwrites the root with r and sifts down.
+func (h resultHeap) replaceMin(r Result) {
+	h[0] = r
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l].Score < h[m].Score {
+			m = l
+		}
+		if rr < len(h) && h[rr].Score < h[m].Score {
+			m = rr
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
-	return out
+}
+
+// drainDescending empties the heap into dst (reused when its capacity
+// suffices, so pooled callers stay allocation-free) in descending score
+// order.
+func (h *resultHeap) drainDescending(dst []Result) []Result {
+	n := len(*h)
+	if cap(dst) < n {
+		dst = make([]Result, n)
+	}
+	dst = dst[:n]
+	s := *h
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = s[0]
+		last := len(s) - 1
+		s[0] = s[last]
+		s = s[:last]
+		if last > 0 {
+			s.replaceMin(s[0])
+		}
+	}
+	*h = (*h)[:0]
+	return dst
 }

@@ -255,7 +255,11 @@ func TestTopEventsForExactness(t *testing.T) {
 	src := rng.New(14)
 	events := randomVecs(src, 50, 6, true)
 	partner := randomVecs(src, 1, 6, true)[0]
-	got := topEventsFor(partner, events, 7)
+	scores := make([]float32, len(events))
+	for i, ev := range events {
+		scores[i] = vecmath.Dot(partner, ev)
+	}
+	got := selectTopEvents(scores, 7, nil, make([]int32, 7))
 	if len(got) != 7 {
 		t.Fatalf("got %d events", len(got))
 	}

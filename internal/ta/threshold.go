@@ -3,13 +3,15 @@ package ta
 import (
 	"container/heap"
 	"math"
+	"math/bits"
 )
 
 // Index is the TA search structure over a candidate set: per indexed
 // dimension, the candidate indices sorted by that coordinate. Building is
-// O(D·C·log C) offline; queries then use Fagin's Threshold Algorithm,
-// which stops as soon as the running threshold proves no unseen candidate
-// can enter the top n.
+// O(D·C·log C) offline (parallel across dimensions; see
+// NewIndexWorkers); queries then use Fagin's Threshold Algorithm, which
+// stops as soon as the running threshold proves no unseen candidate can
+// enter the top n.
 //
 // The index works in a reduced K+1-dimensional form of the paper's
 // transformation: since the query duplicates the user vector across the
@@ -35,46 +37,77 @@ type Index struct {
 	sorted [][]int32
 }
 
-// NewIndex builds the per-dimension sorted lists. Before sorting, the
-// reduced coordinates are rotated onto the principal axes of the
-// candidate cloud (a shared orthogonal rotation leaves every inner
-// product, and hence every score and threshold, unchanged). Learned
-// embeddings are strongly anisotropic, so after rotation a handful of
-// dimensions carry almost all score variance and the TA threshold
-// collapses after a short prefix — the effect behind the paper's ~8%
-// access fraction.
-func NewIndex(set *CandidateSet) *Index {
+// NewIndex builds the per-dimension sorted lists using all available
+// CPUs. See NewIndexWorkers.
+func NewIndex(set *CandidateSet) *Index { return NewIndexWorkers(set, 0) }
+
+// NewIndexWorkers builds the per-dimension sorted lists with the given
+// parallelism (≤ 0 means GOMAXPROCS). Before sorting, the reduced
+// coordinates are rotated onto the principal axes of the candidate cloud
+// (a shared orthogonal rotation leaves every inner product, and hence
+// every score and threshold, unchanged). Learned embeddings are strongly
+// anisotropic, so after rotation a handful of dimensions carry almost
+// all score variance and the TA threshold collapses after a short
+// prefix — the effect behind the paper's ~8% access fraction.
+//
+// Extraction, rotation and sorting parallelize per dimension; the
+// second-moment accumulation parallelizes over fixed-size row blocks
+// merged in block order, so the estimated axes do not depend on the
+// worker count.
+func NewIndexWorkers(set *CandidateSet, workers int) *Index {
+	workers = resolveWorkers(workers)
+	set.Pack()
 	dims := set.K + 1
 	n := len(set.Pairs)
 
 	// Reduced coordinates per pair.
 	raw := make([][]float32, dims)
-	for d := 0; d < dims; d++ {
+	parallelFor(dims, workers, func(d int) {
 		vals := make([]float32, n)
-		for i := 0; i < n; i++ {
-			if d < set.K {
+		if d < set.K {
+			for i := 0; i < n; i++ {
 				pair := set.Pairs[i]
 				vals[i] = set.Events[pair.Event][d] + set.Partners[pair.Partner][d]
-			} else {
-				vals[i] = set.Cross[i]
 			}
+		} else {
+			copy(vals, set.Cross)
 		}
 		raw[d] = vals
-	}
+	})
 
 	// Second-moment matrix and its eigenvectors. Sampling rows is enough
-	// to estimate the principal axes on large candidate sets.
+	// to estimate the principal axes on large candidate sets. Partial
+	// moments accumulate per fixed-size block and merge in block order:
+	// bit-identical for every worker count.
 	stride := 1
 	if n > 20000 {
 		stride = n / 20000
 	}
-	mom := make([]float64, dims*dims)
-	for i := 0; i < n; i += stride {
-		for a := 0; a < dims; a++ {
-			va := float64(raw[a][i])
-			for b := a; b < dims; b++ {
-				mom[a*dims+b] += va * float64(raw[b][i])
+	samples := (n + stride - 1) / stride
+	const momentBlock = 4096
+	nblocks := (samples + momentBlock - 1) / momentBlock
+	partial := make([][]float64, nblocks)
+	parallelFor(nblocks, workers, func(blk int) {
+		mom := make([]float64, dims*dims)
+		lo, hi := blk*momentBlock, (blk+1)*momentBlock
+		if hi > samples {
+			hi = samples
+		}
+		for s := lo; s < hi; s++ {
+			i := s * stride
+			for a := 0; a < dims; a++ {
+				va := float64(raw[a][i])
+				for b := a; b < dims; b++ {
+					mom[a*dims+b] += va * float64(raw[b][i])
+				}
 			}
+		}
+		partial[blk] = mom
+	})
+	mom := make([]float64, dims*dims)
+	for _, p := range partial {
+		for i, v := range p {
+			mom[i] += v
 		}
 	}
 	for a := 0; a < dims; a++ {
@@ -91,8 +124,9 @@ func NewIndex(set *CandidateSet) *Index {
 		vals:   make([][]float32, dims),
 		sorted: make([][]int32, dims),
 	}
-	// Rotate every pair's coordinate vector: vals'[d][i] = Σ_a evec[a*dims+d]·raw[a][i].
-	for d := 0; d < dims; d++ {
+	// Rotate every pair's coordinate vector — vals'[d][i] =
+	// Σ_a evec[a*dims+d]·raw[a][i] — and sort, one dimension per task.
+	parallelFor(dims, workers, func(d int) {
 		vals := make([]float32, n)
 		for a := 0; a < dims; a++ {
 			w := float32(evec[a*dims+d])
@@ -111,50 +145,95 @@ func NewIndex(set *CandidateSet) *Index {
 		sortInt32sByVal(ids, vals)
 		idx.vals[d] = vals
 		idx.sorted[d] = ids
-	}
+	})
 	return idx
 }
 
-// sortInt32sByVal sorts ids ascending by vals[id].
+// sortInt32sByVal sorts ids ascending by vals[id] with an introsort:
+// quicksort with a depth guard that falls back to heapsort, so an
+// adversarial ordering cannot push the build quadratic.
 func sortInt32sByVal(ids []int32, vals []float32) {
 	// vals is indexed by candidate id.
-	quickSortIDs(ids, vals)
+	quickSortIDs(ids, vals, 2*bits.Len(uint(len(ids))))
 }
 
-func quickSortIDs(ids []int32, vals []float32) {
-	if len(ids) < 24 {
-		for i := 1; i < len(ids); i++ {
-			for j := i; j > 0 && vals[ids[j]] < vals[ids[j-1]]; j-- {
-				ids[j], ids[j-1] = ids[j-1], ids[j]
+func quickSortIDs(ids []int32, vals []float32, depth int) {
+	for len(ids) >= 24 {
+		if depth == 0 {
+			heapSortIDs(ids, vals)
+			return
+		}
+		depth--
+		mid := ids[len(ids)/2]
+		pivot := vals[mid]
+		lo, hi := 0, len(ids)-1
+		for lo <= hi {
+			for vals[ids[lo]] < pivot {
+				lo++
+			}
+			for vals[ids[hi]] > pivot {
+				hi--
+			}
+			if lo <= hi {
+				ids[lo], ids[hi] = ids[hi], ids[lo]
+				lo++
+				hi--
 			}
 		}
-		return
-	}
-	mid := ids[len(ids)/2]
-	pivot := vals[mid]
-	lo, hi := 0, len(ids)-1
-	for lo <= hi {
-		for vals[ids[lo]] < pivot {
-			lo++
-		}
-		for vals[ids[hi]] > pivot {
-			hi--
-		}
-		if lo <= hi {
-			ids[lo], ids[hi] = ids[hi], ids[lo]
-			lo++
-			hi--
+		// Recurse into the smaller partition, loop on the larger: bounds
+		// the stack at O(log n) even before the depth guard fires.
+		if hi+1 < len(ids)-lo {
+			quickSortIDs(ids[:hi+1], vals, depth)
+			ids = ids[lo:]
+		} else {
+			quickSortIDs(ids[lo:], vals, depth)
+			ids = ids[:hi+1]
 		}
 	}
-	quickSortIDs(ids[:hi+1], vals)
-	quickSortIDs(ids[lo:], vals)
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && vals[ids[j]] < vals[ids[j-1]]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// heapSortIDs is quickSortIDs' depth-guard fallback: guaranteed
+// O(n log n) on any input.
+func heapSortIDs(ids []int32, vals []float32) {
+	n := len(ids)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownIDs(ids, vals, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		ids[0], ids[end] = ids[end], ids[0]
+		siftDownIDs(ids, vals, 0, end)
+	}
+}
+
+func siftDownIDs(ids []int32, vals []float32, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && vals[ids[r]] > vals[ids[l]] {
+			m = r
+		}
+		if vals[ids[i]] >= vals[ids[m]] {
+			return
+		}
+		ids[i], ids[m] = ids[m], ids[i]
+		i = m
+	}
 }
 
 // SearchStats reports how much work one TA query did — the instrument
 // behind the paper's observation that top-10 queries touch only ~8% of
 // the candidate pairs.
 type SearchStats struct {
-	// SortedAccesses counts positions consumed across all sorted lists.
+	// SortedAccesses counts positions consumed across all sorted lists
+	// (for FastIndex: partner bounds consumed from the lazy heap).
 	SortedAccesses int
 	// RandomAccesses counts full score computations (distinct candidates
 	// seen).
@@ -174,6 +253,20 @@ func (s SearchStats) AccessFraction() float64 {
 // TopN runs the Threshold Algorithm for the user vector and returns the
 // exact top-n candidates by joint score, descending.
 func (idx *Index) TopN(userVec []float32, n int) ([]Result, SearchStats) {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return idx.topN(userVec, n, sc, nil)
+}
+
+// TopNScratch is TopN with caller-managed scratch; the results alias sc
+// and are valid only until its next use.
+func (idx *Index) TopNScratch(userVec []float32, n int, sc *Scratch) ([]Result, SearchStats) {
+	res, stats := idx.topN(userVec, n, sc, sc.out[:0])
+	sc.out = res[:0]
+	return res, stats
+}
+
+func (idx *Index) topN(userVec []float32, n int, sc *Scratch, dst []Result) ([]Result, SearchStats) {
 	set := idx.set
 	nc := len(set.Pairs)
 	stats := SearchStats{Candidates: nc}
@@ -185,17 +278,16 @@ func (idx *Index) TopN(userVec []float32, n int) ([]Result, SearchStats) {
 	}
 	// Reduced query q̃ = (u, 1), rotated into the index basis.
 	dims := idx.dims
-	reduced := func(i int) float64 {
-		if i < set.K {
-			return float64(userVec[i])
-		}
-		return 1
-	}
-	q := make([]float32, dims)
+	sc.q = resizeF32(sc.q, dims)
+	q := sc.q
 	for d := 0; d < dims; d++ {
 		var acc float64
 		for a := 0; a < dims; a++ {
-			acc += idx.rot[a*dims+d] * reduced(a)
+			var ra float64 = 1
+			if a < set.K {
+				ra = float64(userVec[a])
+			}
+			acc += idx.rot[a*dims+d] * ra
 		}
 		q[d] = float32(acc)
 	}
@@ -207,7 +299,7 @@ func (idx *Index) TopN(userVec []float32, n int) ([]Result, SearchStats) {
 	// the threshold, which drives τ down as fast as possible. (Classic TA
 	// uses strict round-robin; any access order keeps the threshold a
 	// valid upper bound, so correctness is unaffected.)
-	cursors := make([]cursor, 0, dims)
+	cursors := sc.cursors[:0]
 	var tau float64
 	for d := 0; d < dims; d++ {
 		if q[d] == 0 {
@@ -225,19 +317,24 @@ func (idx *Index) TopN(userVec []float32, n int) ([]Result, SearchStats) {
 		tau += c.contrib
 		cursors = append(cursors, c)
 	}
+	sc.cursors = cursors
 	if len(cursors) == 0 {
 		return nil, stats
 	}
 	// Max-heap over cursor contributions, as a slice-heap keyed by index.
-	ch := &cursorHeap{cs: cursors}
+	ch := &sc.ch
+	ch.cs = cursors
+	ch.order = ch.order[:0]
 	for i := range cursors {
 		ch.order = append(ch.order, i)
 	}
 	heap.Init(ch)
 
-	seen := make(map[int32]struct{}, 4*n)
-	h := &resultHeap{}
-	heap.Init(h)
+	// The seen set is an epoch-stamped array: clearing between queries is
+	// an epoch bump, not an O(|C|) wipe or a fresh map.
+	sc.sizeSeen(nc)
+	h := &sc.results
+	*h = (*h)[:0]
 
 	for ch.Len() > 0 {
 		i := ch.order[0] // dimension with the largest current bound
@@ -261,23 +358,21 @@ func (idx *Index) TopN(userVec []float32, n int) ([]Result, SearchStats) {
 			heap.Fix(ch, 0)
 		}
 
-		if _, dup := seen[cand]; !dup {
-			seen[cand] = struct{}{}
+		if !sc.markSeen(cand) {
 			stats.RandomAccesses++
 			s := set.Score(userVec, int(cand))
-			if h.Len() < n {
-				heap.Push(h, Result{set.Pairs[cand].Event, set.Pairs[cand].Partner, s})
+			if len(*h) < n {
+				h.push(Result{set.Pairs[cand].Event, set.Pairs[cand].Partner, s})
 			} else if s > (*h)[0].Score {
-				(*h)[0] = Result{set.Pairs[cand].Event, set.Pairs[cand].Partner, s}
-				heap.Fix(h, 0)
+				h.replaceMin(Result{set.Pairs[cand].Event, set.Pairs[cand].Partner, s})
 			}
 		}
 		// Threshold check: no unseen candidate can beat τ.
-		if h.Len() == n && float64((*h)[0].Score) >= tau-1e-6 {
+		if len(*h) == n && float64((*h)[0].Score) >= tau-1e-6 {
 			break
 		}
 	}
-	return drainDescending(h), stats
+	return h.drainDescending(dst), stats
 }
 
 // cursor walks one dimension's sorted list from the end that maximizes
@@ -300,9 +395,9 @@ func (h *cursorHeap) Len() int { return len(h.order) }
 func (h *cursorHeap) Less(i, j int) bool {
 	return h.cs[h.order[i]].contrib > h.cs[h.order[j]].contrib
 }
-func (h *cursorHeap) Swap(i, j int)      { h.order[i], h.order[j] = h.order[j], h.order[i] }
-func (h *cursorHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
-func (h *cursorHeap) Pop() interface{} {
+func (h *cursorHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *cursorHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *cursorHeap) Pop() any {
 	old := h.order
 	n := len(old)
 	x := old[n-1]

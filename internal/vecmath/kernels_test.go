@@ -1,0 +1,158 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// dotScalar is the straight-line reference the unrolled kernels are
+// checked against.
+func dotScalar(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func randSlice(r *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+// TestDotMatchesScalarAllRemainders sweeps every length 0..67 so each
+// unroll remainder (len mod 4) and several full-block counts are hit.
+func TestDotMatchesScalarAllRemainders(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for n := 0; n <= 67; n++ {
+		for trial := 0; trial < 8; trial++ {
+			a := randSlice(r, n)
+			b := randSlice(r, n)
+			got := Dot(a, b)
+			want := dotScalar(a, b)
+			if math.Abs(float64(got-want)) > 1e-5*(1+math.Abs(float64(want))) {
+				t.Fatalf("len=%d trial=%d: Dot=%v scalar=%v", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestDotBatchMatchesScalarAllRemainders checks DotBatch against the
+// scalar reference for every k 0..67, and that it is bit-identical to
+// Dot (the ta scratch-pool equivalence tests depend on that).
+func TestDotBatchMatchesScalarAllRemainders(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for k := 0; k <= 67; k++ {
+		const rows = 9
+		q := randSlice(r, k)
+		data := randSlice(r, rows*k)
+		out := make([]float32, rows)
+		// Poison the output to catch rows the kernel skips.
+		for i := range out {
+			out[i] = float32(math.NaN())
+		}
+		DotBatch(q, data, k, out)
+		for row := 0; row < rows; row++ {
+			rowv := data[row*k : (row+1)*k]
+			want := dotScalar(q, rowv)
+			if math.Abs(float64(out[row]-want)) > 1e-5*(1+math.Abs(float64(want))) {
+				t.Fatalf("k=%d row=%d: DotBatch=%v scalar=%v", k, row, out[row], want)
+			}
+			if out[row] != Dot(q, rowv) {
+				t.Fatalf("k=%d row=%d: DotBatch=%v not bit-identical to Dot=%v", k, row, out[row], Dot(q, rowv))
+			}
+		}
+	}
+}
+
+func TestDotBatchPanicsOnMismatch(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"query", func() { DotBatch(make([]float32, 3), make([]float32, 8), 4, make([]float32, 2)) }},
+		{"data", func() { DotBatch(make([]float32, 4), make([]float32, 9), 4, make([]float32, 2)) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+func TestDotBatchZeroK(t *testing.T) {
+	out := []float32{3, 4}
+	DotBatch(nil, nil, 0, out)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("k=0 should zero the output, got %v", out)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	r := rand.New(rand.NewSource(44))
+	for _, k := range []int{16, 60, 61} {
+		x := randSlice(r, k)
+		y := randSlice(r, k)
+		b.Run(benchName("k", k), func(b *testing.B) {
+			b.SetBytes(int64(8 * k))
+			var acc float32
+			for i := 0; i < b.N; i++ {
+				acc += Dot(x, y)
+			}
+			sinkF32 = acc
+		})
+	}
+}
+
+func BenchmarkDotBatch(b *testing.B) {
+	r := rand.New(rand.NewSource(45))
+	const rows = 4096
+	for _, k := range []int{16, 60} {
+		q := randSlice(r, k)
+		data := randSlice(r, rows*k)
+		out := make([]float32, rows)
+		b.Run(benchName("k", k), func(b *testing.B) {
+			b.SetBytes(int64(8 * k * rows))
+			for i := 0; i < b.N; i++ {
+				DotBatch(q, data, k, out)
+			}
+			sinkF32 = out[0]
+		})
+	}
+}
+
+// BenchmarkDotRows measures the pointer-chasing baseline DotBatch
+// replaces: the same flops issued as one Dot per [][]float32 row.
+func BenchmarkDotRows(b *testing.B) {
+	r := rand.New(rand.NewSource(46))
+	const rows = 4096
+	const k = 60
+	q := randSlice(r, k)
+	mat := make([][]float32, rows)
+	for i := range mat {
+		mat[i] = randSlice(r, k)
+	}
+	out := make([]float32, rows)
+	b.SetBytes(int64(8 * k * rows))
+	for i := 0; i < b.N; i++ {
+		for row := range mat {
+			out[row] = Dot(q, mat[row])
+		}
+	}
+	sinkF32 = out[0]
+}
+
+var sinkF32 float32
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}

@@ -11,15 +11,60 @@ import (
 // Dot returns the inner product of a and b. The slices must have equal
 // length; Dot panics otherwise, because a silent truncation would corrupt
 // model scores.
+//
+// The loop is 4-way unrolled with independent accumulators so the four
+// multiply-adds per iteration have no dependency chain between them, and
+// the re-slicing before the loop lets the compiler hoist every bounds
+// check out of it. DotBatch uses the exact same accumulation order, so
+// the two produce bit-identical results on the same inputs — the scratch
+// -pooling equivalence tests in internal/ta rely on that.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")
 	}
-	var s float32
-	for i, av := range a {
-		s += av * b[i]
+	return dotUnrolled(a, b)
+}
+
+// dotUnrolled is the shared kernel behind Dot and DotBatch. Callers
+// guarantee len(a) == len(b).
+func dotUnrolled(a, b []float32) float32 {
+	n4 := len(a) &^ 3
+	var s0, s1, s2, s3 float32
+	for i := 0; i < n4; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		s0 += x[0] * y[0]
+		s1 += x[1] * y[1]
+		s2 += x[2] * y[2]
+		s3 += x[3] * y[3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for i := n4; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
+}
+
+// DotBatch computes out[r] = Dot(q, data[r*k:(r+1)*k]) for every row r of
+// a packed row-major matrix. One call replaces len(out) Dot calls over
+// pointer-chased [][]float32 rows with a single pass over contiguous
+// memory — the layout the TA query hot path streams on every cache miss.
+// k == 0 zeroes out. Panics on size mismatches for the same reason Dot
+// does.
+func DotBatch(q, data []float32, k int, out []float32) {
+	if k < 0 || len(q) != k {
+		panic("vecmath: DotBatch query length mismatch")
+	}
+	if k == 0 {
+		clear(out)
+		return
+	}
+	if len(out)*k != len(data) {
+		panic("vecmath: DotBatch size mismatch")
+	}
+	for r := range out {
+		out[r] = dotUnrolled(q, data[r*k:r*k+k:r*k+k])
+	}
 }
 
 // Axpy computes dst += alpha*src element-wise.

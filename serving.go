@@ -122,7 +122,11 @@ func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecomm
 	if r.taDynamic == nil {
 		return r.TopEventPartnersStats(user, n)
 	}
-	res, stats := r.taDynamic.TopNExcluding(r.model.UserVec(user), n, user)
+	// As in TopEventPartnersStats: the raw results alias the pooled
+	// scratch and are converted before it is released.
+	sc := ta.GetScratch()
+	defer ta.PutScratch(sc)
+	res, stats := r.taDynamic.TopNExcludingScratch(r.model.UserVec(user), n, user, sc)
 	base := len(r.split.TestEvents)
 	out := make([]PairRecommendation, 0, n)
 	for _, rr := range res {
