@@ -20,6 +20,12 @@
 //
 //	ebsn-bench -query -events 2000 -partners 5000 -topk 50
 //
+// With -train it micro-benchmarks the SGD training hot path (steps/sec
+// and ns/step at 1/2/4/8 Hogwild threads) and appends the results to
+// BENCH_train.json:
+//
+//	ebsn-bench -train -city small -steps 300000
+//
 // Either mode accepts -cpuprofile/-memprofile to write pprof profiles
 // of the run.
 package main
@@ -54,6 +60,9 @@ func main() {
 		duration  = flag.Duration("duration", 5*time.Second, "load duration for -serve")
 		benchOut  = flag.String("benchout", "BENCH_serve.json", "trajectory file for -serve results (empty disables)")
 
+		trainMode = flag.Bool("train", false, "micro-benchmark the SGD training hot path: steps/sec at 1/2/4/8 threads")
+		trainOut  = flag.String("trainout", "BENCH_train.json", "trajectory file for -train results (empty disables)")
+
 		queryMode = flag.Bool("query", false, "micro-benchmark the TA query hot path and index builds on synthetic vectors (no training)")
 		nEvents   = flag.Int("events", 2000, "synthetic event count for -query")
 		nPartners = flag.Int("partners", 5000, "synthetic partner count for -query")
@@ -79,6 +88,13 @@ func main() {
 			break
 		}
 		err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *benchOut)
+	case *trainMode:
+		cityID, perr := ebsn.ParseCity(*city)
+		if perr != nil {
+			err = perr
+			break
+		}
+		err = runTrainBench(cityID, *seed, *steps, *k, *note, *trainOut)
 	case *queryMode:
 		err = runQueryBench(*nEvents, *nPartners, *k, *topK, *topN, *seed, *note, *queryOut)
 	default:

@@ -6,9 +6,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -140,7 +138,7 @@ func runQueryBench(nEvents, nPartners, k, topK, topN int, seed uint64, note, out
 		topN, run.QueryNsOp, run.QueryP50Us, run.QueryP95Us, run.QueryAllocsOp, iters)
 
 	if outPath != "" {
-		if err := appendQueryBenchRun(outPath, run); err != nil {
+		if err := appendBenchRun(outPath, run); err != nil {
 			return err
 		}
 		fmt.Println("appended run to", outPath)
@@ -162,21 +160,3 @@ func signedVecs(src *rng.Source, n, k int) [][]float32 {
 	return out
 }
 
-// appendQueryBenchRun reads the existing trajectory (a JSON array),
-// appends run, and writes it back.
-func appendQueryBenchRun(path string, run queryBenchRun) error {
-	var runs []queryBenchRun
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &runs); err != nil {
-			return fmt.Errorf("query bench: %s exists but is not a run array: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	runs = append(runs, run)
-	data, err := json.MarshalIndent(runs, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}

@@ -5,12 +5,10 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"sort"
 	"sync"
 	"time"
@@ -133,7 +131,7 @@ func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc in
 	fmt.Printf("  cache hit  %.1f%%\n", run.CacheHitRate*100)
 
 	if outPath != "" {
-		if err := appendServeBenchRun(outPath, run); err != nil {
+		if err := appendBenchRun(outPath, run); err != nil {
 			return err
 		}
 		fmt.Println("appended run to", outPath)
@@ -141,21 +139,3 @@ func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc in
 	return nil
 }
 
-// appendServeBenchRun reads the existing trajectory (a JSON array),
-// appends run, and writes it back.
-func appendServeBenchRun(path string, run serveBenchRun) error {
-	var runs []serveBenchRun
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &runs); err != nil {
-			return fmt.Errorf("serve bench: %s exists but is not a run array: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	runs = append(runs, run)
-	data, err := json.MarshalIndent(runs, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}

@@ -1,0 +1,145 @@
+// The -train experiment: micro-benchmark the negative-sampling SGD hot
+// path (Algorithm 2) — steps/sec and ns/step at 1/2/4/8 Hogwild threads
+// on a freshly generated city, no evaluation. Results append to
+// BENCH_train.json, making training-throughput regressions (per-step
+// cost, allocation creep, thread-scaling collapse) measurable across
+// PRs, the same way BENCH_query.json tracks the online path.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ebsn"
+	"ebsn/internal/core"
+	"ebsn/internal/ebsnet"
+)
+
+// trainBenchRun is one appended record in the BENCH_train.json
+// trajectory.
+type trainBenchRun struct {
+	Timestamp  string `json:"timestamp"`
+	Note       string `json:"note,omitempty"`
+	City       string `json:"city"`
+	Seed       uint64 `json:"seed"`
+	K          int    `json:"k"`
+	Sampler    string `json:"sampler"`
+	Steps      int64  `json:"steps"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	Threads []trainThreadResult `json:"threads"`
+	// Scaling8 is steps/sec at 8 threads over steps/sec at 1 thread: the
+	// Hogwild scaling ratio (bounded by the core count; on a single-core
+	// box it measures pure threading overhead).
+	Scaling8 float64 `json:"scaling_8x"`
+}
+
+// trainThreadResult is one thread-count measurement within a run.
+type trainThreadResult struct {
+	Threads       int     `json:"threads"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+}
+
+// trainBenchThreadCounts is the fixed Hogwild scaling curve every run
+// reports, so trajectory entries stay comparable.
+var trainBenchThreadCounts = []int{1, 2, 4, 8}
+
+// runTrainBench generates the city, builds the relation graphs once, and
+// times TrainSteps on a fresh identically-seeded model per thread count.
+// Warmup steps before each timed window get the adaptive sampler past its
+// initial ranking builds and the allocator to steady state, so the
+// numbers reflect the sustained hot path.
+func runTrainBench(city ebsn.City, seed uint64, steps int64, k int, note, outPath string) error {
+	if steps <= 0 {
+		steps = 300_000
+	}
+	gen := ebsn.GeneratorConfigFor(city, seed)
+	fmt.Printf("train bench: generating %s (seed %d)...\n", gen.Name, seed)
+	t0 := time.Now()
+	g, err := buildTrainBenchGraphs(gen, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graphs ready in %.1fs; timing %d steps per thread count...\n",
+		time.Since(t0).Seconds(), steps)
+
+	run := trainBenchRun{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Note:       note,
+		City:       gen.Name,
+		Seed:       seed,
+		K:          k,
+		Steps:      steps,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	warmup := steps / 10
+	if warmup > 20_000 {
+		warmup = 20_000
+	}
+	for _, threads := range trainBenchThreadCounts {
+		cfg := core.DefaultConfig()
+		cfg.K = k
+		cfg.Seed = seed
+		cfg.Threads = threads
+		run.Sampler = cfg.Sampler.String()
+		m, err := core.NewModel(g, cfg)
+		if err != nil {
+			return err
+		}
+		m.TrainSteps(warmup)
+
+		var mem0, mem1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&mem0)
+		w0 := time.Now()
+		m.TrainSteps(steps)
+		elapsed := time.Since(w0)
+		runtime.ReadMemStats(&mem1)
+
+		res := trainThreadResult{
+			Threads:       threads,
+			StepsPerSec:   float64(steps) / elapsed.Seconds(),
+			NsPerStep:     float64(elapsed.Nanoseconds()) / float64(steps),
+			AllocsPerStep: float64(mem1.Mallocs-mem0.Mallocs) / float64(steps),
+		}
+		run.Threads = append(run.Threads, res)
+		fmt.Printf("  threads=%d   %10.0f steps/sec   %7.0f ns/step   %.4f allocs/step\n",
+			threads, res.StepsPerSec, res.NsPerStep, res.AllocsPerStep)
+	}
+	if sps1 := run.Threads[0].StepsPerSec; sps1 > 0 {
+		run.Scaling8 = run.Threads[len(run.Threads)-1].StepsPerSec / sps1
+	}
+	fmt.Printf("  8-thread scaling ratio %.2fx (GOMAXPROCS=%d)\n", run.Scaling8, run.GoMaxProcs)
+
+	if outPath != "" {
+		if err := appendBenchRun(outPath, run); err != nil {
+			return err
+		}
+		fmt.Println("appended run to", outPath)
+	}
+	return nil
+}
+
+// buildTrainBenchGraphs mirrors the experiment environment's graph
+// pipeline (minimum-attendance filter, chronological split, default graph
+// config) without paying for ground-truth triples or the scenario-2
+// rebuild, which the trainer never touches.
+func buildTrainBenchGraphs(gen ebsn.GeneratorConfig, seed uint64) (*ebsnet.Graphs, error) {
+	raw, err := ebsn.GenerateDataset(gen)
+	if err != nil {
+		return nil, err
+	}
+	d, err := raw.FilterMinEvents(5)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ebsnet.ChronologicalSplit(d, ebsnet.DefaultSplitConfig())
+	if err != nil {
+		return nil, err
+	}
+	return ebsnet.BuildGraphs(d, s, ebsnet.DefaultGraphsConfig())
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// appendBenchRun reads an existing trajectory file (a JSON array of run
+// records), appends run, and writes the array back. Every bench mode
+// (-serve, -query, -train) accumulates its history this way so
+// performance changes across PRs stay measurable.
+func appendBenchRun[T any](path string, run T) error {
+	var runs []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("bench: %s exists but is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(run)
+	if err != nil {
+		return err
+	}
+	runs = append(runs, raw)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

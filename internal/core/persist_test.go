@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"testing"
 	"time"
@@ -125,26 +126,29 @@ func TestFoldInColdEvent(t *testing.T) {
 		t.Fatal("fold-in produced the zero vector")
 	}
 	// Users who score the reference event highly should also score the
-	// folded-in clone highly: rank correlation check via top-user overlap.
-	topRef := -1
-	var bestRef float32 = -1
-	topCold := -1
-	var bestCold float32 = -1
-	for u := 0; u < snap.Users.N; u++ {
-		if s := snap.ScoreUserEvent(int32(u), ref); s > bestRef {
-			bestRef, topRef = s, u
-		}
-		if s := snap.ScoreUserColdEvent(int32(u), vec); s > bestCold {
-			bestCold, topCold = s, u
-		}
+	// folded-in clone highly. Checked as Pearson correlation between the
+	// two per-user score vectors: an aggregate over all users, unlike a
+	// single top-user comparison, which flaps when an unrelated change
+	// (e.g. noise-sampler tie-breaking) shifts the training trajectory.
+	// Uncorrelated scores hover near 0; trained fold-in sits well above.
+	n := snap.Users.N
+	var sx, sy, sxx, syy, sxy float64
+	for u := 0; u < n; u++ {
+		x := float64(snap.ScoreUserEvent(int32(u), ref))
+		y := float64(snap.ScoreUserColdEvent(int32(u), vec))
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
 	}
-	if topRef < 0 || topCold < 0 {
-		t.Fatal("no top users found")
-	}
-	// The two top users need not be identical, but the cold clone's score
-	// for the reference's top user should be competitive (>= half best).
-	if snap.ScoreUserColdEvent(int32(topRef), vec) < bestCold*0.3 {
-		t.Errorf("fold-in vector disagrees wildly with reference event affinity")
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	varX := sxx/fn - (sx/fn)*(sx/fn)
+	varY := syy/fn - (sy/fn)*(sy/fn)
+	corr := cov / math.Sqrt(1e-12+varX*varY)
+	if corr < 0.15 {
+		t.Errorf("fold-in scores barely correlate with reference event affinity: r=%.3f over %d users", corr, n)
 	}
 }
 

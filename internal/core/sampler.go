@@ -2,10 +2,11 @@ package core
 
 import (
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
+	"ebsn/internal/isort"
+	"ebsn/internal/par"
 	"ebsn/internal/rng"
 	"ebsn/internal/vecmath"
 )
@@ -29,6 +30,21 @@ type dimRanking struct {
 	nextRecompute  atomic.Int64
 	recomputeEvery int64
 	mu             sync.Mutex
+
+	// Double-buffered snapshots plus the column-stat scratch, all guarded
+	// by mu (recompute only runs under it). Each refresh rebuilds the
+	// buffer readers are NOT currently handed out, then publishes it —
+	// so the K id slices and σ vector are allocated twice total instead
+	// of once per refresh. A reader still holding a pointer from two
+	// refreshes ago can observe the rebuild mid-sort; that degrades one
+	// noise draw to an arbitrary (but in-range) node, which is the same
+	// Hogwild-grade staleness the snapshot scheme already accepts. Race
+	// builds serialize steps via hogwildMu, so the detector never sees
+	// that window.
+	bufs     [2]*rankSnapshot
+	cur      int
+	mean     []float32
+	variance []float32
 }
 
 type rankSnapshot struct {
@@ -58,30 +74,68 @@ func newDimRanking(mat *Matrix, lambda float64) *dimRanking {
 	return r
 }
 
-// recompute rebuilds the K ranking lists and σ vector. O(K·|V|·log|V|).
+// colScratchPool recycles the contiguous column buffers recompute
+// gathers each strided matrix column into before sorting. Pooled rather
+// than owned because the five relations' rankings have different |V|
+// and refresh on independent cadences.
+var colScratchPool sync.Pool
+
+func getColScratch(n int) *[]float32 {
+	if p, ok := colScratchPool.Get().(*[]float32); ok && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	buf := make([]float32, n)
+	return &buf
+}
+
+// recompute rebuilds the K ranking lists and σ vector into the inactive
+// snapshot buffer and publishes it. O(K·|V|·log|V|) work, split across
+// GOMAXPROCS workers by chunks of dimensions; each worker gathers its
+// column into contiguous scratch (the matrix stores it with stride K,
+// which the old closure sort chased on every comparison) and introsorts
+// the id slice in place. Chunking and each per-dimension sort depend
+// only on the matrix contents, so the published ranking is deterministic
+// regardless of worker count. Caller must hold mu (or be the
+// single-threaded constructor).
 func (r *dimRanking) recompute() {
 	n, k := r.mat.N, r.mat.K
-	mean := make([]float32, k)
-	variance := make([]float32, k)
-	vecmath.ColumnMeanVar(r.mat.Data, n, k, mean, variance)
-	snap := &rankSnapshot{
-		rank:  make([][]int32, k),
-		sigma: make([]float32, k),
+	if r.mean == nil {
+		r.mean = make([]float32, k)
+		r.variance = make([]float32, k)
 	}
-	for f := 0; f < k; f++ {
-		snap.sigma[f] = float32(math.Sqrt(float64(variance[f])))
-		ids := make([]int32, n)
-		for i := range ids {
-			ids[i] = int32(i)
+	vecmath.ColumnMeanVar(r.mat.Data, n, k, r.mean, r.variance)
+	next := r.bufs[r.cur^1]
+	if next == nil {
+		backing := make([]int32, k*n)
+		next = &rankSnapshot{
+			rank:  make([][]int32, k),
+			sigma: make([]float32, k),
 		}
-		col := f
-		data := r.mat.Data
-		sort.SliceStable(ids, func(a, b int) bool {
-			return data[int(ids[a])*k+col] > data[int(ids[b])*k+col]
-		})
-		snap.rank[f] = ids
+		for f := 0; f < k; f++ {
+			next.rank[f] = backing[f*n : (f+1)*n : (f+1)*n]
+		}
+		r.bufs[r.cur^1] = next
 	}
-	r.snap.Store(snap)
+	data := r.mat.Data
+	par.Chunks(k, par.Workers(0), func(lo, hi int) {
+		colp := getColScratch(n)
+		col := *colp
+		for f := lo; f < hi; f++ {
+			next.sigma[f] = float32(math.Sqrt(float64(r.variance[f])))
+			for i := 0; i < n; i++ {
+				col[i] = data[i*k+f]
+			}
+			ids := next.rank[f]
+			for i := range ids {
+				ids[i] = int32(i)
+			}
+			isort.SortDesc(ids, col)
+		}
+		colScratchPool.Put(colp)
+	})
+	r.cur ^= 1
+	r.snap.Store(next)
 }
 
 // drawBatch is the probabilistic counting granularity: instead of every
@@ -126,25 +180,28 @@ func (r *dimRanking) sample(ctx []float32, src *rng.Source) int32 {
 	r.maybeRecompute(src)
 	snap := r.snap.Load()
 
-	var total float64
+	// Branchless single-precision weight accumulation: a zero-weight
+	// dimension contributes nothing to either pass and can never newly
+	// satisfy u < cum, so the per-element validity branches the float64
+	// version carried are redundant — and this loop runs on every noise
+	// draw, where those branches profiled at several percent of a whole
+	// training step.
+	sigma := snap.sigma
+	var total float32
 	for f, c := range ctx {
-		if c != 0 && snap.sigma[f] > 0 {
-			total += abs64(c) * float64(snap.sigma[f])
-		}
+		total += abs32(c) * sigma[f]
 	}
 	if total <= 0 {
 		return -1
 	}
-	u := src.Float64() * total
-	var cum float64
+	u := src.Float32() * total
+	var cum float32
 	dim := len(ctx) - 1
 	for f, c := range ctx {
-		if c != 0 && snap.sigma[f] > 0 {
-			cum += abs64(c) * float64(snap.sigma[f])
-			if u < cum {
-				dim = f
-				break
-			}
+		cum += abs32(c) * sigma[f]
+		if u < cum {
+			dim = f
+			break
 		}
 	}
 	s := r.geom.Sample(src)
@@ -155,11 +212,8 @@ func (r *dimRanking) sample(ctx []float32, src *rng.Source) int32 {
 	return list[s]
 }
 
-func abs64(x float32) float64 {
-	if x < 0 {
-		return float64(-x)
-	}
-	return float64(x)
+func abs32(x float32) float32 {
+	return math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
 }
 
 // sampleScratch holds the exact adaptive sampler's per-draw ranking
@@ -169,14 +223,14 @@ func abs64(x float32) float64 {
 // warrants — so each training worker owns one scratch and threads it
 // through step → noiseNode → exactAdaptiveSample.
 type sampleScratch struct {
-	scores []float64
+	scores []float32
 	ids    []int32
 }
 
 // grow sizes the buffers for n nodes, reusing capacity across draws.
-func (ss *sampleScratch) grow(n int) ([]float64, []int32) {
+func (ss *sampleScratch) grow(n int) ([]float32, []int32) {
 	if cap(ss.scores) < n {
-		ss.scores = make([]float64, n)
+		ss.scores = make([]float32, n)
 		ss.ids = make([]int32, n)
 	}
 	return ss.scores[:n], ss.ids[:n]
@@ -184,17 +238,23 @@ func (ss *sampleScratch) grow(n int) ([]float64, []int32) {
 
 // exactAdaptiveSample implements the exact form of Eqn. 6 for the
 // ablation: rank every node of mat by its similarity σ(ctx·v) to the
-// context and return the node at a Geometric-sampled rank. O(|V|·K +
-// |V|·log|V|) per draw; ss provides the ranking buffers.
+// context and return the node at a Geometric-sampled rank. The rank s
+// is drawn first so a quickselect can stop at the one order statistic
+// actually read — the Geometric tail means ranks past its quantile are
+// effectively never touched, so the old full descending sort was
+// O(|V|·log|V|) of wasted comparisons per draw against quickselect's
+// expected O(|V|). Scores stay float32: the previous float64 copies
+// were exact promotions, so comparisons (and hence the ranking) are
+// unchanged. ss provides the ranking buffers.
 func exactAdaptiveSample(ctx []float32, mat *Matrix, geom *rng.Geometric, src *rng.Source, ss *sampleScratch) int32 {
 	n := mat.N
 	scores, ids := ss.grow(n)
-	for i := 0; i < n; i++ {
-		scores[i] = float64(vecmath.Dot(ctx, mat.Row(int32(i))))
-	}
+	vecmath.DotBatch(ctx, mat.Data, mat.K, scores)
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	sort.SliceStable(ids, func(a, b int) bool { return scores[ids[a]] > scores[ids[b]] })
-	return ids[geom.Sample(src)]
+	// Descending rank s == ascending rank n-1-s.
+	s := geom.Sample(src)
+	isort.SelectAsc(ids, scores, n-1-s)
+	return ids[n-1-s]
 }

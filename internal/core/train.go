@@ -94,15 +94,39 @@ func planWorkers(n int64, threads int) []workerSpan {
 // during training feels immediate.
 const cancelCheckMask = 255
 
+// trainScratch bundles one worker's per-step buffers: the two Eqn. 5
+// error accumulators and the exact sampler's ranking scratch. Pooled so
+// short TrainSteps calls (the serve daemon's incremental refreshes, the
+// benchmarks' timed sections) reach a zero-allocation steady state
+// instead of paying three make()s per call.
+type trainScratch struct {
+	errI, errJ []float32
+	ss         sampleScratch
+}
+
+var trainScratchPool sync.Pool
+
+func getTrainScratch(k int) *trainScratch {
+	if ts, ok := trainScratchPool.Get().(*trainScratch); ok && cap(ts.errI) >= k {
+		ts.errI = ts.errI[:k]
+		ts.errJ = ts.errJ[:k]
+		return ts
+	}
+	return &trainScratch{
+		errI: make([]float32, k),
+		errJ: make([]float32, k),
+	}
+}
+
 // trainWorker runs up to steps sequential gradient steps on one RNG
 // stream, stopping early at a step boundary if ctx is canceled; it
 // returns the steps actually taken. startStep and stride position this
 // worker in the global step count for the learning-rate decay schedule.
 func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, startStep, stride int64) int64 {
 	done := ctx.Done()
-	errI := make([]float32, m.Cfg.K)
-	errJ := make([]float32, m.Cfg.K)
-	ss := &sampleScratch{}
+	ts := getTrainScratch(m.Cfg.K)
+	defer trainScratchPool.Put(ts)
+	errI, errJ, ss := ts.errI, ts.errJ, &ts.ss
 	for s := int64(0); s < steps; s++ {
 		if done != nil && s&cancelCheckMask == 0 {
 			select {
@@ -136,7 +160,12 @@ func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, s
 }
 
 // step performs one positive edge update with 2M (or M, unidirectional)
-// negative edges, following Eqn. 5.
+// negative edges, following Eqn. 5. The arithmetic lives in the fused
+// vecmath kernels (DotSigmoidGrad*, ScaleInto, AxpyTwo, Axpy), each of
+// which is property-tested bit-identical to the scalar loops this
+// function used to inline — so the swap changes throughput, never the
+// trained parameters (TestTrainStepMatchesScalarReference holds the
+// whole step to that standard).
 func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ []float32, ss *sampleScratch) {
 	e := rel.G.SampleEdge(src)
 	vi := rel.A.Row(e.A)
@@ -146,11 +175,9 @@ func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ [
 	// Positive term: g = α(1 - σ(vi·vj)) applied to both endpoints. The
 	// endpoint updates accumulate in err buffers so each noise comparison
 	// sees the pre-step vectors, mirroring LINE's implementation.
-	g := alpha * (1 - vecmath.FastSigmoid(vecmath.Dot(vi, vj)))
-	for f := range errI {
-		errI[f] = g * vj[f]
-		errJ[f] = g * vi[f]
-	}
+	g := vecmath.DotSigmoidGradPos(alpha, vi, vj)
+	vecmath.ScaleInto(g, vj, errI)
+	vecmath.ScaleInto(g, vi, errJ)
 
 	// Noise on side B against context vi (the unidirectional direction).
 	// A drawn node that is invalid as a negative (the positive endpoint
@@ -175,11 +202,10 @@ func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ [
 			continue
 		}
 		vk := rel.B.Row(k)
-		s := alpha * vecmath.FastSigmoid(vecmath.Dot(vi, vk))
-		for f := range errI {
-			errI[f] -= s * vk[f]
-			vk[f] -= s * vi[f]
-		}
+		// vk is never vi or vj (the redraw loop above excludes both
+		// positive endpoints), so AxpyTwo's no-alias precondition holds.
+		s := vecmath.DotSigmoidGrad(alpha, vi, vk)
+		vecmath.AxpyTwo(s, vi, vk, errI)
 		if m.Cfg.NonNegative {
 			vecmath.ClampNonNeg(vk)
 		}
@@ -206,23 +232,22 @@ func (m *Model) step(rel *Relation, src *rng.Source, alpha float32, errI, errJ [
 				continue
 			}
 			vk := rel.A.Row(k)
-			s := alpha * vecmath.FastSigmoid(vecmath.Dot(vk, vj))
-			for f := range errJ {
-				errJ[f] -= s * vk[f]
-				vk[f] -= s * vj[f]
-			}
+			s := vecmath.DotSigmoidGrad(alpha, vk, vj)
+			vecmath.AxpyTwo(s, vj, vk, errJ)
 			if m.Cfg.NonNegative {
 				vecmath.ClampNonNeg(vk)
 			}
 		}
 	}
 
-	for f := range errI {
-		vi[f] += errI[f]
-		vj[f] += errJ[f]
-	}
+	// Apply the accumulated endpoint updates. vi and vj are distinct rows
+	// (SampleEdge never returns self-loops), so the split into two axpys
+	// is element-for-element the old interleaved loop.
 	if m.Cfg.NonNegative {
-		vecmath.ClampNonNeg(vi)
-		vecmath.ClampNonNeg(vj)
+		vecmath.AxpyClampNonNeg(1, errI, vi)
+		vecmath.AxpyClampNonNeg(1, errJ, vj)
+	} else {
+		vecmath.Axpy(1, errI, vi)
+		vecmath.Axpy(1, errJ, vj)
 	}
 }

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkTrainStep times the full Algorithm 2 gradient step — edge
+// sample, noise draws, fused Eqn. 5 kernels — on the tiny synthetic
+// graphs. The timed section is a single TrainSteps(b.N) call, so ns/op
+// reads directly as ns/step and the pooled per-call scratch amortizes
+// to its steady state; CI greps the -benchmem output for "0 allocs/op"
+// as the allocation regression gate.
+func BenchmarkTrainStep(b *testing.B) {
+	m := newTestModel(b, nil)
+	m.TrainSteps(5000) // warm the scratch pool and rank snapshots
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.TrainSteps(int64(b.N))
+}
+
+// BenchmarkTrainStepThreads is BenchmarkTrainStep under 4 Hogwild
+// workers; useful with -cpu to study contention, kept out of the alloc
+// gate because goroutine spawns are per-call, not per-step.
+func BenchmarkTrainStepThreads(b *testing.B) {
+	m := newTestModel(b, func(c *Config) { c.Threads = 4 })
+	m.TrainSteps(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.TrainSteps(int64(b.N))
+}
+
+// TestTrainStepsSteadyStateAllocs pins the zero-allocation claim the
+// benchmark relies on: once the scratch pool and the samplers'
+// double-buffered rank snapshots are warm, further training must not
+// allocate on the step path (a hair of slack covers sync.Pool entries
+// the GC may evict between runs).
+func TestTrainStepsSteadyStateAllocs(t *testing.T) {
+	m := newTestModel(t, nil)
+	m.TrainSteps(20000)
+	const stepsPerRun = 2000
+	perStep := testing.AllocsPerRun(5, func() {
+		m.TrainSteps(stepsPerRun)
+	}) / stepsPerRun
+	if perStep > 0.01 {
+		t.Errorf("steady-state training allocates %.4f allocs/step, want ~0", perStep)
+	}
+}

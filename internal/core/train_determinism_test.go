@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"ebsn/internal/graph"
+	"ebsn/internal/rng"
+	"ebsn/internal/vecmath"
+)
+
+// stepScalarReference is the pre-fusion Model.step body, preserved
+// verbatim as the oracle for the kernel swap: straight-line float32
+// loops, separate Dot/FastSigmoid calls, interleaved endpoint apply.
+// Single-thread training must stay bit-identical between this and the
+// fused Model.step for the swap to count as a pure throughput change.
+func stepScalarReference(m *Model, rel *Relation, src *rng.Source, alpha float32, errI, errJ []float32, ss *sampleScratch) {
+	e := rel.G.SampleEdge(src)
+	vi := rel.A.Row(e.A)
+	vj := rel.B.Row(e.B)
+	mNeg := m.Cfg.NegativeSamples
+
+	g := alpha * (1 - vecmath.FastSigmoid(vecmath.Dot(vi, vj)))
+	for f := range errI {
+		errI[f] = g * vj[f]
+		errJ[f] = g * vi[f]
+	}
+
+	for t := 0; t < mNeg; t++ {
+		k := int32(-1)
+		for try := 0; try < 5; try++ {
+			c := m.noiseNode(rel, graph.SideB, vi, src, ss)
+			if c == e.B || (rel.G.Symmetric() && c == e.A) {
+				continue
+			}
+			if m.Cfg.RejectObserved && rel.G.HasEdge(e.A, c) {
+				continue
+			}
+			k = c
+			break
+		}
+		if k < 0 {
+			continue
+		}
+		vk := rel.B.Row(k)
+		s := alpha * vecmath.FastSigmoid(vecmath.Dot(vi, vk))
+		for f := range errI {
+			errI[f] -= s * vk[f]
+			vk[f] -= s * vi[f]
+		}
+		if m.Cfg.NonNegative {
+			vecmath.ClampNonNeg(vk)
+		}
+	}
+
+	if m.Cfg.Bidirectional {
+		for t := 0; t < mNeg; t++ {
+			k := int32(-1)
+			for try := 0; try < 5; try++ {
+				c := m.noiseNode(rel, graph.SideA, vj, src, ss)
+				if c == e.A || (rel.G.Symmetric() && c == e.B) {
+					continue
+				}
+				if m.Cfg.RejectObserved && rel.G.HasEdge(c, e.B) {
+					continue
+				}
+				k = c
+				break
+			}
+			if k < 0 {
+				continue
+			}
+			vk := rel.A.Row(k)
+			s := alpha * vecmath.FastSigmoid(vecmath.Dot(vk, vj))
+			for f := range errJ {
+				errJ[f] -= s * vk[f]
+				vk[f] -= s * vj[f]
+			}
+			if m.Cfg.NonNegative {
+				vecmath.ClampNonNeg(vk)
+			}
+		}
+	}
+
+	for f := range errI {
+		vi[f] += errI[f]
+		vj[f] += errJ[f]
+	}
+	if m.Cfg.NonNegative {
+		vecmath.ClampNonNeg(vi)
+		vecmath.ClampNonNeg(vj)
+	}
+}
+
+// trainScalarReference mirrors the single-thread trainWorker loop —
+// same decay schedule, same graph picks, same RNG stream — but applies
+// stepScalarReference instead of the fused step.
+func trainScalarReference(m *Model, steps int64) {
+	errI := make([]float32, m.Cfg.K)
+	errJ := make([]float32, m.Cfg.K)
+	ss := &sampleScratch{}
+	for s := int64(0); s < steps; s++ {
+		alpha := m.Cfg.LearningRate
+		if m.Cfg.TotalSteps > 0 {
+			frac := 1 - float32(m.steps+s)/float32(m.Cfg.TotalSteps)
+			if frac < 1e-4 {
+				frac = 1e-4
+			}
+			alpha *= frac
+		}
+		rel := &m.Relations[m.graphPick.Sample(m.src)]
+		if raceEnabled {
+			m.hogwildMu.Lock()
+		}
+		stepScalarReference(m, rel, m.src, alpha, errI, errJ, ss)
+		if raceEnabled {
+			m.hogwildMu.Unlock()
+		}
+	}
+	m.steps += steps
+}
+
+// TestTrainStepMatchesScalarReference is the determinism regression
+// test for the fused-kernel swap: two models with the same seed, one
+// trained through the fused Model.step, one through the preserved
+// scalar-reference step, must end bit-identical in every embedding
+// matrix. The run is long enough (multiple of cancelCheckMask+1, and
+// of the samplers' refresh cadence) to cross several rank rebuilds.
+func TestTrainStepMatchesScalarReference(t *testing.T) {
+	for _, variant := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"default", nil},
+		{"decay+nonneg", func(c *Config) { c.TotalSteps = 30000; c.NonNegative = true }},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			fused := newTestModel(t, variant.mutate)
+			ref := newTestModel(t, variant.mutate)
+			const steps = 30000
+			fused.TrainSteps(steps)
+			trainScalarReference(ref, steps)
+
+			pairs := []struct {
+				name string
+				a, b *Matrix
+			}{
+				{"Users", fused.Users, ref.Users},
+				{"Events", fused.Events, ref.Events},
+				{"Locations", fused.Locations, ref.Locations},
+				{"Times", fused.Times, ref.Times},
+				{"Words", fused.Words, ref.Words},
+			}
+			for _, p := range pairs {
+				for i := range p.a.Data {
+					if p.a.Data[i] != p.b.Data[i] {
+						t.Fatalf("%s[%d]: fused %v != scalar reference %v",
+							p.name, i, p.a.Data[i], p.b.Data[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiThreadTrainingDecreasesObjective is the Hogwild smoke test:
+// the fused kernels must keep lock-free multi-thread training
+// optimizing, even though its exact trajectory is scheduling-dependent.
+func TestMultiThreadTrainingDecreasesObjective(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.Threads = 4 })
+	before, err := m.EstimateObjective(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TrainSteps(40000)
+	after, err := m.EstimateObjective(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(after.Total < before.Total) {
+		t.Fatalf("objective did not decrease under 4-thread training: %v -> %v",
+			before.Total, after.Total)
+	}
+}

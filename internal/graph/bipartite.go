@@ -128,6 +128,14 @@ func (bl *Builder) Build() *Bipartite {
 			mirrored = append(mirrored, e, Edge{A: e.B, B: e.A, Weight: e.Weight})
 		}
 		edges = mirrored
+		// Re-sort so the CSR rows freeze builds come out ascending — the
+		// sorted-adjacency invariant HasEdge's binary search relies on.
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].A != edges[j].A {
+				return edges[i].A < edges[j].A
+			}
+			return edges[i].B < edges[j].B
+		})
 	}
 	return freeze(bl.name, bl.nA, bl.nB, bl.symmetric, edges)
 }
@@ -142,16 +150,16 @@ type Bipartite struct {
 	edges     []Edge
 
 	// CSR adjacency for each side: adj[side][offsets[v]:offsets[v+1]]
-	// holds the neighbor IDs of node v on the other side.
+	// holds the neighbor IDs of node v on the other side, ascending —
+	// freeze consumes edges in (A,B)-sorted order, so each row comes out
+	// sorted and HasEdge can binary-search it directly instead of
+	// carrying a second map-based copy of the adjacency.
 	offA, offB []int32
 	adjA, adjB []int32
 	wA, wB     []float32
 
 	// Weighted degree per node (sum of incident edge weights).
 	degA, degB []float64
-
-	// neighbor-set membership for O(1) "is (a,b) an edge" checks.
-	nbrA []map[int32]struct{}
 
 	edgeSampler *alias.Table // indexes into edges, P ∝ weight
 	noiseA      *alias.Table // nodes on side A, P ∝ deg^0.75
@@ -201,19 +209,6 @@ func freeze(name string, nA, nB int, symmetric bool, edges []Edge) *Bipartite {
 		g.adjB[pb] = e.A
 		g.wB[pb] = e.Weight
 		curB[e.B]++
-	}
-
-	g.nbrA = make([]map[int32]struct{}, nA)
-	for a := 0; a < nA; a++ {
-		lo, hi := g.offA[a], g.offA[a+1]
-		if lo == hi {
-			continue
-		}
-		set := make(map[int32]struct{}, hi-lo)
-		for _, b := range g.adjA[lo:hi] {
-			set[b] = struct{}{}
-		}
-		g.nbrA[a] = set
 	}
 
 	if len(edges) > 0 {
@@ -303,14 +298,40 @@ func (g *Bipartite) Neighbors(s Side, v int32) ([]int32, []float32) {
 	return g.adjB[g.offB[v]:g.offB[v+1]], g.wB[g.offB[v]:g.offB[v+1]]
 }
 
-// HasEdge reports whether (a, b) is an edge.
+// hasEdgeLinearMax is the row length below which HasEdge scans linearly:
+// on short rows (the common case — mean degree is small on every relation
+// graph) a branch-predictable scan beats binary search's data-dependent
+// branches.
+const hasEdgeLinearMax = 16
+
+// HasEdge reports whether (a, b) is an edge. It runs on the training hot
+// path (RejectObserved checks every sampled noise node), so it searches
+// the sorted CSR row in place — a linear scan for short rows, binary
+// search above hasEdgeLinearMax — instead of hashing into a duplicate
+// neighbor-set structure.
 func (g *Bipartite) HasEdge(a, b int32) bool {
-	set := g.nbrA[a]
-	if set == nil {
+	lo, hi := int(g.offA[a]), int(g.offA[a+1])
+	if hi-lo <= hasEdgeLinearMax {
+		for _, nb := range g.adjA[lo:hi] {
+			if nb == b {
+				return true
+			}
+		}
 		return false
 	}
-	_, ok := set[b]
-	return ok
+	row := g.adjA[lo:hi]
+	for len(row) > 0 {
+		mid := len(row) / 2
+		switch v := row[mid]; {
+		case v == b:
+			return true
+		case v < b:
+			row = row[mid+1:]
+		default:
+			row = row[:mid]
+		}
+	}
+	return false
 }
 
 // SampleEdge draws an edge index with probability proportional to its
@@ -350,6 +371,15 @@ func (g *Bipartite) Validate() error {
 	}
 	if int(g.offA[g.nA]) != len(g.edges) || int(g.offB[g.nB]) != len(g.edges) {
 		return fmt.Errorf("graph %s: CSR offsets inconsistent with edge count", g.name)
+	}
+	// Side-A rows must be strictly ascending: HasEdge binary-searches them.
+	for a := 0; a < g.nA; a++ {
+		row := g.adjA[g.offA[a]:g.offA[a+1]]
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				return fmt.Errorf("graph %s: adjacency row of A-node %d not strictly ascending at %d", g.name, a, i)
+			}
+		}
 	}
 	for _, e := range g.edges {
 		if !g.HasEdge(e.A, e.B) {

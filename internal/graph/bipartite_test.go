@@ -109,6 +109,47 @@ func TestHasEdge(t *testing.T) {
 	}
 }
 
+// TestHasEdgeBinarySearchPath builds rows long enough to cross the
+// linear-scan threshold so the binary-search branch is exercised against
+// exhaustive membership, on both a bipartite and a symmetric graph.
+func TestHasEdgeBinarySearchPath(t *testing.T) {
+	const nB = 64
+	b := NewBuilder("wide", 2, nB)
+	present := map[int32]bool{}
+	for i := int32(0); i < nB; i += 2 { // every even B-node, 32 >> threshold
+		b.AddEdge(0, i, 1)
+		present[i] = true
+	}
+	b.AddEdge(1, 63, 1)
+	g := b.Build()
+	for i := int32(0); i < nB; i++ {
+		if got := g.HasEdge(0, i); got != present[i] {
+			t.Errorf("HasEdge(0,%d) = %v, want %v", i, got, present[i])
+		}
+	}
+	if !g.HasEdge(1, 63) || g.HasEdge(1, 0) {
+		t.Error("short-row membership wrong")
+	}
+
+	sb := NewSymmetricBuilder("wide-sym", 64)
+	for i := int32(1); i < 50; i++ {
+		sb.AddEdge(0, i, 1) // node 0 gets a 49-neighbor row
+	}
+	sg := sb.Build()
+	if err := sg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(1); i < 64; i++ {
+		want := i < 50
+		if got := sg.HasEdge(0, i); got != want {
+			t.Errorf("sym HasEdge(0,%d) = %v, want %v", i, got, want)
+		}
+		if got := sg.HasEdge(i, 0); got != want {
+			t.Errorf("sym HasEdge(%d,0) = %v, want %v", i, got, want)
+		}
+	}
+}
+
 func TestDegrees(t *testing.T) {
 	g := buildSmall(t)
 	if g.Degree(SideA, 0) != 3 {

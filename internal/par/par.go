@@ -1,0 +1,83 @@
+// Package par provides the small worker-pool primitives shared by the
+// offline builders: the TA index construction and the adaptive sampler's
+// rank rebuilds both fan identical independent tasks across cores. The
+// helpers are allocation-light (one goroutine per worker, no channels)
+// and their outputs depend only on the task decomposition, never on
+// scheduling, so callers stay deterministic for any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers maps the conventional "0 or negative means pick for me"
+// worker count onto GOMAXPROCS.
+func Workers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// For runs f(i) for every i in [0,n) across up to workers goroutines,
+// handing out indices through a shared counter so uneven per-index cost
+// still balances. workers ≤ 1 runs inline.
+func For(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Chunks splits [0,n) into up to workers contiguous ranges and runs
+// f(lo,hi) on each concurrently. workers ≤ 1 runs inline. The chunking
+// depends only on n and workers, so any per-chunk state a caller derives
+// is deterministic for a fixed worker count.
+func Chunks(n, workers int, f func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,51 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Error("non-positive worker counts should map to GOMAXPROCS")
+	}
+	if Workers(5) != 5 {
+		t.Error("positive worker count not passed through")
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksPartitionExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hits := make([]atomic.Int32, n)
+			Chunks(n, workers, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}

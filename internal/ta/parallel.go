@@ -1,77 +1,19 @@
 package ta
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "ebsn/internal/par"
+
+// The package's build-time parallelism helpers are thin aliases over
+// internal/par, which the adaptive sampler's rank rebuilds share; the
+// local names keep the many call sites in the index builders short.
 
 // resolveWorkers maps the conventional "0 or negative means pick for me"
 // worker count onto GOMAXPROCS.
-func resolveWorkers(workers int) int {
-	if workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return workers
-}
+func resolveWorkers(workers int) int { return par.Workers(workers) }
 
 // parallelFor runs f(i) for every i in [0,n) across up to workers
-// goroutines, handing out indices through a shared counter so uneven
-// per-index cost still balances. workers ≤ 1 runs inline.
-func parallelFor(n, workers int, f func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// goroutines; see par.For.
+func parallelFor(n, workers int, f func(i int)) { par.For(n, workers, f) }
 
-// parallelChunks splits [0,n) into up to workers contiguous ranges and
-// runs f(lo,hi) on each concurrently. workers ≤ 1 runs inline. The
-// chunking depends only on n and workers, so any per-chunk state a
-// caller derives is deterministic for a fixed worker count.
-func parallelChunks(n, workers int, f func(lo, hi int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		if n > 0 {
-			f(0, n)
-		}
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+// parallelChunks splits [0,n) into up to workers contiguous ranges; see
+// par.Chunks.
+func parallelChunks(n, workers int, f func(lo, hi int)) { par.Chunks(n, workers, f) }

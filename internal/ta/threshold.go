@@ -3,7 +3,8 @@ package ta
 import (
 	"container/heap"
 	"math"
-	"math/bits"
+
+	"ebsn/internal/isort"
 )
 
 // Index is the TA search structure over a candidate set: per indexed
@@ -149,83 +150,12 @@ func NewIndexWorkers(set *CandidateSet, workers int) *Index {
 	return idx
 }
 
-// sortInt32sByVal sorts ids ascending by vals[id] with an introsort:
-// quicksort with a depth guard that falls back to heapsort, so an
-// adversarial ordering cannot push the build quadratic.
+// sortInt32sByVal sorts ids ascending by vals[id] with the shared
+// introsort (quicksort with a depth guard falling back to heapsort, so
+// an adversarial ordering cannot push the build quadratic).
 func sortInt32sByVal(ids []int32, vals []float32) {
 	// vals is indexed by candidate id.
-	quickSortIDs(ids, vals, 2*bits.Len(uint(len(ids))))
-}
-
-func quickSortIDs(ids []int32, vals []float32, depth int) {
-	for len(ids) >= 24 {
-		if depth == 0 {
-			heapSortIDs(ids, vals)
-			return
-		}
-		depth--
-		mid := ids[len(ids)/2]
-		pivot := vals[mid]
-		lo, hi := 0, len(ids)-1
-		for lo <= hi {
-			for vals[ids[lo]] < pivot {
-				lo++
-			}
-			for vals[ids[hi]] > pivot {
-				hi--
-			}
-			if lo <= hi {
-				ids[lo], ids[hi] = ids[hi], ids[lo]
-				lo++
-				hi--
-			}
-		}
-		// Recurse into the smaller partition, loop on the larger: bounds
-		// the stack at O(log n) even before the depth guard fires.
-		if hi+1 < len(ids)-lo {
-			quickSortIDs(ids[:hi+1], vals, depth)
-			ids = ids[lo:]
-		} else {
-			quickSortIDs(ids[lo:], vals, depth)
-			ids = ids[:hi+1]
-		}
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && vals[ids[j]] < vals[ids[j-1]]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-}
-
-// heapSortIDs is quickSortIDs' depth-guard fallback: guaranteed
-// O(n log n) on any input.
-func heapSortIDs(ids []int32, vals []float32) {
-	n := len(ids)
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDownIDs(ids, vals, i, n)
-	}
-	for end := n - 1; end > 0; end-- {
-		ids[0], ids[end] = ids[end], ids[0]
-		siftDownIDs(ids, vals, 0, end)
-	}
-}
-
-func siftDownIDs(ids []int32, vals []float32, i, n int) {
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		m := l
-		if r := l + 1; r < n && vals[ids[r]] > vals[ids[l]] {
-			m = r
-		}
-		if vals[ids[i]] >= vals[ids[m]] {
-			return
-		}
-		ids[i], ids[m] = ids[m], ids[i]
-		i = m
-	}
+	isort.SortAsc(ids, vals)
 }
 
 // SearchStats reports how much work one TA query did — the instrument

@@ -151,6 +151,189 @@ func BenchmarkDotRows(b *testing.B) {
 	sinkF32 = out[0]
 }
 
+// --- Fused training kernels: bit-identical to their scalar forms. ---
+// Single-thread training determinism across the kernel swap rests on
+// these equalities being exact, not approximate, so every comparison
+// below is ==, never a tolerance.
+
+// axpyTwoScalar is the pre-fusion inner loop of Model.step's noise
+// update, kept as the reference the fused kernel must match bit for bit.
+func axpyTwoScalar(s float32, vi, vk, errI []float32) {
+	for f := range errI {
+		errI[f] -= s * vk[f]
+		vk[f] -= s * vi[f]
+	}
+}
+
+func TestAxpyTwoBitIdenticalAllRemainders(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for n := 0; n <= 67; n++ {
+		for trial := 0; trial < 8; trial++ {
+			vi := randSlice(r, n)
+			vk1 := randSlice(r, n)
+			err1 := randSlice(r, n)
+			vk2 := append([]float32(nil), vk1...)
+			err2 := append([]float32(nil), err1...)
+			s := float32(r.NormFloat64())
+			AxpyTwo(s, vi, vk1, err1)
+			axpyTwoScalar(s, vi, vk2, err2)
+			for f := 0; f < n; f++ {
+				if vk1[f] != vk2[f] || err1[f] != err2[f] {
+					t.Fatalf("n=%d f=%d: fused (vk=%v err=%v) != scalar (vk=%v err=%v)",
+						n, f, vk1[f], err1[f], vk2[f], err2[f])
+				}
+			}
+		}
+	}
+}
+
+func TestAxpyBitIdenticalAllRemainders(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	for n := 0; n <= 67; n++ {
+		src := randSlice(r, n)
+		dst1 := randSlice(r, n)
+		dst2 := append([]float32(nil), dst1...)
+		alpha := float32(r.NormFloat64())
+		Axpy(alpha, src, dst1)
+		for i := range dst2 {
+			dst2[i] += alpha * src[i]
+		}
+		for i := 0; i < n; i++ {
+			if dst1[i] != dst2[i] {
+				t.Fatalf("n=%d i=%d: %v != %v", n, i, dst1[i], dst2[i])
+			}
+		}
+	}
+}
+
+func TestScaleIntoBitIdenticalAllRemainders(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for n := 0; n <= 67; n++ {
+		src := randSlice(r, n)
+		dst := randSlice(r, n) // poison: every element must be overwritten
+		alpha := float32(r.NormFloat64())
+		ScaleInto(alpha, src, dst)
+		for i := 0; i < n; i++ {
+			if want := alpha * src[i]; dst[i] != want {
+				t.Fatalf("n=%d i=%d: %v != %v", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestAxpyClampNonNegBitIdenticalAllRemainders(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	for n := 0; n <= 67; n++ {
+		for trial := 0; trial < 8; trial++ {
+			src := randSlice(r, n)
+			dst1 := randSlice(r, n)
+			dst2 := append([]float32(nil), dst1...)
+			alpha := float32(r.NormFloat64())
+			AxpyClampNonNeg(alpha, src, dst1)
+			Axpy(alpha, src, dst2)
+			ClampNonNeg(dst2)
+			for i := 0; i < n; i++ {
+				if dst1[i] != dst2[i] {
+					t.Fatalf("n=%d i=%d: fused %v != unfused %v", n, i, dst1[i], dst2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDotSigmoidGradBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for n := 0; n <= 67; n++ {
+		a := randSlice(r, n)
+		b := randSlice(r, n)
+		alpha := float32(math.Abs(r.NormFloat64()))
+		if got, want := DotSigmoidGrad(alpha, a, b), alpha*FastSigmoid(Dot(a, b)); got != want {
+			t.Fatalf("n=%d: DotSigmoidGrad=%v, composition=%v", n, got, want)
+		}
+		if got, want := DotSigmoidGradPos(alpha, a, b), alpha*(1-FastSigmoid(Dot(a, b))); got != want {
+			t.Fatalf("n=%d: DotSigmoidGradPos=%v, composition=%v", n, got, want)
+		}
+	}
+}
+
+func TestFusedKernelsPanicOnMismatch(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"AxpyTwo", func() { AxpyTwo(1, make([]float32, 3), make([]float32, 4), make([]float32, 4)) }},
+		{"AxpyTwoErr", func() { AxpyTwo(1, make([]float32, 4), make([]float32, 4), make([]float32, 3)) }},
+		{"ScaleInto", func() { ScaleInto(1, make([]float32, 3), make([]float32, 4)) }},
+		{"AxpyClampNonNeg", func() { AxpyClampNonNeg(1, make([]float32, 3), make([]float32, 4)) }},
+		{"DotSigmoidGrad", func() { DotSigmoidGrad(1, make([]float32, 3), make([]float32, 4)) }},
+		{"DotSigmoidGradPos", func() { DotSigmoidGradPos(1, make([]float32, 3), make([]float32, 4)) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+func BenchmarkAxpyTwo(b *testing.B) {
+	r := rand.New(rand.NewSource(56))
+	for _, k := range []int{16, 60, 61} {
+		vi := randSlice(r, k)
+		vk := randSlice(r, k)
+		errI := randSlice(r, k)
+		b.Run(benchName("k", k), func(b *testing.B) {
+			b.SetBytes(int64(12 * k))
+			for i := 0; i < b.N; i++ {
+				AxpyTwo(0.001, vi, vk, errI)
+			}
+			sinkF32 = errI[0]
+		})
+	}
+}
+
+// BenchmarkAxpyTwoScalar is the pre-fusion baseline for AxpyTwo.
+func BenchmarkAxpyTwoScalar(b *testing.B) {
+	r := rand.New(rand.NewSource(56))
+	const k = 60
+	vi := randSlice(r, k)
+	vk := randSlice(r, k)
+	errI := randSlice(r, k)
+	b.SetBytes(int64(12 * k))
+	for i := 0; i < b.N; i++ {
+		axpyTwoScalar(0.001, vi, vk, errI)
+	}
+	sinkF32 = errI[0]
+}
+
+func BenchmarkAxpyClampNonNeg(b *testing.B) {
+	r := rand.New(rand.NewSource(57))
+	const k = 60
+	src := randSlice(r, k)
+	dst := randSlice(r, k)
+	b.SetBytes(int64(8 * k))
+	for i := 0; i < b.N; i++ {
+		AxpyClampNonNeg(0.001, src, dst)
+	}
+	sinkF32 = dst[0]
+}
+
+func BenchmarkDotSigmoidGrad(b *testing.B) {
+	r := rand.New(rand.NewSource(58))
+	const k = 60
+	x := randSlice(r, k)
+	y := randSlice(r, k)
+	b.SetBytes(int64(8 * k))
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += DotSigmoidGrad(0.05, x, y)
+	}
+	sinkF32 = acc
+}
+
 var sinkF32 float32
 
 func benchName(prefix string, v int) string {

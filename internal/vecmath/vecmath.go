@@ -67,13 +67,116 @@ func DotBatch(q, data []float32, k int, out []float32) {
 	}
 }
 
-// Axpy computes dst += alpha*src element-wise.
+// Axpy computes dst += alpha*src element-wise. Unrolled like dotUnrolled;
+// element updates are independent, so the result is bit-identical to the
+// scalar loop.
 func Axpy(alpha float32, src, dst []float32) {
 	if len(src) != len(dst) {
 		panic("vecmath: Axpy length mismatch")
 	}
-	for i, sv := range src {
-		dst[i] += alpha * sv
+	n4 := len(src) &^ 3
+	for i := 0; i < n4; i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] += alpha * s[0]
+		d[1] += alpha * s[1]
+		d[2] += alpha * s[2]
+		d[3] += alpha * s[3]
+	}
+	for i := n4; i < len(src); i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// ScaleInto computes dst = alpha*src element-wise, overwriting dst.
+// The SGD step uses it to seed the endpoint error accumulators.
+func ScaleInto(alpha float32, src, dst []float32) {
+	if len(src) != len(dst) {
+		panic("vecmath: ScaleInto length mismatch")
+	}
+	n4 := len(src) &^ 3
+	for i := 0; i < n4; i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] = alpha * s[0]
+		d[1] = alpha * s[1]
+		d[2] = alpha * s[2]
+		d[3] = alpha * s[3]
+	}
+	for i := n4; i < len(src); i++ {
+		dst[i] = alpha * src[i]
+	}
+}
+
+// AxpyTwo applies one fused noise-node update: for every f,
+//
+//	errI[f] -= s*vk[f];  vk[f] -= s*vi[f]
+//
+// using vk's pre-update value in the errI accumulation, exactly as the
+// two scalar statements would. One pass touches all three vectors while
+// they are hot in cache — the dominant inner loop of Model.step, where
+// it replaces a scalar 2-op loop. Element updates are independent across
+// f (vi, vk and errI never alias in the trainer: the positive endpoint
+// and observed neighbors are excluded as noise), so the unrolled form is
+// bit-identical to the scalar one.
+func AxpyTwo(s float32, vi, vk, errI []float32) {
+	if len(vi) != len(vk) || len(vi) != len(errI) {
+		panic("vecmath: AxpyTwo length mismatch")
+	}
+	n4 := len(vi) &^ 3
+	for f := 0; f < n4; f += 4 {
+		a := vi[f : f+4 : f+4]
+		k := vk[f : f+4 : f+4]
+		e := errI[f : f+4 : f+4]
+		e[0] -= s * k[0]
+		k[0] -= s * a[0]
+		e[1] -= s * k[1]
+		k[1] -= s * a[1]
+		e[2] -= s * k[2]
+		k[2] -= s * a[2]
+		e[3] -= s * k[3]
+		k[3] -= s * a[3]
+	}
+	for f := n4; f < len(vi); f++ {
+		errI[f] -= s * vk[f]
+		vk[f] -= s * vi[f]
+	}
+}
+
+// AxpyClampNonNeg computes dst += alpha*src followed by the rectifier
+// max(·, 0) in one pass — the fused form of the NonNegative projection
+// applied when folding the accumulated endpoint error back into an
+// embedding. Bit-identical to Axpy followed by ClampNonNeg.
+func AxpyClampNonNeg(alpha float32, src, dst []float32) {
+	if len(src) != len(dst) {
+		panic("vecmath: AxpyClampNonNeg length mismatch")
+	}
+	n4 := len(src) &^ 3
+	for i := 0; i < n4; i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] += alpha * s[0]
+		d[1] += alpha * s[1]
+		d[2] += alpha * s[2]
+		d[3] += alpha * s[3]
+		if d[0] < 0 {
+			d[0] = 0
+		}
+		if d[1] < 0 {
+			d[1] = 0
+		}
+		if d[2] < 0 {
+			d[2] = 0
+		}
+		if d[3] < 0 {
+			d[3] = 0
+		}
+	}
+	for i := n4; i < len(src); i++ {
+		dst[i] += alpha * src[i]
+		if dst[i] < 0 {
+			dst[i] = 0
+		}
 	}
 }
 
@@ -119,11 +222,15 @@ func Sigmoid(x float32) float32 {
 }
 
 // sigmoid lookup table covering [-sigTableRange, sigTableRange]. Outside
-// the range the function is within 3e-4 of 0 or 1, so clamping is fine for
-// SGD purposes. word2vec and LINE use the same trick.
+// the range the function is within 5e-5 of 0 or 1, so clamping is fine
+// for SGD purposes. word2vec and LINE use the same trick.
 const (
 	sigTableSize  = 2048
-	sigTableRange = 8.0
+	sigTableRange = 10.0
+	// sigTableScale converts an input offset into a table position; it is
+	// exactly representable in float32 (102.4 = 512/5), so the index math
+	// stays precise without a float64 round-trip.
+	sigTableScale = float32(sigTableSize) / (2 * sigTableRange)
 )
 
 var sigTable [sigTableSize + 1]float32
@@ -135,9 +242,14 @@ func init() {
 	}
 }
 
-// FastSigmoid returns a table-interpolated sigmoid accurate to about 1e-4
-// on [-8, 8] and clamped to {~0, ~1} outside. Used in SGD inner loops
-// where exact transcendental accuracy is wasted effort.
+// FastSigmoid returns a table-interpolated sigmoid accurate to better
+// than 2e-4 on [-10, 10] (about 2e-6 away from the clamp edges) and
+// clamped to {~0, ~1} outside. Used in SGD inner loops where exact
+// transcendental accuracy is wasted effort. The interpolation runs
+// entirely in float32: the table position is a product by an exactly
+// representable scale, so no precision is bought by the former float64
+// round-trip, and dropping it removes two conversions from the hottest
+// scalar call in training.
 func FastSigmoid(x float32) float32 {
 	if x <= -sigTableRange {
 		return sigTable[0]
@@ -145,10 +257,36 @@ func FastSigmoid(x float32) float32 {
 	if x >= sigTableRange {
 		return sigTable[sigTableSize]
 	}
-	pos := (float64(x) + sigTableRange) * sigTableSize / (2 * sigTableRange)
+	pos := (x + sigTableRange) * sigTableScale
 	i := int(pos)
-	frac := float32(pos - float64(i))
+	if i >= sigTableSize {
+		// x just below the range can round up to the table's end in
+		// float32; the clamp value is exact there.
+		return sigTable[sigTableSize]
+	}
+	frac := pos - float32(i)
 	return sigTable[i] + frac*(sigTable[i+1]-sigTable[i])
+}
+
+// DotSigmoidGrad returns alpha·σ(a·b), the repulsive gradient magnitude
+// for a sampled noise pair, fused so the hot path issues one call (and
+// one bounds-checked length test) instead of three. Bit-identical to
+// alpha*FastSigmoid(Dot(a, b)).
+func DotSigmoidGrad(alpha float32, a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: DotSigmoidGrad length mismatch")
+	}
+	return alpha * FastSigmoid(dotUnrolled(a, b))
+}
+
+// DotSigmoidGradPos returns alpha·(1−σ(a·b)), the attractive gradient
+// magnitude for a positive edge. Bit-identical to
+// alpha*(1-FastSigmoid(Dot(a, b))).
+func DotSigmoidGradPos(alpha float32, a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: DotSigmoidGradPos length mismatch")
+	}
+	return alpha * (1 - FastSigmoid(dotUnrolled(a, b)))
 }
 
 // ColumnMeanVar computes per-dimension mean and variance across a row-major

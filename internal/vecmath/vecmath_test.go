@@ -2,6 +2,7 @@ package vecmath
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -108,24 +109,43 @@ func TestSigmoidSymmetryProperty(t *testing.T) {
 	}
 }
 
+// TestFastSigmoidAccuracy sweeps the full [-10, 10] window, including
+// the table edges where the float32 index math is most delicate, and
+// asserts the satellite-spec error bound of 2e-4 against the exact
+// float64 Sigmoid. A dense uniform sweep plus random probes cover both
+// grid-aligned and interior positions.
 func TestFastSigmoidAccuracy(t *testing.T) {
-	for x := float32(-8); x <= 8; x += 0.003 {
+	check := func(x float32) {
+		t.Helper()
 		exact := Sigmoid(x)
 		fast := FastSigmoid(x)
 		if math.Abs(float64(exact-fast)) > 2e-4 {
 			t.Fatalf("FastSigmoid(%v) = %v, exact %v", x, fast, exact)
 		}
 	}
+	for x := float32(-10); x <= 10; x += 0.0007 {
+		check(x)
+	}
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 200000; i++ {
+		check(float32(r.Float64()*20 - 10))
+	}
+	// The exact edges and their float32 neighbors.
+	for _, x := range []float32{-10, 10,
+		math.Nextafter32(-10, 0), math.Nextafter32(10, 0),
+		math.Nextafter32(-10, -11), math.Nextafter32(10, 11)} {
+		check(x)
+	}
 }
 
 func TestFastSigmoidClamping(t *testing.T) {
-	if got := FastSigmoid(50); got != FastSigmoid(8) {
-		t.Errorf("FastSigmoid(50) = %v, want clamp to FastSigmoid(8)", got)
+	if got := FastSigmoid(50); got != FastSigmoid(sigTableRange) {
+		t.Errorf("FastSigmoid(50) = %v, want clamp to FastSigmoid(%v)", got, float32(sigTableRange))
 	}
-	if got := FastSigmoid(-50); got != FastSigmoid(-8) {
-		t.Errorf("FastSigmoid(-50) = %v, want clamp to FastSigmoid(-8)", got)
+	if got := FastSigmoid(-50); got != FastSigmoid(-sigTableRange) {
+		t.Errorf("FastSigmoid(-50) = %v, want clamp to FastSigmoid(%v)", got, -float32(sigTableRange))
 	}
-	if FastSigmoid(8) < 0.999 || FastSigmoid(-8) > 0.001 {
+	if FastSigmoid(sigTableRange) < 0.999 || FastSigmoid(-sigTableRange) > 0.001 {
 		t.Error("FastSigmoid tails are not near 0/1")
 	}
 }
