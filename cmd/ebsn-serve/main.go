@@ -1,6 +1,6 @@
 // ebsn-serve is the production recommendation daemon: it loads (or
 // trains) a model, wraps it in the serve package's HTTP stack — result
-// cache, load shedding, per-request timeouts, panic recovery, JSON
+// cache, load shedding, per-request timeouts, panic recovery, Prometheus
 // metrics — and serves the joint event-partner API until SIGINT/SIGTERM,
 // then drains connections and exits cleanly.
 //
@@ -9,10 +9,17 @@
 // request path, and atomically swaps the serving model — in-flight
 // queries finish on the old model, no request fails.
 //
+// Observability: /metrics serves Prometheus text exposition
+// (?format=json keeps the JSON panel); -trace enables request-scoped
+// spans with a slow-query ring at /v1/debug/slowlog; -debug-addr mounts
+// net/http/pprof on a separate listener. See OPERATIONS.md for the full
+// metric reference and diagnosis walkthroughs.
+//
 // Usage:
 //
 //	ebsn-serve -city tiny -addr :8080
 //	ebsn-serve -model runs/beijing -threads 8 -cache 65536 -maxinflight 512
+//	ebsn-serve -city tiny -trace -slow-query 50ms -debug-addr localhost:6060
 //	curl 'http://localhost:8080/v1/events?user=3&n=5'
 //	curl 'http://localhost:8080/metrics'
 //	kill -HUP $(pidof ebsn-serve)   # swap in runs/beijing/model.gob after a retrain
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"ebsn"
+	"ebsn/internal/obs"
 	"ebsn/serve"
 )
 
@@ -51,6 +59,10 @@ func main() {
 		pruneK      = flag.Int("prunek", 0, "TA candidate pruning per partner (0 = 5% heuristic, negative = full space)")
 		snapshot    = flag.String("snapshot", "", "model snapshot file for SIGHUP / POST /v1/reload (default <model>/model.gob)")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
+		trace       = flag.Bool("trace", false, "enable request-scoped tracing (slow-query ring at /v1/debug/slowlog)")
+		slowQuery   = flag.Duration("slow-query", 100*time.Millisecond, "traced-request duration that lands in the slowlog")
+		slowlogSize = flag.Int("slowlog-size", 128, "slow-query ring capacity")
+		debugAddr   = flag.String("debug-addr", "", "net/http/pprof listener address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
 
@@ -85,16 +97,24 @@ func main() {
 	}
 
 	s := serve.New(rec, serve.Config{
-		PruneK:         *pruneK,
-		SnapshotPath:   *snapshot,
-		CacheCapacity:  *cache,
-		CacheTTL:       *cacheTTL,
-		MaxInFlight:    *maxInflight,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		Logger:         logger,
-		AccessLog:      !*quiet,
+		PruneK:             *pruneK,
+		SnapshotPath:       *snapshot,
+		CacheCapacity:      *cache,
+		CacheTTL:           *cacheTTL,
+		MaxInFlight:        *maxInflight,
+		RequestTimeout:     *timeout,
+		DrainTimeout:       *drain,
+		Logger:             logger,
+		AccessLog:          !*quiet,
+		TraceEnabled:       *trace,
+		SlowQueryThreshold: *slowQuery,
+		SlowLogSize:        *slowlogSize,
 	})
+
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, func(err error) { logger.Printf("pprof listener: %v", err) })
+		logger.Printf("pprof at http://%s/debug/pprof/", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

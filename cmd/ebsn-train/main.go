@@ -16,6 +16,12 @@
 //	ebsn-train -city tiny -variant pte -steps 500000 -out ./run
 //	ebsn-train -city small -out ./run -checkpoint-every 1000000
 //	ebsn-train -city small -out ./run -resume            # continue after a crash/SIGINT
+//
+// Long runs are observable: -metrics-addr exposes Prometheus text
+// (steps, per-graph edge draws, sampler rank-rebuild latency,
+// checkpoint durations, throughput and objective gauges) and
+// -debug-addr mounts net/http/pprof, both off the training hot path.
+// See OPERATIONS.md for the metric reference.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"ebsn"
+	"ebsn/internal/obs"
 )
 
 func main() {
@@ -44,6 +51,8 @@ func main() {
 		ckptEvery = flag.Int64("checkpoint-every", 0, "write an atomic model checkpoint every N steps (0 = only at the end)")
 		resume    = flag.Bool("resume", false, "resume from the checkpoint in -out, continuing its decay schedule")
 		objSample = flag.Int("objective-samples", 4096, "edges sampled per progress report for the objective estimate (0 disables)")
+		metrics   = flag.String("metrics-addr", "", "Prometheus exposition listener (e.g. localhost:9090; empty disables)")
+		debugAddr = flag.String("debug-addr", "", "net/http/pprof listener address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
 
@@ -120,6 +129,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var tm *trainMetrics
+	if *metrics != "" {
+		tm = newTrainMetrics(model)
+		tm.serve(*metrics, func(err error) { fmt.Fprintln(os.Stderr, "ebsn-train: metrics listener:", err) })
+		fmt.Printf("metrics at http://%s/metrics\n", *metrics)
+	}
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, func(err error) { fmt.Fprintln(os.Stderr, "ebsn-train: pprof listener:", err) })
+		fmt.Printf("pprof at http://%s/debug/pprof/\n", *debugAddr)
+	}
+	saveCheckpoint := func() error {
+		t0 := time.Now()
+		if err := rec.SaveModel(modelPath); err != nil {
+			return err
+		}
+		tm.observeCheckpoint(time.Since(t0))
+		return nil
+	}
+
 	total := model.Cfg.TotalSteps
 	start := time.Now()
 	interrupted := false
@@ -131,10 +159,10 @@ func main() {
 		t0 := time.Now()
 		taken := model.TrainStepsCtx(ctx, batch)
 		if taken > 0 {
-			logProgress(rec, taken, time.Since(t0), total, *objSample)
+			logProgress(rec, tm, taken, time.Since(t0), total, *objSample)
 		}
 		if *ckptEvery > 0 || ctx.Err() != nil {
-			if err := rec.SaveModel(modelPath); err != nil {
+			if err := saveCheckpoint(); err != nil {
 				fatal(err)
 			}
 		}
@@ -150,7 +178,7 @@ func main() {
 		return
 	}
 
-	if err := rec.SaveModel(modelPath); err != nil {
+	if err := saveCheckpoint(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("trained %s in %.1fs (%d steps)\n", v, time.Since(start).Seconds(), model.Steps())
@@ -158,16 +186,20 @@ func main() {
 	fmt.Println("next: ebsn-recommend -run", *out, "-user 0")
 }
 
-// logProgress prints one training progress line: position in the
-// budget, throughput for the batch, and a sampled objective estimate.
-func logProgress(rec *ebsn.Recommender, taken int64, elapsed time.Duration, total int64, objSamples int) {
+// logProgress prints one training progress line — position in the
+// budget, throughput for the batch, and a sampled objective estimate —
+// and mirrors the window's throughput and objective into the metrics
+// panel (tm may be nil).
+func logProgress(rec *ebsn.Recommender, tm *trainMetrics, taken int64, elapsed time.Duration, total int64, objSamples int) {
 	model := rec.Model()
 	rate := float64(taken) / elapsed.Seconds()
+	tm.setRate(rate)
 	line := fmt.Sprintf("step %d/%d (%.1f%%) | %.0f steps/s", model.Steps(), total,
 		100*float64(model.Steps())/float64(total), rate)
 	if objSamples > 0 {
 		if est, err := rec.TrainingObjective(objSamples); err == nil {
 			line += fmt.Sprintf(" | objective ~%.4f (%d samples)", est.Total, est.Samples)
+			tm.setObjective(est.Total)
 		}
 	}
 	fmt.Println(line)

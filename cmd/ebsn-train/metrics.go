@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"ebsn"
+	"ebsn/internal/obs"
+)
+
+// checkpointBoundsSeconds buckets atomic-snapshot write times: tiny-city
+// checkpoints land in milliseconds, Shanghai-scale ones in seconds.
+var checkpointBoundsSeconds = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// trainMetrics is the -metrics-addr instrument panel over a training
+// run: live step/draw counters read from the model's lock-free
+// telemetry at scrape time, throughput and objective gauges set by the
+// progress loop, and a checkpoint-duration histogram. A nil
+// *trainMetrics is valid and records nothing, so the training loop
+// stays unconditional.
+type trainMetrics struct {
+	reg   *obs.Registry
+	model *ebsn.Model
+
+	mu    sync.Mutex
+	prev  map[string]int64
+	draws *obs.CounterVec
+
+	stepsPerSec *obs.Gauge
+	objective   *obs.Gauge
+	ckpts       *obs.Counter
+	ckptHist    *obs.Histogram
+}
+
+func newTrainMetrics(model *ebsn.Model) *trainMetrics {
+	tm := &trainMetrics{
+		reg:   obs.NewRegistry(),
+		model: model,
+		prev:  make(map[string]int64),
+	}
+	start := time.Now()
+	tm.reg.GaugeFunc("ebsn_train_uptime_seconds",
+		"Seconds since the training process started.",
+		func() float64 { return time.Since(start).Seconds() })
+	tm.reg.CounterFunc("ebsn_train_steps_total",
+		"Gradient steps completed by this process (live; excludes steps restored from a resumed checkpoint).",
+		func() uint64 { return uint64(model.TrainStats().Steps) })
+	tm.reg.GaugeFunc("ebsn_train_schedule_step",
+		"Decay-schedule position, including steps restored on resume.",
+		func() float64 { return float64(model.Steps()) })
+	tm.reg.GaugeFunc("ebsn_train_schedule_total_steps",
+		"Configured training budget N.",
+		func() float64 { return float64(model.Cfg.TotalSteps) })
+	tm.draws = tm.reg.CounterVec("ebsn_train_edge_draws_total",
+		"Positive edges drawn per relation graph (Algorithm 2 Line 3 distribution).",
+		"graph")
+	tm.reg.CounterFunc("ebsn_train_rank_rebuilds_total",
+		"Adaptive-sampler ranking refreshes, including build-time initials.",
+		func() uint64 { return uint64(model.TrainStats().RankRebuilds) })
+	tm.reg.GaugeFunc("ebsn_train_rank_rebuild_seconds_total",
+		"Cumulative wall-clock seconds spent refreshing sampler rankings.",
+		func() float64 { return model.TrainStats().RankRebuildTotal.Seconds() })
+	tm.reg.GaugeFunc("ebsn_train_rank_rebuild_last_seconds",
+		"Duration of the most recent ranking refresh.",
+		func() float64 { return model.TrainStats().RankRebuildLast.Seconds() })
+	tm.stepsPerSec = tm.reg.Gauge("ebsn_train_steps_per_second",
+		"Training throughput over the last progress window.")
+	tm.objective = tm.reg.Gauge("ebsn_train_objective_estimate",
+		"Sampled training-objective estimate from the last progress report.")
+	tm.ckpts = tm.reg.Counter("ebsn_train_checkpoints_total",
+		"Atomic model checkpoints written.")
+	tm.ckptHist = tm.reg.Histogram("ebsn_train_checkpoint_duration_seconds",
+		"Wall-clock time per atomic checkpoint write.", checkpointBoundsSeconds)
+	return tm
+}
+
+// syncDraws folds the model's per-graph draw totals into the labeled
+// counter vec as deltas, called at scrape time so the exposition is
+// exact at the instant it renders.
+func (tm *trainMetrics) syncDraws() {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	st := tm.model.TrainStats()
+	for g, n := range st.EdgeDraws {
+		if d := n - tm.prev[g]; d > 0 {
+			tm.draws.With(g).Add(uint64(d))
+			tm.prev[g] = n
+		}
+	}
+}
+
+// serve starts the exposition listener in a goroutine. onErr receives
+// the listener's terminal error (nil ignores it).
+func (tm *trainMetrics) serve(addr string, onErr func(error)) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		tm.syncDraws()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = tm.reg.WritePrometheus(w)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}
+
+// setRate records the last progress window's throughput.
+func (tm *trainMetrics) setRate(stepsPerSec float64) {
+	if tm != nil {
+		tm.stepsPerSec.Set(stepsPerSec)
+	}
+}
+
+// setObjective records the last sampled objective estimate.
+func (tm *trainMetrics) setObjective(v float64) {
+	if tm != nil {
+		tm.objective.Set(v)
+	}
+}
+
+// observeCheckpoint records one checkpoint write.
+func (tm *trainMetrics) observeCheckpoint(d time.Duration) {
+	if tm != nil {
+		tm.ckpts.Inc()
+		tm.ckptHist.Observe(d)
+	}
+}

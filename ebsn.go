@@ -52,9 +52,13 @@ type (
 	// GeneratorConfig parameterizes the synthetic city generator.
 	GeneratorConfig = datagen.Config
 	// SearchStats reports how much work one TA query did (sorted and
-	// random accesses against the candidate count) — the per-query
-	// observability surface behind the paper's pruning claims.
+	// random accesses against the candidate count, plus wall-clock time
+	// inside the index) — the per-query observability surface behind the
+	// paper's pruning claims.
 	SearchStats = ta.SearchStats
+	// TrainStats is a live snapshot of training telemetry (steps,
+	// per-graph edge draws, rank-rebuild latency); see Model.TrainStats.
+	TrainStats = core.TrainStats
 )
 
 // City selects a built-in synthetic dataset scale.
@@ -69,6 +73,8 @@ const (
 	CityShanghai
 )
 
+// String returns the flag-style lowercase name ("tiny", "beijing", ...)
+// accepted back by ParseCity.
 func (c City) String() string {
 	switch c {
 	case CityTiny:
@@ -128,6 +134,8 @@ const (
 	PTE
 )
 
+// String returns the paper's display name ("GEM-A", "GEM-P", "PTE");
+// ParseVariant accepts these case-insensitively.
 func (v Variant) String() string {
 	switch v {
 	case GEMA:

@@ -1,0 +1,165 @@
+package ebsn
+
+// This file enforces the documentation contract mechanically: every
+// audited package must carry a package comment, and every exported
+// identifier in it — functions, methods, types, and const/var
+// declarations — must have a doc comment. It covers the same ground as
+// staticcheck's ST1000/ST1020/ST1021 in CI, duplicated here so
+// `go test ./...` catches a regression even where staticcheck is not
+// installed. Struct fields are deliberately out of scope (matching
+// staticcheck): DTO field meaning lives in the type comment and json
+// tags, and fields whose semantics are subtle carry comments by
+// convention, not mechanical force.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// auditedPackages lists the directories (relative to the repo root)
+// whose exported API must be fully documented. New packages should be
+// added here as they stabilize.
+var auditedPackages = []string{
+	".",
+	"serve",
+	"internal/obs",
+	"internal/isort",
+	"internal/par",
+	"internal/vecmath",
+	"internal/ta",
+}
+
+func TestExportedIdentifiersAreDocumented(t *testing.T) {
+	for _, dir := range auditedPackages {
+		t.Run(dir, func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, pkg := range pkgs {
+				if strings.HasSuffix(name, "_test") || name == "main" {
+					continue
+				}
+				for _, miss := range auditPackage(fset, pkg) {
+					t.Error(miss)
+				}
+			}
+		})
+	}
+}
+
+// auditPackage returns one message per documentation gap in pkg:
+// a missing package comment, or an exported declaration (function,
+// method, type, const/var group, struct field) without a doc comment.
+func auditPackage(fset *token.FileSet, pkg *ast.Package) []string {
+	var missing []string
+	hasPkgDoc := false
+	for fname, f := range pkg.Files {
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+		for _, decl := range f.Decls {
+			missing = append(missing, auditDecl(fset, decl)...)
+		}
+	}
+	if !hasPkgDoc {
+		missing = append(missing, fmt.Sprintf("package %s has no package comment (ST1000)", pkg.Name))
+	}
+	return missing
+}
+
+func auditDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	badForm := func(pos token.Pos, kind, name string, doc *ast.CommentGroup) {
+		if !docStartsWithName(doc, name) {
+			p := fset.Position(pos)
+			missing = append(missing, fmt.Sprintf("%s:%d: comment on exported %s %s should be of the form %q", p.Filename, p.Line, kind, name, name+" ..."))
+		}
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && exportedRecv(d) {
+			if d.Doc == nil {
+				report(d.Pos(), "function", d.Name.Name)
+			} else {
+				badForm(d.Pos(), "function", d.Name.Name, d.Doc)
+			}
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				switch {
+				case s.Doc != nil:
+					badForm(s.Pos(), "type", s.Name.Name, s.Doc)
+				case d.Doc != nil && len(d.Specs) == 1:
+					badForm(s.Pos(), "type", s.Name.Name, d.Doc)
+				case d.Doc == nil:
+					report(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A group comment on the const/var block covers its
+				// members, matching godoc's rendering.
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), "const/var", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// docStartsWithName mirrors ST1020/ST1021's form rule: the comment's
+// first word must be the identifier it documents (a leading article
+// "A", "An" or "The" is tolerated, as staticcheck does).
+func docStartsWithName(doc *ast.CommentGroup, name string) bool {
+	words := strings.Fields(doc.Text())
+	if len(words) == 0 {
+		return false
+	}
+	if (words[0] == "A" || words[0] == "An" || words[0] == "The") && len(words) > 1 {
+		return words[1] == name
+	}
+	return words[0] == name
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types never surface in godoc).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}

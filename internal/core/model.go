@@ -46,7 +46,8 @@ type Model struct {
 	steps     int64        // total gradient steps taken
 	src       *rng.Source  // sequential-trainer stream; workers split from it
 	workerSeq uint64
-	hogwildMu sync.Mutex // serializes gradient steps under the race detector only
+	hogwildMu sync.Mutex    // serializes gradient steps under the race detector only
+	stats     trainCounters // lock-free telemetry; snapshot via TrainStats
 }
 
 // NewModel builds an untrained model over the relation graphs. The graphs
@@ -87,7 +88,7 @@ func NewModel(g *ebsnet.Graphs, cfg Config) (*Model, error) {
 			if r, ok := ranks[mat]; ok {
 				return r
 			}
-			r := newDimRanking(mat, cfg.Lambda)
+			r := newDimRanking(mat, cfg.Lambda, &m.stats)
 			ranks[mat] = r
 			return r
 		}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ebsn/internal/isort"
 	"ebsn/internal/par"
@@ -22,8 +23,9 @@ import (
 // by several relations (the event matrix serves four graphs) shares one
 // dimRanking, so the refresh work is amortized across all of them.
 type dimRanking struct {
-	mat  *Matrix
-	geom *rng.Geometric
+	mat   *Matrix
+	geom  *rng.Geometric
+	stats *trainCounters // model telemetry sink for rebuild count/latency
 
 	snap           atomic.Pointer[rankSnapshot]
 	draws          atomic.Int64
@@ -56,7 +58,7 @@ type rankSnapshot struct {
 	sigma []float32
 }
 
-func newDimRanking(mat *Matrix, lambda float64) *dimRanking {
+func newDimRanking(mat *Matrix, lambda float64, stats *trainCounters) *dimRanking {
 	n := mat.N
 	every := int64(float64(n) * math.Max(1, math.Log2(float64(n))))
 	// Probabilistic draw counting advances in drawBatch jumps; a cadence
@@ -67,6 +69,7 @@ func newDimRanking(mat *Matrix, lambda float64) *dimRanking {
 	r := &dimRanking{
 		mat:            mat,
 		geom:           rng.NewGeometric(lambda, n),
+		stats:          stats,
 		recomputeEvery: every,
 	}
 	r.nextRecompute.Store(every)
@@ -99,6 +102,7 @@ func getColScratch(n int) *[]float32 {
 // regardless of worker count. Caller must hold mu (or be the
 // single-threaded constructor).
 func (r *dimRanking) recompute() {
+	start := time.Now()
 	n, k := r.mat.N, r.mat.K
 	if r.mean == nil {
 		r.mean = make([]float32, k)
@@ -136,6 +140,9 @@ func (r *dimRanking) recompute() {
 	})
 	r.cur ^= 1
 	r.snap.Store(next)
+	if r.stats != nil {
+		r.stats.recordRebuild(time.Since(start))
+	}
 }
 
 // drawBatch is the probabilistic counting granularity: instead of every

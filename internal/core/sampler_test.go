@@ -18,7 +18,7 @@ func rankedMatrix() *Matrix {
 }
 
 func TestDimRankingOrder(t *testing.T) {
-	r := newDimRanking(rankedMatrix(), 200)
+	r := newDimRanking(rankedMatrix(), 200, nil)
 	snap := r.snap.Load()
 	for pos := 0; pos < 6; pos++ {
 		if snap.rank[0][pos] != int32(pos) {
@@ -34,7 +34,7 @@ func TestDimRankingOrder(t *testing.T) {
 }
 
 func TestDimRankingSampleFollowsContext(t *testing.T) {
-	r := newDimRanking(rankedMatrix(), 0.7) // tight lambda: top ranks dominate
+	r := newDimRanking(rankedMatrix(), 0.7, nil) // tight lambda: top ranks dominate
 	src := rng.New(1)
 
 	// Context loaded on dim 0 -> top-ranked node on dim 0 is node 0.
@@ -66,7 +66,7 @@ func TestDimRankingSampleFollowsContext(t *testing.T) {
 }
 
 func TestDimRankingZeroContextFallsBack(t *testing.T) {
-	r := newDimRanking(rankedMatrix(), 200)
+	r := newDimRanking(rankedMatrix(), 200, nil)
 	src := rng.New(2)
 	if v := r.sample([]float32{0, 0}, src); v != -1 {
 		t.Errorf("zero context returned %d, want -1 sentinel", v)
@@ -80,7 +80,7 @@ func TestDimRankingZeroVarianceDimensionIgnored(t *testing.T) {
 		m.Row(int32(i))[0] = 1
 		m.Row(int32(i))[1] = float32(i)
 	}
-	r := newDimRanking(m, 0.5)
+	r := newDimRanking(m, 0.5, nil)
 	src := rng.New(3)
 	// Context entirely on the constant dimension -> no usable dimension.
 	if v := r.sample([]float32{1, 0}, src); v != -1 {
@@ -102,7 +102,7 @@ func TestDimRankingZeroVarianceDimensionIgnored(t *testing.T) {
 
 func TestDimRankingRecomputeTracksUpdates(t *testing.T) {
 	m := rankedMatrix()
-	r := newDimRanking(m, 0.5)
+	r := newDimRanking(m, 0.5, nil)
 	// Flip dim-0 ordering: node 5 becomes top.
 	for i := 0; i < 6; i++ {
 		m.Row(int32(i))[0] = float32(i)
@@ -116,7 +116,7 @@ func TestDimRankingRecomputeTracksUpdates(t *testing.T) {
 
 func TestMaybeRecomputeCadence(t *testing.T) {
 	m := rankedMatrix()
-	r := newDimRanking(m, 200)
+	r := newDimRanking(m, 200, nil)
 	src := rng.New(3)
 	// Mutate the matrix without recomputing: the snapshot stays stale for
 	// roughly recomputeEvery draws (counting is probabilistic in batches
@@ -174,7 +174,7 @@ func TestExactVsApproxAgreeOnSeparableContext(t *testing.T) {
 		}
 	}
 	ctx := []float32{0, 0, 5, 0}
-	r := newDimRanking(m, 1)
+	r := newDimRanking(m, 1, nil)
 	geom := rng.NewGeometric(1, 20)
 	exCounts := make([]int, 20)
 	apCounts := make([]int, 20)

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// maxRelations bounds the fixed per-graph draw-counter array so Hogwild
+// workers can accumulate into plain stack int64s and flush without
+// allocating. The model has five relations; the headroom is free.
+const maxRelations = 8
+
+// relationNames are the stable telemetry labels for Relations, in the
+// order NewModel constructs them. They name the metric label values in
+// the training exposition, so changing one is a dashboard break.
+var relationNames = [...]string{
+	"user_event", "event_time", "event_word", "event_location", "user_user",
+}
+
+// RelationName returns the stable telemetry name of relation index i
+// (the index into Model.Relations), or "relation_<i>" past the known
+// set.
+func RelationName(i int) string {
+	if i >= 0 && i < len(relationNames) {
+		return relationNames[i]
+	}
+	return "relation_" + string(rune('0'+i%10))
+}
+
+// trainCounters is the model's lock-free training telemetry. Workers
+// accumulate edge draws in stack-local arrays and flush here at batch
+// boundaries (every cancel-check interval and at worker exit), so the
+// hot loop never touches a shared cache line; rank rebuilds record
+// directly because they run at most once per |V|·log|V| draws.
+type trainCounters struct {
+	stepsDone     atomic.Int64
+	edgeDraws     [maxRelations]atomic.Int64
+	rankRebuilds  atomic.Int64
+	rankRebuildNs atomic.Int64
+	rankLastNs    atomic.Int64
+}
+
+// flush adds a worker's locally accumulated draws and step count.
+func (c *trainCounters) flush(draws *[maxRelations]int64, steps int64) {
+	for gi, d := range draws {
+		if d != 0 {
+			c.edgeDraws[gi].Add(d)
+			draws[gi] = 0
+		}
+	}
+	if steps != 0 {
+		c.stepsDone.Add(steps)
+	}
+}
+
+// recordRebuild records one ranking refresh of duration d.
+func (c *trainCounters) recordRebuild(d time.Duration) {
+	c.rankRebuilds.Add(1)
+	c.rankRebuildNs.Add(d.Nanoseconds())
+	c.rankLastNs.Store(d.Nanoseconds())
+}
+
+// TrainStats is a point-in-time snapshot of the model's training
+// telemetry. All fields are safe to read while training runs; Steps
+// advances live (per cancel-check interval, 256 steps), unlike
+// Model.Steps which is the decay-schedule position and only moves at
+// TrainSteps boundaries.
+type TrainStats struct {
+	// Steps counts gradient steps completed in this process. After a
+	// checkpoint resume it restarts at zero while Model.Steps resumes at
+	// the snapshot position.
+	Steps int64
+	// EdgeDraws counts positive-edge draws per relation graph, keyed by
+	// RelationName. Proportions converge to the Algorithm 2 Line 3 graph
+	// distribution; a skew is a sampler bug.
+	EdgeDraws map[string]int64
+	// RankRebuilds counts adaptive-sampler ranking refreshes, including
+	// each ranking's build-time initial computation.
+	RankRebuilds int64
+	// RankRebuildTotal is wall-clock time spent inside refreshes.
+	RankRebuildTotal time.Duration
+	// RankRebuildLast is the duration of the most recent refresh.
+	RankRebuildLast time.Duration
+}
+
+// TrainStats snapshots the model's training telemetry. Cheap (a handful
+// of atomic loads plus one small map) and safe concurrently with
+// TrainSteps, so a metrics goroutine can call it on every scrape.
+func (m *Model) TrainStats() TrainStats {
+	st := TrainStats{
+		Steps:            m.stats.stepsDone.Load(),
+		EdgeDraws:        make(map[string]int64, len(m.Relations)),
+		RankRebuilds:     m.stats.rankRebuilds.Load(),
+		RankRebuildTotal: time.Duration(m.stats.rankRebuildNs.Load()),
+		RankRebuildLast:  time.Duration(m.stats.rankLastNs.Load()),
+	}
+	for i := range m.Relations {
+		st.EdgeDraws[RelationName(i)] = m.stats.edgeDraws[i].Load()
+	}
+	return st
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestTrainStatsCountsDraws holds the telemetry to exact accounting:
+// every gradient step draws exactly one positive edge, so the per-graph
+// draw counts must sum to the step count — across both the sequential
+// and the Hogwild paths, whose flush points differ.
+func TestTrainStatsCountsDraws(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		m := newTestModel(t, func(c *Config) { c.Threads = threads })
+		const steps = 2000
+		m.TrainSteps(steps)
+		st := m.TrainStats()
+		if st.Steps != steps {
+			t.Fatalf("threads=%d: TrainStats.Steps = %d, want %d", threads, st.Steps, steps)
+		}
+		var total int64
+		for name, n := range st.EdgeDraws {
+			if n < 0 {
+				t.Fatalf("threads=%d: negative draw count for %s", threads, name)
+			}
+			total += n
+		}
+		if total != steps {
+			t.Fatalf("threads=%d: edge draws sum to %d, want %d", threads, total, steps)
+		}
+		// Proportional graph sampling on a dataset where user_event
+		// dominates must show up in the draw distribution.
+		if st.EdgeDraws["user_event"] == 0 {
+			t.Fatalf("threads=%d: no user_event draws in %v", threads, st.EdgeDraws)
+		}
+	}
+}
+
+// TestTrainStatsRankRebuilds checks the adaptive sampler reports its
+// ranking refreshes: the constructor's initial computation counts, and
+// durations are recorded.
+func TestTrainStatsRankRebuilds(t *testing.T) {
+	m := newTestModel(t, func(c *Config) { c.Sampler = SamplerAdaptive })
+	st := m.TrainStats()
+	if st.RankRebuilds == 0 {
+		t.Fatal("initial ranking computations not counted")
+	}
+	if st.RankRebuildTotal <= 0 {
+		t.Fatalf("RankRebuildTotal = %v, want > 0", st.RankRebuildTotal)
+	}
+	if st.RankRebuildLast <= 0 {
+		t.Fatalf("RankRebuildLast = %v, want > 0", st.RankRebuildLast)
+	}
+	before := st.RankRebuilds
+	m.TrainSteps(60_000) // enough draws to cross the refresh cadence
+	after := m.TrainStats().RankRebuilds
+	if after <= before {
+		t.Fatalf("rank rebuilds did not advance under training: %d -> %d", before, after)
+	}
+}
+
+// TestRelationNameStability pins the telemetry label values: they key
+// dashboards and the exposition golden files.
+func TestRelationNameStability(t *testing.T) {
+	want := []string{"user_event", "event_time", "event_word", "event_location", "user_user"}
+	for i, w := range want {
+		if got := RelationName(i); got != w {
+			t.Fatalf("RelationName(%d) = %q, want %q", i, got, w)
+		}
+	}
+}

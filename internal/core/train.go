@@ -127,8 +127,16 @@ func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, s
 	ts := getTrainScratch(m.Cfg.K)
 	defer trainScratchPool.Put(ts)
 	errI, errJ, ss := ts.errI, ts.errJ, &ts.ss
+	// Edge-draw telemetry accumulates in a stack-local array and flushes
+	// to the shared atomics at the cancel-check cadence — the hot loop
+	// stays free of contended cache lines and the flush itself is a plain
+	// method call, so the zero-allocation steady state holds.
+	var draws [maxRelations]int64
+	var flushed int64
 	for s := int64(0); s < steps; s++ {
 		if done != nil && s&cancelCheckMask == 0 {
+			m.stats.flush(&draws, s-flushed)
+			flushed = s
 			select {
 			case <-done:
 				return s
@@ -143,7 +151,9 @@ func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, s
 			}
 			alpha *= frac
 		}
-		rel := &m.Relations[m.graphPick.Sample(src)]
+		gi := m.graphPick.Sample(src)
+		draws[gi]++
+		rel := &m.Relations[gi]
 		// Hogwild's unsynchronized embedding updates are the paper's
 		// design, but they drown the race detector in benign reports and
 		// hide real synchronization bugs elsewhere. Race builds serialize
@@ -156,6 +166,7 @@ func (m *Model) trainWorker(ctx context.Context, steps int64, src *rng.Source, s
 			m.hogwildMu.Unlock()
 		}
 	}
+	m.stats.flush(&draws, steps-flushed)
 	return steps
 }
 

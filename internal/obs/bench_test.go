@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanDisabled is the CI alloc gate for the tracing fast path:
+// the full Start/Stage/SetAttr/End sequence with tracing off must cost
+// 0 allocs/op, so compiling tracing into the serving path is free when
+// an operator leaves it disabled.
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := NewTracer(128, 25*time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("partners")
+		sp.Stage("cache")
+		sp.SetAttr("cache_hit", 0)
+		sp.Stage("ta_search")
+		sp.SetAttr("ta_random", int64(i))
+		sp.Stage("encode")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled measures the pooled live-span path (fast spans,
+// below the slow threshold, so the ring buffer is never touched).
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(128, time.Hour)
+	tr.SetEnabled(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("partners")
+		sp.Stage("cache")
+		sp.SetAttr("cache_hit", 0)
+		sp.Stage("ta_search")
+		sp.SetAttr("ta_random", int64(i))
+		sp.Stage("encode")
+		sp.End()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram([]float64{0.0001, 0.001, 0.01, 0.1, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(300 * time.Microsecond)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := goldenRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux exposing the standard net/http/pprof endpoints
+// under /debug/pprof/. Both daemons mount it on the separate listener
+// behind their -debug-addr flag — profiling stays off the serving port
+// and off by default, and enabling it never touches the request path.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts PprofMux on addr in a new goroutine and reports
+// startup errors to onErr (nil ignores them). It returns immediately;
+// the listener lives for the life of the process, matching the
+// debug-endpoint convention of long-lived daemons.
+func ServeDebug(addr string, onErr func(error)) {
+	go func() {
+		if err := http.ListenAndServe(addr, PprofMux()); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}

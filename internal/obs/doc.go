@@ -1,0 +1,40 @@
+// Package obs is the repo-wide observability layer: lock-free metric
+// instruments rendered in the Prometheus text exposition format, a
+// request-scoped span tracer with a ring-buffer slow-query log, and the
+// pprof debug mux both daemons mount behind their -debug-addr flags.
+//
+// # Metrics
+//
+// A Registry owns an ordered set of metric families. Instruments come in
+// three kinds — Counter (monotone, atomic.Uint64), Gauge (float64,
+// CAS-updated) and Histogram (fixed cumulative buckets, one atomic
+// increment per observation) — each with a labeled Vec variant whose
+// children are resolved once and then updated lock-free, so recording on
+// a request or training hot path never takes a lock. Derived values that
+// live elsewhere (cache occupancy, model step counters, uptime) are
+// exported with GaugeFunc/CounterFunc, which read at scrape time instead
+// of shadowing state in a second counter.
+//
+// WritePrometheus renders every family with its # HELP and # TYPE
+// header, histogram buckets in cumulative le form with a trailing +Inf,
+// and deterministic family and child order — the output is diffable and
+// golden-testable. Lint checks a rendered exposition against the format
+// rules (headers before samples, no duplicate or interleaved families,
+// bucket monotonicity), and ParseText reads one back into a sample map;
+// both exist so the serving tests and the package's own golden tests
+// share one notion of "valid exposition".
+//
+// # Tracing
+//
+// A Tracer hands out Spans that carve one request into named stages
+// (cache lookup, facade query, response encode, ...) and carry integer
+// attributes (TA access counts, cache hit flags, pruning k). Tracing is
+// designed to be compiled in and left off: when disabled, Start returns
+// a nil *Span, every Span method no-ops on the nil receiver, and the hot
+// path allocates nothing — BenchmarkSpanDisabled asserts 0 allocs/op and
+// CI gates on it. When enabled, spans come from a sync.Pool, stage and
+// attribute storage is fixed-size arrays, and a span whose total
+// duration crosses the tracer's slow threshold is copied into a bounded
+// ring buffer (SlowLog) that the server exposes at /v1/debug/slowlog —
+// the first stop when a p99 regression needs a concrete offending query.
+package obs

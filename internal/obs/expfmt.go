@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name (including any
+// _bucket/_sum/_count suffix), its label pairs in source order, and the
+// value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label is one name="value" pair of a parsed sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Get returns the value of the named label ("" when absent).
+func (s Sample) Get(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Key renders the sample identity as name{a="b",c="d"} with labels in
+// source order — the lookup key tests use against ParseText results.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseText reads a Prometheus text exposition and returns its samples
+// in order. It accepts exactly the subset WritePrometheus emits (HELP
+// and TYPE comments, sample lines); anything else is an error. It is
+// the read half the exposition tests and Lint build on.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(text string) (Sample, error) {
+	var s Sample
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", text)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair missing '=' in %q", s)
+		}
+		name := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		val, rest, err := unquoteLabel(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", name, err)
+		}
+		out = append(out, Label{Name: name, Value: val})
+		s = rest
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+func unquoteLabel(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// Lint verifies that a text exposition obeys the format rules a
+// Prometheus scraper enforces, the exact list the exposition golden
+// tests gate on:
+//
+//   - every family has # HELP and # TYPE, both before its first sample,
+//     and a valid type;
+//   - no family is declared twice and no family's samples interleave
+//     with another's;
+//   - no duplicate sample (same name and label set);
+//   - histogram buckets are cumulative (monotone in le order), end in a
+//     +Inf bucket, and agree with the _count series.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	fams := make(map[string]*famState)
+	var current string
+	seen := make(map[string]bool) // full sample keys
+	var samples []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") || strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.SplitN(text, " ", 4)
+			if len(parts) < 4 {
+				return fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			kind, name, arg := parts[1], parts[2], parts[3]
+			f := fams[name]
+			if f == nil {
+				f = &famState{}
+				fams[name] = f
+			}
+			if f.sampleCount > 0 {
+				return fmt.Errorf("line %d: # %s %s after its samples", line, kind, name)
+			}
+			if current != "" && current != name {
+				fams[current].closed = true
+			}
+			current = name
+			switch kind {
+			case "HELP":
+				if f.sawHelp {
+					return fmt.Errorf("line %d: duplicate HELP for %s", line, name)
+				}
+				f.sawHelp = true
+			case "TYPE":
+				if f.sawType {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+				}
+				switch arg {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: invalid type %q for %s", line, arg, name)
+				}
+				f.sawType = true
+				f.typ = arg
+			}
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		fam := familyOf(s.Name, fams)
+		f := fams[fam]
+		if f == nil || !f.sawHelp || !f.sawType {
+			return fmt.Errorf("line %d: sample %s before # HELP/# TYPE of %s", line, s.Name, fam)
+		}
+		if f.closed {
+			return fmt.Errorf("line %d: sample %s interleaves with a later family", line, s.Name)
+		}
+		if current != "" && current != fam {
+			fams[current].closed = true
+		}
+		current = fam
+		key := s.Key()
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s", line, key)
+		}
+		seen[key] = true
+		f.sampleCount++
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return lintHistograms(samples, fams)
+}
+
+// familyOf strips a histogram/summary series suffix when the base name
+// is a declared family (a plain counter named x_count stays x_count).
+func familyOf(name string, fams map[string]*famState) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := fams[base]; f != nil {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// famState tracks one family's declaration state while Lint scans.
+type famState struct {
+	typ         string
+	sawHelp     bool
+	sawType     bool
+	closed      bool // a later family started; no more samples allowed
+	sampleCount int
+}
+
+// lintHistograms checks every histogram series for cumulative bucket
+// monotonicity, a +Inf terminal bucket, and bucket/_count agreement.
+func lintHistograms(samples []Sample, fams map[string]*famState) error {
+	type series struct {
+		bounds []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+		hasSum bool
+	}
+	hist := make(map[string]*series) // keyed by family + non-le labels
+	keyOf := func(fam string, s Sample) string {
+		var b strings.Builder
+		b.WriteString(fam)
+		for _, l := range s.Labels {
+			if l.Name != "le" {
+				fmt.Fprintf(&b, ",%s=%q", l.Name, l.Value)
+			}
+		}
+		return b.String()
+	}
+	get := func(k string) *series {
+		if hist[k] == nil {
+			hist[k] = &series{}
+		}
+		return hist[k]
+	}
+	for _, s := range samples {
+		fam := familyOf(s.Name, fams)
+		if fams[fam] == nil || fams[fam].typ != "histogram" {
+			continue
+		}
+		k := keyOf(fam, s)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le := s.Get("le")
+			if le == "" {
+				return fmt.Errorf("histogram series %s: bucket without le label", s.Name)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("histogram series %s: bad le %q", s.Name, le)
+				}
+				bound = v
+			}
+			sr := get(k)
+			sr.bounds = append(sr.bounds, bound)
+			sr.counts = append(sr.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_count"):
+			sr := get(k)
+			sr.count = s.Value
+			sr.hasCnt = true
+		case strings.HasSuffix(s.Name, "_sum"):
+			get(k).hasSum = true
+		}
+	}
+	for k, sr := range hist {
+		if len(sr.bounds) == 0 {
+			return fmt.Errorf("histogram %s: no buckets", k)
+		}
+		if !sort.Float64sAreSorted(sr.bounds) {
+			return fmt.Errorf("histogram %s: le bounds out of order", k)
+		}
+		if !math.IsInf(sr.bounds[len(sr.bounds)-1], 1) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", k)
+		}
+		for i := 1; i < len(sr.counts); i++ {
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%v", k, sr.bounds[i])
+			}
+		}
+		if !sr.hasCnt || !sr.hasSum {
+			return fmt.Errorf("histogram %s: missing _count or _sum series", k)
+		}
+		if sr.counts[len(sr.counts)-1] != sr.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", k, sr.counts[len(sr.counts)-1], sr.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry owns an ordered set of metric families and renders them in
+// the Prometheus text exposition format. Families are registered once at
+// startup (registration takes a lock and panics on an invalid or
+// duplicate name — a programmer error, as in the reference client);
+// recording into the returned instruments is lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one exposition family: the HELP/TYPE header plus its
+// children (one per label-value combination; exactly one, with no
+// labels, for plain instruments).
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge" or "histogram"
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu    sync.Mutex
+	order []*famChild
+	byKey map[string]*famChild
+
+	// Scrape-time families read a callback instead of owning state.
+	gaugeFn   func() float64
+	counterFn func() uint64
+}
+
+type famChild struct {
+	labelValues []string
+	inst        any // *Counter, *Gauge or *Histogram
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", nil, nil)
+	return f.child(nil).(*Counter)
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, "counter", labels, nil)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotone values owned elsewhere (cache hit counts, model
+// step counters) that should not be mirrored into a second counter.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	f := r.register(name, help, "counter", nil, nil)
+	f.counterFn = fn
+}
+
+// Gauge registers and returns a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", nil, nil)
+	return f.child(nil).(*Gauge)
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, "gauge", labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time (uptime, cache occupancy, in-flight totals owned by a semaphore).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", nil, nil)
+	f.gaugeFn = fn
+}
+
+// Histogram registers and returns a plain histogram with the given
+// ascending bucket upper bounds in seconds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, "histogram", nil, bounds)
+	return f.child(nil).(*Histogram)
+}
+
+// HistogramVec registers a histogram family with the given bounds and
+// label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, "histogram", labels, bounds)}
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q in family %s", l, name))
+		}
+	}
+	if typ == "histogram" {
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("obs: histogram %s needs at least one bucket bound", name))
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %s bounds are not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric family %q", name))
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: append([]string(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		byKey:  make(map[string]*famChild),
+	}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// child returns (creating on first use) the instrument for one
+// label-value combination. Children render in creation order, which is
+// deterministic for the fixed label sets the servers register up front.
+func (f *family) child(labelValues []string) any {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: family %s has %d labels, got %d values", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.byKey[key]; ok {
+		return c.inst
+	}
+	c := &famChild{labelValues: append([]string(nil), labelValues...)}
+	switch f.typ {
+	case "counter":
+		c.inst = &Counter{}
+	case "gauge":
+		c.inst = &Gauge{}
+	case "histogram":
+		c.inst = newHistogram(f.bounds)
+	}
+	f.byKey[key] = c
+	f.order = append(f.order, c)
+	return c.inst
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- exposition rendering ----
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (text/plain; version=0.0.4): # HELP and # TYPE
+// headers, then one sample line per child — and for histograms the
+// cumulative le-labeled bucket series with a trailing +Inf bucket plus
+// the _sum and _count series. Families render in registration order and
+// children in creation order, so the output is deterministic and
+// golden-testable. Values are read without stopping writers; a scrape
+// under load is approximate but every individual sample is a real value
+// some moment saw.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	if f.gaugeFn != nil {
+		writeSample(b, f.name, "", nil, nil, formatFloat(f.gaugeFn()))
+		return
+	}
+	if f.counterFn != nil {
+		writeSample(b, f.name, "", nil, nil, strconv.FormatUint(f.counterFn(), 10))
+		return
+	}
+	f.mu.Lock()
+	children := append([]*famChild(nil), f.order...)
+	f.mu.Unlock()
+	for _, c := range children {
+		switch inst := c.inst.(type) {
+		case *Counter:
+			writeSample(b, f.name, "", f.labels, c.labelValues, strconv.FormatUint(inst.Value(), 10))
+		case *Gauge:
+			writeSample(b, f.name, "", f.labels, c.labelValues, formatFloat(inst.Value()))
+		case *Histogram:
+			writeHistogram(b, f, c, inst)
+		}
+	}
+}
+
+// writeHistogram renders one histogram child. Bucket counts accumulate
+// low-to-high so the le series is monotone by construction, and the
+// +Inf bucket equals _count even when observations race the scrape:
+// each per-bucket load happens once and the sums derive from those
+// loads, never from a second pass over moving counters.
+func writeHistogram(b *strings.Builder, f *family, c *famChild, h *Histogram) {
+	labels := append(append([]string(nil), f.labels...), "le")
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		vals := append(append([]string(nil), c.labelValues...), formatFloat(bound))
+		writeSample(b, f.name, "_bucket", labels, vals, strconv.FormatUint(cum, 10))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	vals := append(append([]string(nil), c.labelValues...), "+Inf")
+	writeSample(b, f.name, "_bucket", labels, vals, strconv.FormatUint(cum, 10))
+	writeSample(b, f.name, "_sum", f.labels, c.labelValues, formatFloat(h.Sum()))
+	writeSample(b, f.name, "_count", f.labels, c.labelValues, strconv.FormatUint(cum, 10))
+}
+
+func writeSample(b *strings.Builder, name, suffix string, labels, values []string, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span capacity limits. Stages and attributes live in fixed-size arrays
+// so an enabled span performs no per-stage allocation; extra entries
+// beyond the caps are dropped (and counted in truncated) rather than
+// grown — a trace that needs more than eight stages is a trace that
+// should be split.
+const (
+	maxStages = 8
+	maxAttrs  = 12
+)
+
+// Tracer hands out request-scoped spans. The disabled fast path is the
+// design center: Start returns a nil *Span when tracing is off, every
+// Span method no-ops on the nil receiver, and nothing escapes to the
+// heap — BenchmarkSpanDisabled holds the whole Start/Stage/SetAttr/End
+// sequence to 0 allocs/op. Enabled spans are pooled; a span whose total
+// duration reaches the slow threshold is copied into the tracer's
+// SlowLog ring buffer on End.
+type Tracer struct {
+	enabled atomic.Bool
+	slowNs  atomic.Int64
+	spans   atomic.Uint64
+	slow    atomic.Uint64
+	log     *SlowLog
+	pool    sync.Pool
+}
+
+// NewTracer creates a disabled tracer whose slow-query log keeps the
+// most recent logCap slow spans (minimum 1) and whose slow threshold is
+// slowThreshold (values ≤ 0 disable slow-query capture, spans are still
+// counted).
+func NewTracer(logCap int, slowThreshold time.Duration) *Tracer {
+	if logCap < 1 {
+		logCap = 1
+	}
+	t := &Tracer{log: newSlowLog(logCap)}
+	t.slowNs.Store(int64(slowThreshold))
+	t.pool.New = func() any { return &Span{} }
+	return t
+}
+
+// SetEnabled flips tracing; safe to call at any time.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether Start currently returns live spans.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetSlowThreshold replaces the slow-query threshold (≤ 0 disables
+// slow-query capture).
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNs.Store(int64(d)) }
+
+// SlowThreshold returns the current slow-query threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.slowNs.Load()) }
+
+// Spans returns the number of spans completed while tracing was on.
+func (t *Tracer) Spans() uint64 { return t.spans.Load() }
+
+// Slow returns the number of completed spans that crossed the slow
+// threshold.
+func (t *Tracer) Slow() uint64 { return t.slow.Load() }
+
+// SlowLog returns the tracer's slow-query ring buffer.
+func (t *Tracer) SlowLog() *SlowLog { return t.log }
+
+// Start begins a span named name. When tracing is disabled it returns
+// nil, which every Span method accepts — callers never branch.
+func (t *Tracer) Start(name string) *Span {
+	if !t.enabled.Load() {
+		return nil
+	}
+	s := t.pool.Get().(*Span)
+	s.t = t
+	s.name = name
+	s.nStages = 0
+	s.nAttrs = 0
+	s.truncated = 0
+	s.start = time.Now()
+	s.stageStart = s.start
+	return s
+}
+
+type stageRec struct {
+	name string
+	dur  time.Duration
+}
+
+type attrRec struct {
+	key string
+	val int64
+}
+
+// Span is one traced request. A nil *Span is the disabled form; all
+// methods are nil-safe. Spans are single-goroutine objects: the request
+// handler that Started one owns it until End.
+type Span struct {
+	t          *Tracer
+	name       string
+	start      time.Time
+	stageStart time.Time
+	nStages    int
+	stages     [maxStages]stageRec
+	nAttrs     int
+	attrs      [maxAttrs]attrRec
+	truncated  int
+}
+
+// Stage closes the span's current stage (if any) and opens a new one
+// named name. Stage boundaries are how a slow query decomposes into
+// cache lookup → facade call → encode.
+func (s *Span) Stage(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closeStage(now)
+	if s.nStages < maxStages {
+		s.stages[s.nStages].name = name
+		s.nStages++
+	} else {
+		s.truncated++
+	}
+	s.stageStart = now
+}
+
+// closeStage finalizes the duration of the currently open stage.
+func (s *Span) closeStage(now time.Time) {
+	if s.nStages > 0 && s.nStages <= maxStages {
+		s.stages[s.nStages-1].dur = now.Sub(s.stageStart)
+	}
+}
+
+// SetAttr attaches an integer attribute (TA access counts, cache hit
+// flags, pruning k) to the span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	if s.nAttrs < maxAttrs {
+		s.attrs[s.nAttrs] = attrRec{key: key, val: v}
+		s.nAttrs++
+	} else {
+		s.truncated++
+	}
+}
+
+// End closes the span: the open stage is finalized, the span counts
+// toward the tracer's totals, and — when the total duration reaches the
+// slow threshold — a copy lands in the slow-query log. The span returns
+// to the pool; callers must not touch it after End.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closeStage(now)
+	total := now.Sub(s.start)
+	t := s.t
+	t.spans.Add(1)
+	if thr := t.slowNs.Load(); thr > 0 && int64(total) >= thr {
+		t.slow.Add(1)
+		t.log.add(s, total)
+	}
+	s.t = nil
+	t.pool.Put(s)
+}
+
+// SlowStage is one stage of a slow-query log entry.
+type SlowStage struct {
+	Name       string  `json:"name"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// SlowEntry is one captured slow query: when it happened, how long it
+// took end to end, the per-stage decomposition, and the integer
+// attributes the handler attached (cache hit, TA access counts, ...).
+type SlowEntry struct {
+	Time       time.Time        `json:"time"`
+	Name       string           `json:"name"`
+	DurationMs float64          `json:"duration_ms"`
+	Stages     []SlowStage      `json:"stages"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Truncated  int              `json:"truncated,omitempty"`
+}
+
+// SlowLog is a bounded ring buffer of the most recent slow queries.
+// Writes happen on the (rare) slow path under a mutex; Snapshot copies
+// entries out newest-first for the /v1/debug/slowlog endpoint.
+type SlowLog struct {
+	mu      sync.Mutex
+	entries []SlowEntry
+	next    int
+	filled  bool
+	total   uint64
+}
+
+func newSlowLog(capacity int) *SlowLog {
+	return &SlowLog{entries: make([]SlowEntry, capacity)}
+}
+
+// add copies the span's data into the ring. The span is still owned by
+// the caller; nothing retained aliases it.
+func (l *SlowLog) add(s *Span, total time.Duration) {
+	e := SlowEntry{
+		Time:       s.start,
+		Name:       s.name,
+		DurationMs: float64(total) / 1e6,
+		Truncated:  s.truncated,
+	}
+	if s.nStages > 0 {
+		e.Stages = make([]SlowStage, s.nStages)
+		for i := 0; i < s.nStages; i++ {
+			e.Stages[i] = SlowStage{Name: s.stages[i].name, DurationMs: float64(s.stages[i].dur) / 1e6}
+		}
+	}
+	if s.nAttrs > 0 {
+		e.Attrs = make(map[string]int64, s.nAttrs)
+		for i := 0; i < s.nAttrs; i++ {
+			e.Attrs[s.attrs[i].key] = s.attrs[i].val
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[l.next] = e
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.filled = true
+	}
+	l.total++
+}
+
+// Total returns how many slow queries were ever captured (including
+// ones the ring has since evicted).
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained slow queries, newest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.entries)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.entries)
+		}
+		out = append(out, l.entries[idx])
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerReturnsNilSpans(t *testing.T) {
+	tr := NewTracer(8, time.Millisecond)
+	sp := tr.Start("query")
+	if sp != nil {
+		t.Fatal("disabled tracer handed out a live span")
+	}
+	// The nil span must absorb the full call surface.
+	sp.Stage("cache")
+	sp.SetAttr("hit", 1)
+	sp.End()
+	if tr.Spans() != 0 || tr.Slow() != 0 {
+		t.Fatalf("disabled tracer counted spans: %d/%d", tr.Spans(), tr.Slow())
+	}
+}
+
+func TestSpanStagesAndSlowCapture(t *testing.T) {
+	tr := NewTracer(8, time.Nanosecond) // everything is slow
+	tr.SetEnabled(true)
+	sp := tr.Start("partners")
+	sp.Stage("cache")
+	sp.SetAttr("cache_hit", 0)
+	sp.Stage("ta_search")
+	time.Sleep(2 * time.Millisecond)
+	sp.SetAttr("ta_random", 123)
+	sp.Stage("encode")
+	sp.End()
+
+	if tr.Spans() != 1 || tr.Slow() != 1 {
+		t.Fatalf("spans/slow = %d/%d, want 1/1", tr.Spans(), tr.Slow())
+	}
+	entries := tr.SlowLog().Snapshot()
+	if len(entries) != 1 {
+		t.Fatalf("slowlog entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "partners" || e.DurationMs <= 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if len(e.Stages) != 3 || e.Stages[0].Name != "cache" || e.Stages[1].Name != "ta_search" || e.Stages[2].Name != "encode" {
+		t.Fatalf("stages = %+v", e.Stages)
+	}
+	if e.Stages[1].DurationMs < 1 {
+		t.Fatalf("ta_search stage = %vms, want ≥ 1ms (slept 2ms)", e.Stages[1].DurationMs)
+	}
+	if e.Attrs["cache_hit"] != 0 || e.Attrs["ta_random"] != 123 {
+		t.Fatalf("attrs = %+v", e.Attrs)
+	}
+	var sum float64
+	for _, st := range e.Stages {
+		sum += st.DurationMs
+	}
+	if sum > e.DurationMs+0.001 {
+		t.Fatalf("stage durations %.3fms exceed total %.3fms", sum, e.DurationMs)
+	}
+}
+
+func TestFastSpansAreNotCaptured(t *testing.T) {
+	tr := NewTracer(8, time.Hour)
+	tr.SetEnabled(true)
+	sp := tr.Start("events")
+	sp.Stage("cache")
+	sp.End()
+	if tr.Spans() != 1 {
+		t.Fatalf("spans = %d", tr.Spans())
+	}
+	if tr.Slow() != 0 || len(tr.SlowLog().Snapshot()) != 0 {
+		t.Fatal("fast span landed in the slowlog")
+	}
+}
+
+func TestSlowLogRingEvictionNewestFirst(t *testing.T) {
+	tr := NewTracer(3, time.Nanosecond)
+	tr.SetEnabled(true)
+	for i := 0; i < 5; i++ {
+		sp := tr.Start(fmt.Sprintf("q%d", i))
+		sp.End()
+	}
+	entries := tr.SlowLog().Snapshot()
+	if len(entries) != 3 {
+		t.Fatalf("retained = %d, want 3 (ring capacity)", len(entries))
+	}
+	for i, want := range []string{"q4", "q3", "q2"} {
+		if entries[i].Name != want {
+			t.Fatalf("entry %d = %s, want %s (newest first)", i, entries[i].Name, want)
+		}
+	}
+	if tr.SlowLog().Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.SlowLog().Total())
+	}
+}
+
+func TestSpanOverflowTruncatesInsteadOfGrowing(t *testing.T) {
+	tr := NewTracer(4, time.Nanosecond)
+	tr.SetEnabled(true)
+	sp := tr.Start("big")
+	for i := 0; i < maxStages+3; i++ {
+		sp.Stage("s")
+	}
+	for i := 0; i < maxAttrs+2; i++ {
+		sp.SetAttr("k", int64(i))
+	}
+	sp.End()
+	e := tr.SlowLog().Snapshot()[0]
+	if len(e.Stages) != maxStages {
+		t.Fatalf("stages = %d, want cap %d", len(e.Stages), maxStages)
+	}
+	if e.Truncated == 0 {
+		t.Fatal("overflow not reported in Truncated")
+	}
+}
+
+func TestTracerToggleMidStream(t *testing.T) {
+	tr := NewTracer(4, 0) // threshold 0: slow capture disabled
+	tr.SetEnabled(true)
+	sp := tr.Start("a")
+	sp.End()
+	tr.SetEnabled(false)
+	if tr.Start("b") != nil {
+		t.Fatal("span handed out after disable")
+	}
+	if tr.Spans() != 1 {
+		t.Fatalf("spans = %d", tr.Spans())
+	}
+	if tr.Slow() != 0 {
+		t.Fatal("threshold 0 must disable slow capture")
+	}
+}

@@ -1,0 +1,14 @@
+// Package par provides the small worker-pool primitives shared by the
+// offline builders: the TA index construction and the adaptive sampler's
+// rank rebuilds both fan identical independent tasks across cores. The
+// helpers are allocation-light (one goroutine per worker, no channels)
+// and their outputs depend only on the task decomposition, never on
+// scheduling, so callers stay deterministic for any worker count.
+//
+// [For] is a counter-balanced parallel loop over [0,n); [Chunks]
+// hands out contiguous index ranges when per-index dispatch would
+// dominate; [Workers] maps the conventional "0 means pick for me"
+// worker count onto GOMAXPROCS. None of these are request-path tools —
+// they trade latency for throughput and assume the caller owns all the
+// cores it asks for.
+package par

@@ -1,9 +1,3 @@
-// Package par provides the small worker-pool primitives shared by the
-// offline builders: the TA index construction and the adaptive sampler's
-// rank rebuilds both fan identical independent tasks across cores. The
-// helpers are allocation-light (one goroutine per worker, no channels)
-// and their outputs depend only on the task decomposition, never on
-// scheduling, so callers stay deterministic for any worker count.
 package par
 
 import (

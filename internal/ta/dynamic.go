@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"ebsn/internal/vecmath"
 )
@@ -110,6 +111,7 @@ func (d *Dynamic) TopNExcludingScratch(userVec []float32, n int, exclude int32, 
 }
 
 func (d *Dynamic) topNExcluding(userVec []float32, n int, exclude int32, sc *Scratch) ([]DynamicResult, SearchStats) {
+	start := time.Now()
 	base, stats := d.idx.topNExcluding(userVec, n, exclude, sc, sc.out[:0])
 	sc.out = base[:0]
 	merged := sc.dout[:0]
@@ -145,6 +147,9 @@ func (d *Dynamic) topNExcluding(userVec []float32, n int, exclude int32, sc *Scr
 	if len(merged) > n {
 		merged = merged[:n]
 	}
+	// Re-stamp over the base index's reading so Elapsed covers the delta
+	// scan and merge as well.
+	stats.Elapsed = time.Since(start)
 	return merged, stats
 }
 

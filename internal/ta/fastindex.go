@@ -1,6 +1,8 @@
 package ta
 
 import (
+	"time"
+
 	"ebsn/internal/vecmath"
 )
 
@@ -174,6 +176,7 @@ func (f *FastIndex) TopNExcludingScratch(userVec []float32, n int, exclude int32
 }
 
 func (f *FastIndex) topNExcluding(userVec []float32, n int, exclude int32, sc *Scratch, dst []Result) ([]Result, SearchStats) {
+	start := time.Now()
 	set := f.set
 	nc := len(set.Pairs)
 	stats := SearchStats{Candidates: nc}
@@ -242,6 +245,7 @@ func (f *FastIndex) topNExcluding(userVec []float32, n int, exclude int32, sc *S
 			}
 		}
 	}
+	stats.Elapsed = time.Since(start)
 	return h.drainDescending(dst), stats
 }
 

@@ -1,10 +1,3 @@
-// Package ta implements the paper's fast online event-partner
-// recommendation (Section IV): the space transformation that turns the
-// joint score u·x + u'·x + u·u' into a single inner product, the
-// per-partner top-k event pruning that shrinks the candidate set from
-// |U|·|X| to |U|·k, and Fagin's Threshold Algorithm over per-dimension
-// sorted lists (GEM-TA), with a brute-force scorer (GEM-BF) as the
-// comparison point of Table VI.
 package ta
 
 import (

@@ -1,0 +1,13 @@
+// Package vecmath provides the dense float32 vector kernels used by the
+// embedding models. Everything here is hot-path code: the functions avoid
+// allocation, take pre-sized slices, and are written so the compiler can
+// eliminate bounds checks in the inner loops.
+//
+// [Dot] and [DotBatch] share one accumulation order, so single-vector
+// and batched scoring produce bit-identical results — the scratch
+// -pooling equivalence tests in internal/ta rely on that. The fused
+// training kernels ([DotSigmoidGrad], [AxpyTwo]) collapse the SGD inner
+// loop's loads and stores; see the function comments for the exact
+// contracts (length equality is panicked on, never truncated, because a
+// silent truncation would corrupt model scores).
+package vecmath

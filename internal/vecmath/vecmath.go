@@ -1,7 +1,3 @@
-// Package vecmath provides the dense float32 vector kernels used by the
-// embedding models. Everything here is hot-path code: the functions avoid
-// allocation, take pre-sized slices, and are written so the compiler can
-// eliminate bounds checks in the inner loops.
 package vecmath
 
 import (

@@ -1,159 +1,178 @@
 package serve
 
 import (
-	"sort"
-	"sync/atomic"
+	"io"
 	"time"
 
 	"ebsn"
+	"ebsn/internal/obs"
 )
 
-// latencyBoundsMs are the fixed histogram bucket upper bounds, in
-// milliseconds. Observations above the last bound land in an overflow
-// bucket. Fixed buckets keep Observe lock-free (one atomic increment)
-// at the cost of interpolated quantiles — the standard serving
-// trade-off.
+// latencyBoundsMs are the request-latency histogram bucket upper bounds,
+// in milliseconds. Observations above the last bound land in an overflow
+// bucket. Fixed buckets keep Observe lock-free (one atomic increment) at
+// the cost of interpolated quantiles — the standard serving trade-off.
+// The registry stores the same bounds in seconds (Prometheus base
+// units); this list stays in ms because the JSON snapshot and its tests
+// speak milliseconds.
 var latencyBoundsMs = []float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
 }
 
-// Histogram is a fixed-bucket latency histogram safe for concurrent use.
-type Histogram struct {
-	buckets   []atomic.Uint64 // len(latencyBoundsMs)+1; last is overflow
-	count     atomic.Uint64
-	sumMicros atomic.Uint64
+// taBoundsSeconds are the TA in-index search-time buckets: the engine
+// answers city-scale queries in hundreds of microseconds, so the request
+// buckets above would collapse its whole distribution into two buckets.
+var taBoundsSeconds = []float64{
+	0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 }
 
-func newHistogram() *Histogram {
-	return &Histogram{buckets: make([]atomic.Uint64, len(latencyBoundsMs)+1)}
-}
-
-// Observe records one request duration.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
+func latencyBoundsSeconds() []float64 {
+	s := make([]float64, len(latencyBoundsMs))
+	for i, ms := range latencyBoundsMs {
+		s[i] = ms / 1000
 	}
-	ms := float64(d.Microseconds()) / 1000
-	i := sort.SearchFloat64s(latencyBoundsMs, ms)
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumMicros.Add(uint64(d.Microseconds()))
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// MeanMs returns the mean observed latency in milliseconds.
-func (h *Histogram) MeanMs() float64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return float64(h.sumMicros.Load()) / 1000 / float64(n)
-}
-
-// Quantile estimates the q-quantile (0 < q ≤ 1) in milliseconds by
-// linear interpolation inside the covering bucket. Overflow
-// observations report the last bound.
-func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := q * float64(total)
-	if rank < 1 {
-		rank = 1
-	}
-	var cum float64
-	lower := 0.0
-	for i := range h.buckets {
-		b := float64(h.buckets[i].Load())
-		if i == len(latencyBoundsMs) {
-			return latencyBoundsMs[len(latencyBoundsMs)-1]
-		}
-		upper := latencyBoundsMs[i]
-		if b > 0 && cum+b >= rank {
-			return lower + (rank-cum)/b*(upper-lower)
-		}
-		cum += b
-		lower = upper
-	}
-	return latencyBoundsMs[len(latencyBoundsMs)-1]
+	return s
 }
 
 // EndpointMetrics aggregates one endpoint's counters and latency
-// histogram.
+// histogram — children of the endpoint-labeled registry families,
+// resolved once at startup so the hot path never touches the vec maps.
 type EndpointMetrics struct {
-	count     atomic.Uint64
-	status4xx atomic.Uint64
-	status5xx atomic.Uint64
-	hist      *Histogram
+	requests *obs.Counter
+	err4xx   *obs.Counter
+	err5xx   *obs.Counter
+	hist     *obs.Histogram
 }
 
 // Observe records one finished request with its HTTP status.
 func (e *EndpointMetrics) Observe(status int, d time.Duration) {
-	e.count.Add(1)
+	e.requests.Inc()
 	switch {
 	case status >= 500:
-		e.status5xx.Add(1)
+		e.err5xx.Inc()
 	case status >= 400:
-		e.status4xx.Add(1)
+		e.err4xx.Inc()
 	}
 	e.hist.Observe(d)
 }
 
 // Metrics is the server-wide instrument panel: per-endpoint counters and
-// latency histograms, load-shedding and panic counts, an in-flight
-// gauge, and cumulative TA search work. Everything is atomic — recording
-// on the hot path never takes a lock.
+// latency histograms, load-shedding and panic counts, in-flight and
+// draining gauges, and cumulative TA search work. Every instrument lives
+// in an obs.Registry, so /metrics renders the whole panel as Prometheus
+// text; Snapshot keeps the legacy JSON view over the same counters.
+// Recording on the hot path never takes a lock.
 type Metrics struct {
-	start     time.Time
+	start time.Time
+	reg   *obs.Registry
+
 	order     []string
 	endpoints map[string]*EndpointMetrics
 
-	shed     atomic.Uint64
-	panics   atomic.Uint64
-	inflight atomic.Int64
+	shed     *obs.Counter
+	panics   *obs.Counter
+	inflight *obs.Gauge
+	draining *obs.Gauge
 
-	taQueries    atomic.Uint64
-	taSorted     atomic.Uint64
-	taRandom     atomic.Uint64
-	taCandidates atomic.Uint64
+	taQueries    *obs.Counter
+	taSorted     *obs.Counter
+	taRandom     *obs.Counter
+	taCandidates *obs.Counter
+	taDuration   *obs.Histogram
 }
 
 // NewMetrics creates a Metrics with one EndpointMetrics per name. The
-// endpoint set is fixed at creation so lookups are lock-free.
+// endpoint set is fixed at creation so lookups are lock-free, and every
+// series exists from the first scrape (explicit zeros, no appearing
+// series).
 func NewMetrics(endpointNames ...string) *Metrics {
 	m := &Metrics{
 		start:     time.Now(),
+		reg:       obs.NewRegistry(),
 		order:     append([]string(nil), endpointNames...),
 		endpoints: make(map[string]*EndpointMetrics, len(endpointNames)),
 	}
+	m.reg.GaugeFunc("ebsn_serve_uptime_seconds",
+		"Seconds since the metrics panel (process) started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	req := m.reg.CounterVec("ebsn_serve_requests_total",
+		"Finished /v1 requests, by endpoint.", "endpoint")
+	errs := m.reg.CounterVec("ebsn_serve_request_errors_total",
+		"Finished /v1 requests with error statuses, by endpoint and status class.",
+		"endpoint", "class")
+	hist := m.reg.HistogramVec("ebsn_serve_request_duration_seconds",
+		"Request handler latency, by endpoint.", latencyBoundsSeconds(), "endpoint")
 	for _, name := range endpointNames {
-		m.endpoints[name] = &EndpointMetrics{hist: newHistogram()}
+		m.endpoints[name] = &EndpointMetrics{
+			requests: req.With(name),
+			err4xx:   errs.With(name, "4xx"),
+			err5xx:   errs.With(name, "5xx"),
+			hist:     hist.With(name),
+		}
 	}
+	m.shed = m.reg.Counter("ebsn_serve_shed_total",
+		"Requests rejected 503 by the concurrency limiter.")
+	m.panics = m.reg.Counter("ebsn_serve_panics_total",
+		"Recovered handler panics.")
+	m.inflight = m.reg.Gauge("ebsn_serve_in_flight",
+		"Requests currently inside /v1 handlers.")
+	m.draining = m.reg.Gauge("ebsn_serve_draining",
+		"1 while the server drains in-flight requests during shutdown.")
+	m.taQueries = m.reg.Counter("ebsn_serve_ta_queries_total",
+		"Joint event-partner queries answered by the TA index.")
+	m.taSorted = m.reg.Counter("ebsn_serve_ta_sorted_accesses_total",
+		"Sorted-list positions consumed across all TA queries.")
+	m.taRandom = m.reg.Counter("ebsn_serve_ta_random_accesses_total",
+		"Candidate scores materialized across all TA queries.")
+	m.taCandidates = m.reg.Counter("ebsn_serve_ta_candidates_total",
+		"Candidate pairs in scope across all TA queries (pruning denominator).")
+	m.taDuration = m.reg.Histogram("ebsn_serve_ta_duration_seconds",
+		"Wall-clock time per query inside the TA index.", taBoundsSeconds)
 	return m
 }
+
+// Registry exposes the underlying registry so the server can attach
+// scrape-time instruments (cache, reload, model state) next to the
+// request panel.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// WriteExposition renders every registered family as Prometheus text
+// exposition format 0.0.4.
+func (m *Metrics) WriteExposition(w io.Writer) error { return m.reg.WritePrometheus(w) }
 
 // Endpoint returns the metrics bucket for name (nil when unknown).
 func (m *Metrics) Endpoint(name string) *EndpointMetrics { return m.endpoints[name] }
 
 // RecordShed counts one load-shed (503) response.
-func (m *Metrics) RecordShed() { m.shed.Add(1) }
+func (m *Metrics) RecordShed() { m.shed.Inc() }
 
 // RecordPanic counts one recovered handler panic.
-func (m *Metrics) RecordPanic() { m.panics.Add(1) }
+func (m *Metrics) RecordPanic() { m.panics.Inc() }
 
-// RecordTA folds one TA query's work counters into the running totals.
+// RecordTA folds one TA query's work counters and in-index duration into
+// the running totals.
 func (m *Metrics) RecordTA(s ebsn.SearchStats) {
-	m.taQueries.Add(1)
+	m.taQueries.Inc()
 	m.taSorted.Add(uint64(s.SortedAccesses))
 	m.taRandom.Add(uint64(s.RandomAccesses))
 	m.taCandidates.Add(uint64(s.Candidates))
+	m.taDuration.Observe(s.Elapsed)
 }
 
 // AddInFlight moves the in-flight request gauge by delta.
-func (m *Metrics) AddInFlight(delta int64) { m.inflight.Add(delta) }
+func (m *Metrics) AddInFlight(delta int64) { m.inflight.Add(float64(delta)) }
+
+// InFlight reads the in-flight request gauge — the number the drain path
+// logs and the final scrape reports during shutdown.
+func (m *Metrics) InFlight() int64 { return int64(m.inflight.Value()) }
+
+// SetDraining flips the draining gauge, marking every later scrape as
+// taken during shutdown.
+func (m *Metrics) SetDraining() { m.draining.Set(1) }
+
+// Draining reports whether SetDraining has been called.
+func (m *Metrics) Draining() bool { return m.draining.Value() != 0 }
 
 // EndpointSnapshot is the rendered view of one endpoint.
 type EndpointSnapshot struct {
@@ -176,10 +195,12 @@ type TASnapshot struct {
 	AccessFraction float64 `json:"access_fraction"`
 }
 
-// MetricsSnapshot is the /metrics JSON payload's instrument section.
+// MetricsSnapshot is the instrument section of the JSON metrics view
+// (/metrics?format=json).
 type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	InFlight      int64                       `json:"in_flight"`
+	Draining      bool                        `json:"draining"`
 	Shed          uint64                      `json:"shed"`
 	Panics        uint64                      `json:"panics"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
@@ -192,21 +213,22 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	uptime := time.Since(m.start).Seconds()
 	snap := MetricsSnapshot{
 		UptimeSeconds: uptime,
-		InFlight:      m.inflight.Load(),
-		Shed:          m.shed.Load(),
-		Panics:        m.panics.Load(),
+		InFlight:      m.InFlight(),
+		Draining:      m.Draining(),
+		Shed:          m.shed.Value(),
+		Panics:        m.panics.Value(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(m.order)),
 	}
 	for _, name := range m.order {
 		e := m.endpoints[name]
 		es := EndpointSnapshot{
-			Count:     e.count.Load(),
-			Status4xx: e.status4xx.Load(),
-			Status5xx: e.status5xx.Load(),
-			MeanMs:    e.hist.MeanMs(),
-			P50Ms:     e.hist.Quantile(0.50),
-			P95Ms:     e.hist.Quantile(0.95),
-			P99Ms:     e.hist.Quantile(0.99),
+			Count:     e.requests.Value(),
+			Status4xx: e.err4xx.Value(),
+			Status5xx: e.err5xx.Value(),
+			MeanMs:    e.hist.Mean() * 1000,
+			P50Ms:     e.hist.Quantile(0.50) * 1000,
+			P95Ms:     e.hist.Quantile(0.95) * 1000,
+			P99Ms:     e.hist.Quantile(0.99) * 1000,
 		}
 		if uptime > 0 {
 			es.QPS = float64(es.Count) / uptime
@@ -214,10 +236,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		snap.Endpoints[name] = es
 	}
 	snap.TA = TASnapshot{
-		Queries:        m.taQueries.Load(),
-		SortedAccesses: m.taSorted.Load(),
-		RandomAccesses: m.taRandom.Load(),
-		Candidates:     m.taCandidates.Load(),
+		Queries:        m.taQueries.Value(),
+		SortedAccesses: m.taSorted.Value(),
+		RandomAccesses: m.taRandom.Value(),
+		Candidates:     m.taCandidates.Value(),
 	}
 	if snap.TA.Candidates > 0 {
 		snap.TA.AccessFraction = float64(snap.TA.RandomAccesses) / float64(snap.TA.Candidates)

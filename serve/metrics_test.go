@@ -1,48 +1,15 @@
 package serve
 
 import (
+	"bytes"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"ebsn"
+	"ebsn/internal/obs"
 )
-
-func TestHistogramObserveAndQuantile(t *testing.T) {
-	h := newHistogram()
-	if h.Quantile(0.5) != 0 {
-		t.Fatal("empty histogram quantile != 0")
-	}
-	// 90 fast requests (~0.2ms) and 10 slow ones (~80ms).
-	for i := 0; i < 90; i++ {
-		h.Observe(200 * time.Microsecond)
-	}
-	for i := 0; i < 10; i++ {
-		h.Observe(80 * time.Millisecond)
-	}
-	if h.Count() != 100 {
-		t.Fatalf("Count = %d", h.Count())
-	}
-	p50 := h.Quantile(0.50)
-	if p50 <= 0 || p50 > 1 {
-		t.Fatalf("p50 = %vms, want in (0, 1]", p50)
-	}
-	p99 := h.Quantile(0.99)
-	if p99 < 50 || p99 > 100 {
-		t.Fatalf("p99 = %vms, want in [50, 100]", p99)
-	}
-	if mean := h.MeanMs(); mean < 5 || mean > 20 {
-		t.Fatalf("mean = %vms, want ~8", mean)
-	}
-}
-
-func TestHistogramOverflowBucket(t *testing.T) {
-	h := newHistogram()
-	h.Observe(30 * time.Second) // beyond the last bound
-	last := latencyBoundsMs[len(latencyBoundsMs)-1]
-	if got := h.Quantile(0.5); got != last {
-		t.Fatalf("overflow quantile = %v, want %v", got, last)
-	}
-}
 
 func TestMetricsSnapshot(t *testing.T) {
 	m := NewMetrics("events", "partners")
@@ -58,8 +25,8 @@ func TestMetricsSnapshot(t *testing.T) {
 	ep.Observe(500, 1*time.Millisecond)
 	m.RecordShed()
 	m.RecordPanic()
-	m.RecordTA(ebsn.SearchStats{SortedAccesses: 10, RandomAccesses: 20, Candidates: 100})
-	m.RecordTA(ebsn.SearchStats{SortedAccesses: 5, RandomAccesses: 5, Candidates: 100})
+	m.RecordTA(ebsn.SearchStats{SortedAccesses: 10, RandomAccesses: 20, Candidates: 100, Elapsed: 300 * time.Microsecond})
+	m.RecordTA(ebsn.SearchStats{SortedAccesses: 5, RandomAccesses: 5, Candidates: 100, Elapsed: 200 * time.Microsecond})
 
 	snap := m.Snapshot()
 	es := snap.Endpoints["events"]
@@ -80,5 +47,107 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 	if empty := snap.Endpoints["partners"]; empty.Count != 0 {
 		t.Fatalf("partners should be untouched: %+v", empty)
+	}
+	if snap.Draining {
+		t.Fatal("draining before SetDraining")
+	}
+	m.SetDraining()
+	if !m.Snapshot().Draining {
+		t.Fatal("SetDraining not reflected in snapshot")
+	}
+}
+
+// TestMetricsExpositionIsValidPrometheus renders the serve panel after
+// traffic and holds it to the exposition-format rules the obs linter
+// enforces: HELP/TYPE before samples, no duplicate families or samples,
+// cumulative histogram buckets ending at +Inf that agree with _count.
+func TestMetricsExpositionIsValidPrometheus(t *testing.T) {
+	m := NewMetrics("events", "partners")
+	m.Endpoint("events").Observe(200, 3*time.Millisecond)
+	m.Endpoint("partners").Observe(200, 150*time.Microsecond)
+	m.RecordTA(ebsn.SearchStats{SortedAccesses: 4, RandomAccesses: 9, Candidates: 50, Elapsed: 120 * time.Microsecond})
+	var b bytes.Buffer
+	if err := m.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Lint(bytes.NewReader(b.Bytes())); err != nil {
+		t.Fatalf("serve exposition fails lint: %v\n%s", err, b.Bytes())
+	}
+	samples, err := obs.ParseText(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Key()] = s.Value
+	}
+	for key, want := range map[string]float64{
+		`ebsn_serve_requests_total{endpoint="events"}`:   1,
+		`ebsn_serve_requests_total{endpoint="partners"}`: 1,
+		`ebsn_serve_ta_queries_total`:                    1,
+		`ebsn_serve_ta_random_accesses_total`:            9,
+		`ebsn_serve_ta_candidates_total`:                 50,
+		`ebsn_serve_request_duration_seconds_count{endpoint="events"}`: 1,
+	} {
+		if got[key] != want {
+			t.Errorf("%s = %v, want %v", key, got[key], want)
+		}
+	}
+	// Error classes exist as explicit zero series from the first scrape.
+	if v, ok := got[`ebsn_serve_request_errors_total{endpoint="events",class="5xx"}`]; !ok || v != 0 {
+		t.Errorf("5xx zero series missing or nonzero: %v (present=%v)", v, ok)
+	}
+	if !strings.Contains(b.String(), "# TYPE ebsn_serve_request_duration_seconds histogram") {
+		t.Error("request duration family not typed histogram")
+	}
+}
+
+// TestMetricsConcurrentRecording hammers the panel from many goroutines
+// while scrapes render — run under -race in CI. Totals are exact.
+func TestMetricsConcurrentRecording(t *testing.T) {
+	m := NewMetrics("events")
+	ep := m.Endpoint("events")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ep.Observe(200, 100*time.Microsecond)
+				m.AddInFlight(1)
+				m.RecordTA(ebsn.SearchStats{RandomAccesses: 2, Candidates: 10, Elapsed: 50 * time.Microsecond})
+				m.AddInFlight(-1)
+			}
+		}()
+	}
+	for sNum := 0; sNum < 4; sNum++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var b bytes.Buffer
+				if err := m.WriteExposition(&b); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				if err := obs.Lint(bytes.NewReader(b.Bytes())); err != nil {
+					t.Errorf("mid-load scrape invalid: %v", err)
+					return
+				}
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap.Endpoints["events"].Count != workers*per {
+		t.Fatalf("requests = %d, want %d", snap.Endpoints["events"].Count, workers*per)
+	}
+	if snap.TA.Queries != workers*per {
+		t.Fatalf("ta queries = %d, want %d", snap.TA.Queries, workers*per)
+	}
+	if snap.InFlight != 0 {
+		t.Fatalf("in-flight after balanced adds = %d", snap.InFlight)
 	}
 }

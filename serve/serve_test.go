@@ -330,7 +330,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	getJSON(t, srv, "/v1/events?user=999999", nil) // one 400
 
 	var m ServerMetrics
-	if resp := getJSON(t, srv, "/metrics", &m); resp.StatusCode != 200 {
+	if resp := getJSON(t, srv, "/metrics?format=json", &m); resp.StatusCode != 200 {
 		t.Fatalf("/metrics = %d", resp.StatusCode)
 	}
 	ev := m.Endpoints["events"]
@@ -371,7 +371,7 @@ func TestCacheDisabled(t *testing.T) {
 		}
 	}
 	var m ServerMetrics
-	getJSON(t, srv, "/metrics", &m)
+	getJSON(t, srv, "/metrics?format=json", &m)
 	if m.Cache.Enabled {
 		t.Fatal("metrics report cache enabled")
 	}
@@ -398,7 +398,7 @@ func TestConcurrentTrafficWithIngest(t *testing.T) {
 				case 2:
 					getJSON(t, srv, fmt.Sprintf("/v1/partners/live?user=%d&n=5", i%8), nil)
 				case 3:
-					getJSON(t, srv, "/metrics", nil)
+					getJSON(t, srv, "/metrics?format=json", nil)
 				}
 			}
 		}(w)
@@ -491,7 +491,7 @@ func TestReloadSwapsModelUnderConcurrentLoad(t *testing.T) {
 	}
 
 	var m ServerMetrics
-	getJSON(t, srv, "/metrics", &m)
+	getJSON(t, srv, "/metrics?format=json", &m)
 	if m.Reload.Count != 3 || m.Reload.Failures != 0 {
 		t.Fatalf("metrics reload section = %+v", m.Reload)
 	}
@@ -548,7 +548,7 @@ func TestReloadFailureKeepsServingOldModel(t *testing.T) {
 		t.Fatalf("query after failed reloads = %d", resp.StatusCode)
 	}
 	var m ServerMetrics
-	getJSON(t, srv, "/metrics", &m)
+	getJSON(t, srv, "/metrics?format=json", &m)
 	if m.Reload.Count != 0 || m.Reload.Failures != 3 {
 		t.Fatalf("reload section = %+v, want 3 failures", m.Reload)
 	}
@@ -573,7 +573,7 @@ func TestReloadDropsLiveEventsAndKeepsConsistency(t *testing.T) {
 		t.Fatalf("reload = %d", resp.StatusCode)
 	}
 	var m ServerMetrics
-	getJSON(t, srv, "/metrics", &m)
+	getJSON(t, srv, "/metrics?format=json", &m)
 	if m.LiveEvents != 0 {
 		t.Fatalf("live events after reload = %d, want 0 (retrained model supersedes the delta)", m.LiveEvents)
 	}

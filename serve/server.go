@@ -1,24 +1,3 @@
-// Package serve is the production HTTP layer over a trained
-// ebsn.Recommender: a long-lived daemon exposing the paper's two online
-// recommendation paths (cold-event ranking and TA-accelerated joint
-// event-partner ranking) plus live cold-event ingestion, behind a
-// middleware stack with request logging, panic recovery, per-request
-// timeouts and semaphore-based load shedding. A sharded LRU cache with
-// a generation counter fronts the query endpoints; /metrics renders
-// atomic counters and fixed-bucket latency histograms as JSON.
-//
-// Endpoints:
-//
-//	GET  /v1/events?user=U&n=N        top-N cold events for user U
-//	GET  /v1/partners?user=U&n=N      top-N event-partner pairs (static index)
-//	GET  /v1/partners/live?user=U&n=N same, including live-ingested events
-//	GET  /v1/explain?user=U&partner=P&event=E   score decomposition (Eqn. 8)
-//	POST /v1/ingest                   fold a brand-new event into serving
-//	POST /v1/compact                  fold the live delta into the main index
-//	POST /v1/reload                   zero-downtime swap to a new model snapshot
-//	GET  /healthz                     liveness (always 200)
-//	GET  /readyz                      readiness (503 until Warm completes)
-//	GET  /metrics                     JSON metrics snapshot
 package serve
 
 import (
@@ -36,6 +15,7 @@ import (
 	"time"
 
 	"ebsn"
+	"ebsn/internal/obs"
 )
 
 // Config tunes the server. The zero value is serviceable: every field
@@ -72,6 +52,16 @@ type Config struct {
 	Logger *log.Logger
 	// AccessLog enables per-request log lines on Logger.
 	AccessLog bool
+	// TraceEnabled turns request-scoped tracing on at startup. Off it
+	// costs nothing (spans are nil); it can also be toggled at runtime
+	// via Server.Tracer.
+	TraceEnabled bool
+	// SlowQueryThreshold is the span duration at which a traced request
+	// is captured into the slow-query ring (default 100ms; < 0 disables
+	// capture while keeping span counting).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow-query ring capacity (default 128).
+	SlowLogSize int
 }
 
 func (c *Config) fill() {
@@ -99,6 +89,12 @@ func (c *Config) fill() {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 100 * time.Millisecond
+	}
+	if c.SlowLogSize == 0 {
+		c.SlowLogSize = 128
+	}
 }
 
 // Server wraps a Recommender in the production HTTP stack. Create with
@@ -114,12 +110,14 @@ type Server struct {
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
+	tracer  *obs.Tracer
 	handler http.Handler
 
-	mu    sync.RWMutex // guards rec (the pointer and its live/ingest state)
-	rec   *ebsn.Recommender
-	gen   atomic.Uint64
-	ready atomic.Bool
+	mu     sync.RWMutex // guards rec (the pointer and its live/ingest state)
+	rec    *ebsn.Recommender
+	gen    atomic.Uint64
+	ready  atomic.Bool
+	pruneK atomic.Int64 // resolved PrepareJoint argument, for metrics/spans
 
 	reloadMu sync.Mutex // serializes Reload calls end to end
 	reload   reloadState
@@ -155,10 +153,13 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 		rec:     rec,
 		cfg:     cfg,
 		metrics: NewMetrics(epEvents, epPartners, epPartnersLive, epExplain, epIngest, epCompact),
+		tracer:  obs.NewTracer(cfg.SlowLogSize, cfg.SlowQueryThreshold),
 	}
+	s.tracer.SetEnabled(cfg.TraceEnabled)
 	if cfg.CacheCapacity > 0 {
 		s.cache = NewCache(cfg.CacheCapacity, cfg.CacheShards, cfg.CacheTTL)
 	}
+	s.registerStateMetrics()
 
 	api := http.NewServeMux()
 	api.HandleFunc("GET /v1/events", s.api(epEvents, s.handleEvents))
@@ -182,6 +183,9 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 	root.HandleFunc("GET /metrics", s.handleMetrics)
+	// The slowlog bypasses shedding too: it exists to be read while the
+	// server is struggling.
+	root.HandleFunc("GET /v1/debug/slowlog", s.handleSlowlog)
 	// Reload bypasses shedding and the request timeout: rebuilding the
 	// TA index can take longer than a query budget, and a saturated
 	// server must still accept the swap that might relieve it.
@@ -202,6 +206,77 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 	return s
 }
 
+// registerStateMetrics attaches scrape-time instruments for state owned
+// outside the request panel: serving generation and model state (read
+// under the model lock), cache effectiveness, reload history, and
+// tracing volume. Reading at scrape time instead of mirroring into
+// gauges means the exposition can never go stale.
+func (s *Server) registerStateMetrics() {
+	reg := s.metrics.Registry()
+	reg.GaugeFunc("ebsn_serve_ready",
+		"1 once Warm has built the joint index.",
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("ebsn_serve_generation",
+		"Cache generation; bumps on ingest, compaction, and reload.",
+		func() float64 { return float64(s.gen.Load()) })
+	reg.GaugeFunc("ebsn_serve_prune_k",
+		"Per-partner candidate pruning applied by PrepareJoint (0 = full space).",
+		func() float64 { return float64(s.pruneK.Load()) })
+	reg.GaugeFunc("ebsn_serve_live_events",
+		"Live-ingested events awaiting compaction.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.rec.LiveEventCount())
+		})
+	reg.GaugeFunc("ebsn_serve_model_steps",
+		"Gradient steps of the serving model snapshot.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.rec.Model().Steps())
+		})
+	reg.CounterFunc("ebsn_serve_reloads_total",
+		"Successful zero-downtime model reloads.",
+		func() uint64 {
+			s.reload.mu.Lock()
+			defer s.reload.mu.Unlock()
+			return s.reload.count
+		})
+	reg.CounterFunc("ebsn_serve_reload_failures_total",
+		"Model reloads that failed and left the old model serving.",
+		func() uint64 {
+			s.reload.mu.Lock()
+			defer s.reload.mu.Unlock()
+			return s.reload.failures
+		})
+	reg.CounterFunc("ebsn_serve_trace_spans_total",
+		"Request spans recorded while tracing was enabled.",
+		s.tracer.Spans)
+	reg.CounterFunc("ebsn_serve_trace_slow_total",
+		"Spans that crossed the slow-query threshold into the slowlog.",
+		s.tracer.Slow)
+	if s.cache != nil {
+		reg.CounterFunc("ebsn_serve_cache_hits_total",
+			"Response cache hits.",
+			func() uint64 { h, _ := s.cache.Stats(); return h })
+		reg.CounterFunc("ebsn_serve_cache_misses_total",
+			"Response cache misses.",
+			func() uint64 { _, m := s.cache.Stats(); return m })
+		reg.GaugeFunc("ebsn_serve_cache_entries",
+			"Responses currently cached.",
+			func() float64 { return float64(s.cache.Len()) })
+		reg.GaugeFunc("ebsn_serve_cache_capacity",
+			"Response cache capacity.",
+			func() float64 { return float64(s.cache.Capacity()) })
+	}
+}
+
 // Warm builds the TA index (PrepareJoint) and marks the server ready.
 // Safe to call from a goroutine while the listener is already up:
 // /healthz answers during warm-up, /readyz flips afterwards.
@@ -211,9 +286,11 @@ func (s *Server) Warm() error {
 	if s.ready.Load() {
 		return nil
 	}
-	if err := s.rec.PrepareJoint(s.resolvePruneK(s.rec)); err != nil {
+	pk := s.resolvePruneK(s.rec)
+	if err := s.rec.PrepareJoint(pk); err != nil {
 		return err
 	}
+	s.pruneK.Store(int64(pk))
 	s.ready.Store(true)
 	return nil
 }
@@ -264,12 +341,14 @@ func (s *Server) Reload(path string) (err error) {
 	if err != nil {
 		return err
 	}
-	if err := next.PrepareJoint(s.resolvePruneK(next)); err != nil {
+	pk := s.resolvePruneK(next)
+	if err := next.PrepareJoint(pk); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.rec = next
 	s.mu.Unlock()
+	s.pruneK.Store(int64(pk))
 	s.gen.Add(1) // orphan every cached response from the old model
 	s.ready.Store(true)
 	if s.cfg.Logger != nil {
@@ -306,6 +385,10 @@ func (s *Server) Generation() uint64 { return s.gen.Load() }
 // Metrics exposes the server's instrument panel.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Tracer exposes the request tracer, e.g. to toggle sampling at runtime
+// or adjust the slow-query threshold without a restart.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // Cache returns the response cache (nil when disabled).
 func (s *Server) Cache() *Cache { return s.cache }
 
@@ -316,7 +399,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Serve accepts connections on l until ctx is canceled, then drains
 // in-flight requests for up to Config.DrainTimeout before returning.
-// A clean shutdown returns nil.
+// A clean shutdown returns nil. Drain progress is observable: the
+// draining gauge flips before the listener stops accepting, so a final
+// /metrics scrape over an open connection sees ebsn_serve_draining 1
+// alongside the live in-flight count, and the shutdown log lines record
+// how many requests the drain waited on and how long it took.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	hs := &http.Server{Handler: s, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
@@ -329,9 +416,25 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	s.metrics.SetDraining()
+	inflight := s.metrics.InFlight()
+	start := time.Now()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("shutdown: draining %d in-flight requests (timeout %s)", inflight, s.cfg.DrainTimeout)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
-	if err := hs.Shutdown(sctx); err != nil {
+	err := hs.Shutdown(sctx)
+	if s.cfg.Logger != nil {
+		if err != nil {
+			s.cfg.Logger.Printf("shutdown: drain timed out after %s with %d requests still in flight: %v",
+				time.Since(start).Round(time.Millisecond), s.metrics.InFlight(), err)
+		} else {
+			s.cfg.Logger.Printf("shutdown: drain complete in %s (%d requests were in flight)",
+				time.Since(start).Round(time.Millisecond), inflight)
+		}
+	}
+	if err != nil {
 		return err
 	}
 	<-errc // reap http.ErrServerClosed
@@ -506,6 +609,8 @@ type CacheSnapshot struct {
 // ---- handlers ----
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sp := s.tracer.Start(epEvents)
+	defer sp.End()
 	s.mu.RLock()
 	rec := s.rec
 	user, n, err := s.parseUserN(rec, r)
@@ -514,18 +619,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	sp.SetAttr("user", int64(user))
+	sp.SetAttr("n", int64(n))
+	sp.Stage("cache")
 	key := cacheKey(epEvents, user, n, s.gen.Load())
 	if v, ok := s.cacheGet(key); ok {
+		sp.SetAttr("cache_hit", 1)
 		s.mu.RUnlock()
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
+	sp.SetAttr("cache_hit", 0)
+	sp.Stage("query")
 	recs, err := rec.TopEvents(user, n)
 	if err != nil {
 		s.mu.RUnlock()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	sp.Stage("encode")
 	d := rec.Dataset()
 	resp := &RankingResponse{User: user, N: n, Events: make([]EventResult, len(recs))}
 	for i, e := range recs {
@@ -550,6 +662,8 @@ func (s *Server) handlePartnersLive(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
 	query func(*ebsn.Recommender, int32, int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error)) {
+	sp := s.tracer.Start(ep)
+	defer sp.End()
 	s.mu.RLock()
 	rec := s.rec
 	user, n, err := s.parseUserN(rec, r)
@@ -558,12 +672,18 @@ func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	sp.SetAttr("user", int64(user))
+	sp.SetAttr("n", int64(n))
+	sp.Stage("cache")
 	key := cacheKey(ep, user, n, s.gen.Load())
 	if v, ok := s.cacheGet(key); ok {
+		sp.SetAttr("cache_hit", 1)
 		s.mu.RUnlock()
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
+	sp.SetAttr("cache_hit", 0)
+	sp.Stage("ta_search")
 	pairs, stats, err := query(rec, user, n)
 	if err != nil {
 		s.mu.RUnlock()
@@ -571,6 +691,11 @@ func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
 		return
 	}
 	s.metrics.RecordTA(stats)
+	sp.SetAttr("ta_sorted", int64(stats.SortedAccesses))
+	sp.SetAttr("ta_random", int64(stats.RandomAccesses))
+	sp.SetAttr("ta_candidates", int64(stats.Candidates))
+	sp.SetAttr("prune_k", s.pruneK.Load())
+	sp.Stage("encode")
 	d := rec.Dataset()
 	resp := &RankingResponse{User: user, N: n, Pairs: make([]PairResult, len(pairs))}
 	for i, p := range pairs {
@@ -709,7 +834,15 @@ func (s *Server) reloadSnapshot() ReloadSnapshot {
 	return rs
 }
 
+// handleMetrics serves Prometheus text exposition by default; the
+// pre-Prometheus JSON panel survives behind ?format=json for human
+// curls and the tests that assert on structured values.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") != "json" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.WriteExposition(w)
+		return
+	}
 	s.mu.RLock()
 	live := s.rec.LiveEventCount()
 	steps := s.rec.Model().Steps()
@@ -735,6 +868,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// SlowlogResponse is the GET /v1/debug/slowlog payload: the newest-first
+// contents of the slow-query ring plus the tracer's current settings, so
+// a reader can tell "no slow queries" from "tracing is off".
+type SlowlogResponse struct {
+	Enabled     bool            `json:"enabled"`
+	ThresholdMs float64         `json:"threshold_ms"`
+	Spans       uint64          `json:"spans"`
+	Captured    uint64          `json:"captured"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	entries := s.tracer.SlowLog().Snapshot()
+	if entries == nil {
+		entries = []obs.SlowEntry{} // render [] rather than null
+	}
+	writeJSON(w, http.StatusOK, &SlowlogResponse{
+		Enabled:     s.tracer.Enabled(),
+		ThresholdMs: float64(s.tracer.SlowThreshold()) / float64(time.Millisecond),
+		Spans:       s.tracer.Spans(),
+		Captured:    s.tracer.SlowLog().Total(),
+		Entries:     entries,
+	})
 }
 
 // ---- cache plumbing ----
