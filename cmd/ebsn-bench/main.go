@@ -19,6 +19,7 @@
 // BENCH_query.json:
 //
 //	ebsn-bench -query -events 2000 -partners 5000 -topk 50
+//	ebsn-bench -query -shards 4   # adds the scatter-gather shard-scaling sweep
 //
 // With -train it micro-benchmarks the SGD training hot path (steps/sec
 // and ns/step at 1/2/4/8 Hogwild threads) and appends the results to
@@ -68,6 +69,7 @@ func main() {
 		nPartners = flag.Int("partners", 5000, "synthetic partner count for -query")
 		topK      = flag.Int("topk", 50, "per-partner candidate pruning for -query")
 		topN      = flag.Int("topn", 10, "results per query for -query")
+		shards    = flag.Int("shards", 1, "sweep the scatter-gather engine over shard counts {1,2,4,...,N} for -query (1 disables)")
 		note      = flag.String("note", "", "free-form label recorded with the -query run")
 		queryOut  = flag.String("queryout", "BENCH_query.json", "trajectory file for -query results (empty disables)")
 
@@ -96,7 +98,7 @@ func main() {
 		}
 		err = runTrainBench(cityID, *seed, *steps, *k, *note, *trainOut)
 	case *queryMode:
-		err = runQueryBench(*nEvents, *nPartners, *k, *topK, *topN, *seed, *note, *queryOut)
+		err = runQueryBench(*nEvents, *nPartners, *k, *topK, *topN, *shards, *seed, *note, *queryOut)
 	default:
 		err = runExperiments(*exp, *city, *seed, *steps, *k, *threads, *cases, *queries, *outDir)
 	}

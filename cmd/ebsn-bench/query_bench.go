@@ -2,15 +2,19 @@
 // index builds on synthetic vectors — no dataset generation or training,
 // so the numbers isolate the retrieval engine. Results append to
 // BENCH_query.json, making hot-path regressions (latency, allocations,
-// build scaling) measurable across PRs.
+// build scaling) measurable across PRs. With -shards N it additionally
+// sweeps the scatter-gather engine across shard counts {1, 2, 4, ..., N}
+// and appends the scaling curve to the same record.
 package main
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"time"
 
+	"ebsn/internal/engine"
 	"ebsn/internal/rng"
 	"ebsn/internal/ta"
 )
@@ -40,13 +44,101 @@ type queryBenchRun struct {
 	QueryP50Us    float64 `json:"query_p50_us"`
 	QueryP95Us    float64 `json:"query_p95_us"`
 	QueryAllocsOp float64 `json:"query_allocs_op"`
+
+	ShardCurve []shardCurvePoint `json:"shard_curve,omitempty"`
+}
+
+// shardCurvePoint is one shard count's measurement in the scatter-gather
+// scaling sweep. Wall numbers are end-to-end engine.Search latency on
+// this machine; the critical-path columns are the engine's simulated
+// N-core latency (prepass + slowest shard + merge), which is the honest
+// scaling signal on boxes with fewer cores than shards.
+type shardCurvePoint struct {
+	Shards            int     `json:"shards"`
+	BuildMs           float64 `json:"build_ms"`
+	QueryIters        int     `json:"query_iters"`
+	QueryNsOp         float64 `json:"query_ns_op"`
+	QueryP50Us        float64 `json:"query_p50_us"`
+	QueryP95Us        float64 `json:"query_p95_us"`
+	QueryAllocsOp     float64 `json:"query_allocs_op"`
+	CriticalPathP50Us float64 `json:"critical_path_p50_us"`
+	CriticalPathP95Us float64 `json:"critical_path_p95_us"`
+}
+
+// maxQuerySamples caps each query loop's latency buffer. The buffer is
+// allocated once, before the baseline MemStats read, so the measured
+// loop never grows it — earlier runs re-appended past capacity, charging
+// slice reallocations to the query path and turning query_allocs_op
+// fractional.
+const maxQuerySamples = 1 << 17
+
+// queryMeasurement is one timed query loop's summary. Percentiles are
+// always computed from the recorded samples (the loop guarantees at
+// least 200), never left zero, and allocs/op is rounded to the integer
+// the steady-state path actually performs.
+type queryMeasurement struct {
+	iters    int
+	nsOp     float64
+	p50Us    float64
+	p95Us    float64
+	allocsOp float64
+}
+
+// measureQueries drives fn for at least 200 iterations and then until
+// the 2-second deadline, timing each call. fn receives the iteration
+// index for rotating query vectors/exclusions.
+func measureQueries(fn func(i int)) queryMeasurement {
+	latencies := make([]float64, 0, maxQuerySamples)
+	var mem0, mem1 runtime.MemStats
+	runtime.GC()
+	deadline := time.Now().Add(2 * time.Second)
+	runtime.ReadMemStats(&mem0)
+	t0 := time.Now()
+	for i := 0; (len(latencies) < 200 || time.Now().Before(deadline)) && len(latencies) < maxQuerySamples; i++ {
+		q0 := time.Now()
+		fn(i)
+		latencies = append(latencies, float64(time.Since(q0).Nanoseconds()))
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&mem1)
+
+	iters := len(latencies)
+	sort.Float64s(latencies)
+	return queryMeasurement{
+		iters:    iters,
+		nsOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		p50Us:    percentile(latencies, 0.50) / 1000,
+		p95Us:    percentile(latencies, 0.95) / 1000,
+		allocsOp: math.Round(float64(mem1.Mallocs-mem0.Mallocs) / float64(iters)),
+	}
+}
+
+// percentile reads the p-quantile from ascending-sorted samples by
+// nearest rank. Returns 0 only for an empty slice, which the query loops
+// cannot produce.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// shardCounts expands the -shards flag into the sweep {1, 2, 4, ...},
+// doubling up to and always including the requested maximum.
+func shardCounts(maxShards int) []int {
+	var counts []int
+	for s := 1; s < maxShards; s *= 2 {
+		counts = append(counts, s)
+	}
+	return append(counts, maxShards)
 }
 
 // runQueryBench builds the synthetic candidate space, times the index
 // builds serial vs parallel, then drives the FastIndex query path with
 // rotating query vectors and excluded partners (cold cache by design)
-// through a warmed pooled scratch.
-func runQueryBench(nEvents, nPartners, k, topK, topN int, seed uint64, note, outPath string) error {
+// through a warmed pooled scratch. shards > 1 adds the scatter-gather
+// engine sweep.
+func runQueryBench(nEvents, nPartners, k, topK, topN, shards int, seed uint64, note, outPath string) error {
 	if nEvents <= 0 || nPartners <= 0 || k <= 0 || topN <= 0 {
 		return fmt.Errorf("query bench: events, partners, k and topn must be positive")
 	}
@@ -75,8 +167,17 @@ func runQueryBench(nEvents, nPartners, k, topK, topN int, seed uint64, note, out
 		Workers:   workers,
 	}
 
+	// Untimed warmup build: the very first pass over the input vectors
+	// pays first-touch page faults and cold caches. Running it outside
+	// the timed pair keeps those one-time costs out of whichever variant
+	// happens to run first — without this, the serial build (timed
+	// first) absorbed the warmup and the parallel build looked faster
+	// than it was on few-core machines.
 	var cs *ta.CandidateSet
 	var err error
+	if _, err = ta.BuildCandidates(events, partners, ta.BuildConfig{TopKEvents: topK, Workers: workers}); err != nil {
+		return err
+	}
 	run.BuildCandidatesSerialMs = ms(func() {
 		cs, err = ta.BuildCandidates(events, partners, ta.BuildConfig{TopKEvents: topK, Workers: 1})
 	})
@@ -112,30 +213,25 @@ func runQueryBench(nEvents, nPartners, k, topK, topN int, seed uint64, note, out
 	defer ta.PutScratch(sc)
 	f.TopNExcludingScratch(queries[0], topN, 0, sc) // warm the scratch
 
-	var mem0, mem1 runtime.MemStats
-	latencies := make([]float64, 0, 4096)
-	deadline := time.Now().Add(2 * time.Second)
-	runtime.ReadMemStats(&mem0)
-	t0 := time.Now()
-	for i := 0; len(latencies) < 200 || time.Now().Before(deadline); i++ {
-		q0 := time.Now()
+	m := measureQueries(func(i int) {
 		f.TopNExcludingScratch(queries[i%len(queries)], topN, int32(i%nPartners), sc)
-		latencies = append(latencies, float64(time.Since(q0).Nanoseconds()))
+	})
+	run.QueryIters = m.iters
+	run.QueryNsOp = m.nsOp
+	run.QueryP50Us = m.p50Us
+	run.QueryP95Us = m.p95Us
+	run.QueryAllocsOp = m.allocsOp
+
+	fmt.Printf("  query (top-%d)    %.0f ns/op   p50 %.1fµs   p95 %.1fµs   %.0f allocs/op   (%d iters)\n",
+		topN, run.QueryNsOp, run.QueryP50Us, run.QueryP95Us, run.QueryAllocsOp, m.iters)
+
+	if shards > 1 {
+		curve, err := runShardSweep(events, partners, queries, topK, topN, shards, workers, ms)
+		if err != nil {
+			return err
+		}
+		run.ShardCurve = curve
 	}
-	elapsed := time.Since(t0)
-	runtime.ReadMemStats(&mem1)
-
-	iters := len(latencies)
-	sort.Float64s(latencies)
-	q := func(p float64) float64 { return latencies[int(p*float64(iters-1))] / 1000 }
-	run.QueryIters = iters
-	run.QueryNsOp = float64(elapsed.Nanoseconds()) / float64(iters)
-	run.QueryP50Us = q(0.50)
-	run.QueryP95Us = q(0.95)
-	run.QueryAllocsOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(iters)
-
-	fmt.Printf("  query (top-%d)    %.0f ns/op   p50 %.1fµs   p95 %.1fµs   %.2f allocs/op   (%d iters)\n",
-		topN, run.QueryNsOp, run.QueryP50Us, run.QueryP95Us, run.QueryAllocsOp, iters)
 
 	if outPath != "" {
 		if err := appendBenchRun(outPath, run); err != nil {
@@ -144,6 +240,63 @@ func runQueryBench(nEvents, nPartners, k, topK, topN int, seed uint64, note, out
 		fmt.Println("appended run to", outPath)
 	}
 	return nil
+}
+
+// runShardSweep measures the scatter-gather engine at each shard count
+// in {1, 2, 4, ..., maxShards}. Alongside wall latency it records the
+// critical-path percentiles — prepass + slowest shard + merge per query
+// — which is what an N-core deployment would observe; on machines with
+// fewer cores than shards the wall column instead shows the fan-out's
+// scheduling overhead.
+func runShardSweep(events, partners, queries [][]float32, topK, topN, maxShards, workers int, ms func(func()) float64) ([]shardCurvePoint, error) {
+	fmt.Printf("  shard sweep (scatter-gather engine, top-%d)\n", topN)
+	var curve []shardCurvePoint
+	for _, ns := range shardCounts(maxShards) {
+		var eng *engine.Engine
+		var err error
+		buildMs := ms(func() {
+			eng, err = engine.Build(events, partners, engine.Config{Shards: ns, TopKEvents: topK, Workers: workers})
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Warm the engine's pooled fan-out scratch, then collect the
+		// per-query critical path alongside the wall timing.
+		if _, _, err := eng.Search(queries[0], topN, 0); err != nil {
+			return nil, err
+		}
+		critical := make([]float64, 0, maxQuerySamples)
+		var searchErr error
+		m := measureQueries(func(i int) {
+			_, st, err := eng.Search(queries[i%len(queries)], topN, int32(i%len(partners)))
+			if err != nil && searchErr == nil {
+				searchErr = err
+			}
+			critical = append(critical, float64(st.CriticalPath.Nanoseconds()))
+		})
+		if searchErr != nil {
+			return nil, searchErr
+		}
+		sort.Float64s(critical)
+
+		pt := shardCurvePoint{
+			Shards:            ns,
+			BuildMs:           buildMs,
+			QueryIters:        m.iters,
+			QueryNsOp:         m.nsOp,
+			QueryP50Us:        m.p50Us,
+			QueryP95Us:        m.p95Us,
+			QueryAllocsOp:     m.allocsOp,
+			CriticalPathP50Us: percentile(critical, 0.50) / 1000,
+			CriticalPathP95Us: percentile(critical, 0.95) / 1000,
+		}
+		curve = append(curve, pt)
+		fmt.Printf("    shards=%d  build %.1fms   wall %.0f ns/op (p50 %.1fµs p95 %.1fµs)   critical-path p50 %.1fµs p95 %.1fµs   %.0f allocs/op\n",
+			ns, pt.BuildMs, pt.QueryNsOp, pt.QueryP50Us, pt.QueryP95Us,
+			pt.CriticalPathP50Us, pt.CriticalPathP95Us, pt.QueryAllocsOp)
+	}
+	return curve, nil
 }
 
 // signedVecs draws n random K-vectors with signed N(0, 1/K) entries —
@@ -159,4 +312,3 @@ func signedVecs(src *rng.Source, n, k int) [][]float32 {
 	}
 	return out
 }
-

@@ -20,6 +20,7 @@
 //	ebsn-serve -city tiny -addr :8080
 //	ebsn-serve -model runs/beijing -threads 8 -cache 65536 -maxinflight 512
 //	ebsn-serve -city tiny -trace -slow-query 50ms -debug-addr localhost:6060
+//	ebsn-serve -city small -shards 4   # scatter-gather engine, one TA shard per core
 //	curl 'http://localhost:8080/v1/events?user=3&n=5'
 //	curl 'http://localhost:8080/metrics'
 //	kill -HUP $(pidof ebsn-serve)   # swap in runs/beijing/model.gob after a retrain
@@ -57,6 +58,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request handler timeout")
 		drain       = flag.Duration("drain", 10*time.Second, "connection-drain budget on shutdown")
 		pruneK      = flag.Int("prunek", 0, "TA candidate pruning per partner (0 = 5% heuristic, negative = full space)")
+		shards      = flag.Int("shards", 1, "partner-range shards of the scatter-gather query engine (results identical for any value)")
 		snapshot    = flag.String("snapshot", "", "model snapshot file for SIGHUP / POST /v1/reload (default <model>/model.gob)")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
 		trace       = flag.Bool("trace", false, "enable request-scoped tracing (slow-query ring at /v1/debug/slowlog)")
@@ -98,6 +100,7 @@ func main() {
 
 	s := serve.New(rec, serve.Config{
 		PruneK:             *pruneK,
+		Shards:             *shards,
 		SnapshotPath:       *snapshot,
 		CacheCapacity:      *cache,
 		CacheTTL:           *cacheTTL,
@@ -140,7 +143,7 @@ func main() {
 	go func() { errc <- s.ListenAndServe(ctx, *addr) }()
 
 	t0 = time.Now()
-	logger.Printf("listening on %s, building TA index...", *addr)
+	logger.Printf("listening on %s, building TA index (%d shard(s))...", *addr, *shards)
 	if err := s.Warm(); err != nil {
 		fatal(err)
 	}

@@ -24,6 +24,7 @@ import (
 	"ebsn/internal/core"
 	"ebsn/internal/datagen"
 	"ebsn/internal/ebsnet"
+	"ebsn/internal/engine"
 	"ebsn/internal/eval"
 	"ebsn/internal/geo"
 	"ebsn/internal/ta"
@@ -59,6 +60,12 @@ type (
 	// TrainStats is a live snapshot of training telemetry (steps,
 	// per-graph edge draws, rank-rebuild latency); see Model.TrainStats.
 	TrainStats = core.TrainStats
+	// EngineStats decomposes one scatter-gather query answered by the
+	// sharded engine: aggregated TA work, the per-shard breakdown, and
+	// the prepass/merge/critical-path timings.
+	EngineStats = engine.Stats
+	// EngineShardStats is one shard's share of a scatter-gather query.
+	EngineShardStats = engine.ShardStats
 )
 
 // City selects a built-in synthetic dataset scale.
@@ -244,6 +251,12 @@ type Recommender struct {
 	taSet    *ta.CandidateSet
 	taPruneK int
 
+	// Sharded scatter-gather engine (PrepareJointSharded). With one
+	// shard it doubles as the monolithic index above; with more, the
+	// monolithic index remains a separate lazily built structure that
+	// only the live-ingestion path needs.
+	taEngine *engine.Engine
+
 	// Lazily captured snapshot for fold-in scoring; the model is frozen
 	// after Build/Open, so one capture suffices.
 	snap *core.Snapshot
@@ -371,20 +384,29 @@ func (r *Recommender) TopEvents(user int32, n int) ([]Recommendation, error) {
 	return out, nil
 }
 
+// jointVectors extracts the cold-event and partner embedding rows the
+// joint candidate space is built over.
+func (r *Recommender) jointVectors() (events, partners [][]float32) {
+	events = make([][]float32, len(r.split.TestEvents))
+	for i, x := range r.split.TestEvents {
+		events[i] = r.model.EventVec(x)
+	}
+	partners = make([][]float32, r.dataset.NumUsers)
+	for u := range partners {
+		partners[u] = r.model.UserVec(int32(u))
+	}
+	return events, partners
+}
+
 // PrepareJoint builds the transformed candidate space and TA index for
 // joint event-partner recommendation, pruning to each partner's top
 // pruneK test events (0 keeps the full space). It is called implicitly by
 // TopEventPartners but exposed so services can pay the build cost at
-// startup.
+// startup. A sharded engine prepared by PrepareJointSharded is left in
+// place: both serve the same frozen embeddings, and the monolithic
+// index is what the live-ingestion delta builds on.
 func (r *Recommender) PrepareJoint(pruneK int) error {
-	events := make([][]float32, len(r.split.TestEvents))
-	for i, x := range r.split.TestEvents {
-		events[i] = r.model.EventVec(x)
-	}
-	partners := make([][]float32, r.dataset.NumUsers)
-	for u := range partners {
-		partners[u] = r.model.UserVec(int32(u))
-	}
+	events, partners := r.jointVectors()
 	set, err := ta.BuildCandidates(events, partners, ta.BuildConfig{TopKEvents: pruneK, Workers: r.cfg.Threads})
 	if err != nil {
 		return err
@@ -396,6 +418,86 @@ func (r *Recommender) PrepareJoint(pruneK int) error {
 	// callers re-ingest (or compact before re-preparing).
 	r.taDynamic = nil
 	return nil
+}
+
+// PrepareJointSharded builds the scatter-gather engine over the joint
+// candidate space with the given partner-range shard count (values < 1
+// mean 1) and the same pruning semantics as PrepareJoint. With one
+// shard the engine's candidate set and index double as the monolithic
+// ones, so the TopEventPartners* family and live ingestion keep working
+// without a second build; with more shards the monolithic structures
+// are cleared and rebuilt lazily only if live ingestion needs them
+// (sharding live deltas is future work — see internal/engine).
+func (r *Recommender) PrepareJointSharded(pruneK, shards int) error {
+	events, partners := r.jointVectors()
+	eng, err := engine.Build(events, partners, engine.Config{
+		Shards:     shards,
+		TopKEvents: pruneK,
+		Workers:    r.cfg.Threads,
+	})
+	if err != nil {
+		return err
+	}
+	r.taEngine = eng
+	r.taPruneK = pruneK
+	r.taDynamic = nil
+	r.taSet = eng.Set()     // non-nil only for one shard
+	r.taIndex = eng.Index() // likewise
+	return nil
+}
+
+// EngineShards reports the shard count of the prepared scatter-gather
+// engine, 0 when PrepareJointSharded has not run.
+func (r *Recommender) EngineShards() int {
+	if r.taEngine == nil {
+		return 0
+	}
+	return r.taEngine.Shards()
+}
+
+// TopEventPartnersSharded is TopEventPartners answered by the sharded
+// scatter-gather engine. Results are bit-identical to the monolithic
+// path for every shard count (the engine's exactness property test
+// pins this).
+func (r *Recommender) TopEventPartnersSharded(user int32, n int) ([]PairRecommendation, error) {
+	out, _, err := r.TopEventPartnersShardedStats(user, n)
+	return out, err
+}
+
+// TopEventPartnersShardedStats is TopEventPartnersSharded plus the
+// scatter-gather decomposition: aggregated TA counters, the per-shard
+// breakdown, and the prepass/merge/critical-path timings a serving
+// layer renders as span stages and shard metrics. When no engine has
+// been prepared it builds a one-shard engine with the default pruning.
+func (r *Recommender) TopEventPartnersShardedStats(user int32, n int) ([]PairRecommendation, EngineStats, error) {
+	if int(user) < 0 || int(user) >= r.dataset.NumUsers {
+		return nil, EngineStats{}, fmt.Errorf("ebsn: user %d out of range [0,%d)", user, r.dataset.NumUsers)
+	}
+	if n <= 0 {
+		return nil, EngineStats{}, fmt.Errorf("ebsn: n must be positive")
+	}
+	if r.taEngine == nil {
+		k := len(r.split.TestEvents) / 20
+		if k < 1 {
+			k = 1
+		}
+		if err := r.PrepareJointSharded(k, 1); err != nil {
+			return nil, EngineStats{}, err
+		}
+	}
+	res, stats, err := r.taEngine.Search(r.model.UserVec(user), n, user)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]PairRecommendation, 0, len(res))
+	for _, rr := range res {
+		out = append(out, PairRecommendation{
+			Event:   r.split.TestEvents[rr.Event],
+			Partner: rr.Partner,
+			Score:   rr.Score,
+		})
+	}
+	return out, stats, nil
 }
 
 // TopEventPartners returns the top-n event-partner pairs for the user via

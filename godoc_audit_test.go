@@ -31,6 +31,7 @@ var auditedPackages = []string{
 	"internal/par",
 	"internal/vecmath",
 	"internal/ta",
+	"internal/engine",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

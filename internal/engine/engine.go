@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ebsn/internal/ta"
+)
+
+// Config parameterizes Build.
+type Config struct {
+	// Shards is the partner-range shard count; values < 1 mean 1 and the
+	// count is capped at the partner count.
+	Shards int
+	// TopKEvents is the per-partner candidate pruning passed to every
+	// shard's ta.BuildCandidates (0 keeps the full cross product).
+	TopKEvents int
+	// Workers bounds the build parallelism inside each shard's
+	// candidate-set and index construction (0 = serial build,
+	// GOMAXPROCS index build — the ta defaults).
+	Workers int
+}
+
+// Engine is the scatter-gather query front: it owns N partner-range
+// shards and answers top-n queries by fanning a self-contained Request
+// out to each shard concurrently and merging the per-shard answers in
+// canonical order. Queries are safe for concurrent use; building is
+// not.
+type Engine struct {
+	k         int
+	nPartners int
+	pairs     int
+	shards    []Shard
+	// affSet computes the shared per-event affinity prepass. It belongs
+	// to shard 0, whose event rows are bit-identical copies of every
+	// other shard's (events are replicated across shards).
+	affSet *ta.CandidateSet
+	pool   sync.Pool // *fanoutScratch
+}
+
+// fanoutScratch owns one query's fan-out state so steady-state queries
+// reuse buffers instead of reallocating them.
+type fanoutScratch struct {
+	aff    []float32
+	resp   []Response
+	errs   []error
+	walls  []time.Duration
+	dsts   [][]ta.Result
+	heads  []int
+	merged []ta.Result
+}
+
+// Build partitions partners into cfg.Shards contiguous ranges and
+// constructs one self-contained shard per range: the shard's candidate
+// set is built by ta.BuildCandidates over the full event list and its
+// own partner slice, so per-partner pruning, cross terms and index
+// bounds are computed exactly as the monolithic build computes them —
+// the per-partner passes are independent, which is what makes shard
+// answers bit-identical to the monolithic index restricted to the
+// range. Event rows are replicated per shard (each shard packs its own
+// copy); partner row headers are copied so shards never alias each
+// other's packed storage.
+func Build(events, partners [][]float32, cfg Config) (*Engine, error) {
+	if len(events) == 0 || len(partners) == 0 {
+		return nil, fmt.Errorf("engine: empty event or partner set")
+	}
+	ns := cfg.Shards
+	if ns < 1 {
+		ns = 1
+	}
+	if ns > len(partners) {
+		ns = len(partners)
+	}
+	e := &Engine{
+		k:         len(events[0]),
+		nPartners: len(partners),
+		shards:    make([]Shard, 0, ns),
+	}
+	e.pool.New = func() any { return &fanoutScratch{} }
+	for i := 0; i < ns; i++ {
+		lo := i * len(partners) / ns
+		hi := (i + 1) * len(partners) / ns
+		// Fresh slice headers: ta.BuildCandidates re-aliases rows into
+		// its packed storage, and that mutation must stay shard-local.
+		ev := make([][]float32, len(events))
+		copy(ev, events)
+		ps := make([][]float32, hi-lo)
+		copy(ps, partners[lo:hi])
+		set, err := ta.BuildCandidates(ev, ps, ta.BuildConfig{TopKEvents: cfg.TopKEvents, Workers: cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d build: %w", i, err)
+		}
+		idx := ta.NewFastIndexWorkers(set, cfg.Workers)
+		sh := &localShard{set: set, idx: idx, lo: int32(lo), hi: int32(hi)}
+		e.pairs += sh.Pairs()
+		e.shards = append(e.shards, sh)
+		if i == 0 {
+			e.affSet = set
+		}
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Candidates returns the total candidate pairs across all shards.
+func (e *Engine) Candidates() int { return e.pairs }
+
+// K returns the embedding dimension queries must match.
+func (e *Engine) K() int { return e.k }
+
+// Partners returns the global partner count.
+func (e *Engine) Partners() int { return e.nPartners }
+
+// Set returns shard 0's candidate set when the engine is monolithic
+// (one shard) — the seam the live-ingestion delta (ta.Dynamic) builds
+// on, which needs a set covering every partner. Multi-shard engines
+// return nil.
+func (e *Engine) Set() *ta.CandidateSet {
+	if len(e.shards) == 1 {
+		return e.affSet
+	}
+	return nil
+}
+
+// Index returns shard 0's FastIndex when the engine is monolithic (one
+// shard); nil otherwise. With Set it lets a one-shard engine stand in
+// for the plain monolithic index without a second build.
+func (e *Engine) Index() *ta.FastIndex {
+	if len(e.shards) == 1 {
+		if ls, ok := e.shards[0].(*localShard); ok {
+			return ls.idx
+		}
+	}
+	return nil
+}
+
+// ShardStats is one shard's share of a query.
+type ShardStats struct {
+	// Shard is the shard index, matching engine build order.
+	Shard int
+	// Stats is the shard's TA work (in-index elapsed included).
+	Stats ta.SearchStats
+	// Wall is the wall-clock duration of the shard call as observed by
+	// the fan-out, scheduling included.
+	Wall time.Duration
+}
+
+// Stats decomposes one scatter-gather query.
+type Stats struct {
+	// Agg sums the per-shard work: access counts and candidates add up
+	// (each pair lives on exactly one shard, so Agg.Candidates equals
+	// the monolithic candidate count), and Elapsed totals the in-index
+	// time across shards plus the prepass and merge — the CPU cost of
+	// the query, not its latency.
+	Agg ta.SearchStats
+	// Shards is the per-shard breakdown, in shard order.
+	Shards []ShardStats
+	// Prepass is the shared event-affinity pass duration.
+	Prepass time.Duration
+	// Merge is the canonical-order merge duration.
+	Merge time.Duration
+	// Wall is the end-to-end Search duration on this machine.
+	Wall time.Duration
+	// CriticalPath is Prepass + the slowest shard's Wall + Merge: the
+	// latency floor with one core per shard. On a machine with fewer
+	// cores than shards, Wall exceeds CriticalPath; the gap is the
+	// parallelism the hardware did not supply.
+	CriticalPath time.Duration
+}
+
+// Search answers the exact top-n for userVec with one partner excluded
+// (< 0 excludes no one), scattering the query across all shards and
+// gathering the canonical merge. The returned slice is freshly
+// allocated and owned by the caller.
+func (e *Engine) Search(userVec []float32, n int, exclude int32) ([]ta.Result, Stats, error) {
+	start := time.Now()
+	var stats Stats
+	if n <= 0 {
+		return nil, stats, fmt.Errorf("engine: n must be positive, got %d", n)
+	}
+	if len(userVec) != e.k {
+		return nil, stats, fmt.Errorf("engine: user vector length %d, want %d", len(userVec), e.k)
+	}
+	fs := e.pool.Get().(*fanoutScratch)
+	defer e.pool.Put(fs)
+
+	// Shared prepass: the per-event affinities are shard-invariant
+	// (every shard replicates the event rows), so one DotBatch serves
+	// all shards.
+	t0 := time.Now()
+	fs.aff = e.affSet.EventAffinities(userVec, fs.aff)
+	stats.Prepass = time.Since(t0)
+
+	ns := len(e.shards)
+	fs.resp = resize(fs.resp, ns)
+	fs.errs = resize(fs.errs, ns)
+	fs.walls = resize(fs.walls, ns)
+	fs.dsts = resize(fs.dsts, ns)
+	search := func(i int) {
+		s0 := time.Now()
+		req := Request{
+			UserVec:        userVec,
+			N:              n,
+			ExcludePartner: exclude,
+			EventAff:       fs.aff,
+			Dst:            fs.dsts[i],
+		}
+		fs.resp[i], fs.errs[i] = e.shards[i].Search(req)
+		fs.dsts[i] = fs.resp[i].Results // keep grown buffers across queries
+		fs.walls[i] = time.Since(s0)
+	}
+	if ns == 1 {
+		search(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(ns)
+		for i := 0; i < ns; i++ {
+			go func(i int) {
+				defer wg.Done()
+				search(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	stats.Shards = make([]ShardStats, ns)
+	var maxWall time.Duration
+	for i := 0; i < ns; i++ {
+		if err := fs.errs[i]; err != nil {
+			return nil, stats, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		st := fs.resp[i].Stats
+		stats.Shards[i] = ShardStats{Shard: i, Stats: st, Wall: fs.walls[i]}
+		stats.Agg.SortedAccesses += st.SortedAccesses
+		stats.Agg.RandomAccesses += st.RandomAccesses
+		stats.Agg.Candidates += st.Candidates
+		stats.Agg.Elapsed += st.Elapsed
+		if fs.walls[i] > maxWall {
+			maxWall = fs.walls[i]
+		}
+	}
+
+	m0 := time.Now()
+	fs.heads = resize(fs.heads, ns)
+	for i := range fs.heads {
+		fs.heads[i] = 0
+	}
+	merged := mergeCanonical(fs.resp, fs.heads, n, fs.merged[:0])
+	fs.merged = merged[:0]
+	out := make([]ta.Result, len(merged))
+	copy(out, merged)
+	stats.Merge = time.Since(m0)
+
+	stats.Agg.Elapsed += stats.Prepass + stats.Merge
+	stats.Wall = time.Since(start)
+	stats.CriticalPath = stats.Prepass + maxWall + stats.Merge
+	return out, stats, nil
+}
+
+// mergeCanonical merges the per-shard canonical top-n lists into the
+// global top-n by repeatedly taking the best head (ta.Result.Outranks).
+// Shard counts are small, so the O(n·shards) linear scan beats a heap.
+func mergeCanonical(resp []Response, heads []int, n int, dst []ta.Result) []ta.Result {
+	for len(dst) < n {
+		best := -1
+		for s := range resp {
+			h := heads[s]
+			if h >= len(resp[s].Results) {
+				continue
+			}
+			if best < 0 || resp[s].Results[h].Outranks(resp[best].Results[heads[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst = append(dst, resp[best].Results[heads[best]])
+		heads[best]++
+	}
+	return dst
+}
+
+// resize grows s to length n, reusing capacity; contents are
+// unspecified beyond indices the caller overwrites.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+
+	"ebsn/internal/ta"
+)
+
+// Request is one self-contained shard query. Every field a shard needs
+// to answer is carried in the request — no ambient state — so the same
+// struct can cross a process boundary unchanged.
+type Request struct {
+	// UserVec is the querying user's embedding (length K).
+	UserVec []float32
+	// N is the number of results wanted from this shard.
+	N int
+	// ExcludePartner is a global partner ID to exclude (< 0 excludes no
+	// one). Shards not owning the ID ignore it.
+	ExcludePartner int32
+	// EventAff optionally carries the shared per-event affinity pass
+	// userVec·Events[x], indexed like the candidate set's events. It is
+	// derivable from UserVec — the engine precomputes it once per query
+	// so in-process shards skip the shard-invariant half of the work; a
+	// transport moving requests across processes may omit it and let the
+	// shard recompute, trading bandwidth for compute, never correctness.
+	EventAff []float32
+	// Dst, when non-nil, offers a buffer Response.Results may reuse — an
+	// allocation optimization for in-process shards; transports ignore
+	// it.
+	Dst []ta.Result
+}
+
+// Response is a shard's half of the scatter-gather exchange.
+type Response struct {
+	// Results is the shard's exact top-N in canonical order
+	// (ta.Result.Outranks), with partner IDs already translated to the
+	// global space.
+	Results []ta.Result
+	// Stats is the TA work this request cost the shard.
+	Stats ta.SearchStats
+}
+
+// Shard answers self-contained top-n requests over one contiguous
+// partner range of the candidate space. Implementations must be safe
+// for concurrent Search calls — the engine fans one query's requests
+// out in parallel and may overlap queries.
+type Shard interface {
+	// Search answers one request exactly.
+	Search(req Request) (Response, error)
+	// PartnerRange returns the global partner ID range [lo, hi) this
+	// shard owns.
+	PartnerRange() (lo, hi int32)
+	// Pairs returns the number of candidate pairs resident on the shard.
+	Pairs() int
+}
+
+// localShard is the in-process Shard: a self-contained candidate set
+// over partners [lo, hi) (events replicated, partner rows copied) with
+// its own FastIndex. Local partner IDs are global IDs minus lo.
+type localShard struct {
+	set    *ta.CandidateSet
+	idx    *ta.FastIndex
+	lo, hi int32
+}
+
+// Search runs the shard-local TA search on pooled scratch and returns
+// results in global partner IDs.
+func (s *localShard) Search(req Request) (Response, error) {
+	if req.N <= 0 {
+		return Response{}, fmt.Errorf("engine: shard request n must be positive, got %d", req.N)
+	}
+	if len(req.UserVec) != s.set.K {
+		return Response{}, fmt.Errorf("engine: shard request user vector length %d, want %d", len(req.UserVec), s.set.K)
+	}
+	exclude := int32(-1)
+	if req.ExcludePartner >= s.lo && req.ExcludePartner < s.hi {
+		exclude = req.ExcludePartner - s.lo
+	}
+	sc := ta.GetScratch()
+	defer ta.PutScratch(sc)
+	res, stats := s.idx.TopNExcludingAffScratch(req.UserVec, req.EventAff, req.N, exclude, sc)
+	// The raw results alias the scratch; copy them out (into the
+	// caller's buffer when offered) translating partners to global IDs.
+	// Local IDs are offset by a constant, so the canonical order — which
+	// breaks score ties by ascending partner — is preserved.
+	out := req.Dst[:0]
+	if cap(out) < len(res) {
+		out = make([]ta.Result, 0, len(res))
+	}
+	for _, r := range res {
+		r.Partner += s.lo
+		out = append(out, r)
+	}
+	return Response{Results: out, Stats: stats}, nil
+}
+
+// PartnerRange returns the shard's global partner range [lo, hi).
+func (s *localShard) PartnerRange() (lo, hi int32) { return s.lo, s.hi }
+
+// Pairs returns the shard's resident candidate-pair count.
+func (s *localShard) Pairs() int { return len(s.set.Pairs) }

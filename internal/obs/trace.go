@@ -89,6 +89,9 @@ func (t *Tracer) Start(name string) *Span {
 type stageRec struct {
 	name string
 	dur  time.Duration
+	// done marks a stage whose duration was supplied explicitly
+	// (StageDur) or already finalized; closeStage leaves it untouched.
+	done bool
 }
 
 type attrRec struct {
@@ -121,7 +124,7 @@ func (s *Span) Stage(name string) {
 	now := time.Now()
 	s.closeStage(now)
 	if s.nStages < maxStages {
-		s.stages[s.nStages].name = name
+		s.stages[s.nStages] = stageRec{name: name}
 		s.nStages++
 	} else {
 		s.truncated++
@@ -129,10 +132,33 @@ func (s *Span) Stage(name string) {
 	s.stageStart = now
 }
 
-// closeStage finalizes the duration of the currently open stage.
+// StageDur records an already-completed stage with an explicit
+// duration — the shape concurrent work needs: stages that ran in
+// parallel (the engine's per-shard searches) cannot be measured as
+// wall time between Stage calls, so the caller times each one itself
+// and reports the durations here. The wall-time stage opened by the
+// last Stage call is closed first, exactly as Stage would close it.
+func (s *Span) StageDur(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closeStage(now)
+	if s.nStages < maxStages {
+		s.stages[s.nStages] = stageRec{name: name, dur: d, done: true}
+		s.nStages++
+	} else {
+		s.truncated++
+	}
+	s.stageStart = now
+}
+
+// closeStage finalizes the duration of the currently open stage. Stages
+// recorded with explicit durations are already done and stay untouched.
 func (s *Span) closeStage(now time.Time) {
-	if s.nStages > 0 && s.nStages <= maxStages {
+	if s.nStages > 0 && s.nStages <= maxStages && !s.stages[s.nStages-1].done {
 		s.stages[s.nStages-1].dur = now.Sub(s.stageStart)
+		s.stages[s.nStages-1].done = true
 	}
 }
 

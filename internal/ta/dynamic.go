@@ -112,7 +112,7 @@ func (d *Dynamic) TopNExcludingScratch(userVec []float32, n int, exclude int32, 
 
 func (d *Dynamic) topNExcluding(userVec []float32, n int, exclude int32, sc *Scratch) ([]DynamicResult, SearchStats) {
 	start := time.Now()
-	base, stats := d.idx.topNExcluding(userVec, n, exclude, sc, sc.out[:0])
+	base, stats := d.idx.topNExcluding(userVec, nil, n, exclude, sc, sc.out[:0])
 	sc.out = base[:0]
 	merged := sc.dout[:0]
 	for _, r := range base {

@@ -162,7 +162,7 @@ func (f *FastIndex) TopN(userVec []float32, n int) ([]Result, SearchStats) {
 func (f *FastIndex) TopNExcluding(userVec []float32, n int, exclude int32) ([]Result, SearchStats) {
 	sc := GetScratch()
 	defer PutScratch(sc)
-	return f.topNExcluding(userVec, n, exclude, sc, nil)
+	return f.topNExcluding(userVec, nil, n, exclude, sc, nil)
 }
 
 // TopNExcludingScratch is TopNExcluding with caller-managed scratch:
@@ -170,12 +170,26 @@ func (f *FastIndex) TopNExcluding(userVec []float32, n int, exclude int32) ([]Re
 // so a warmed scratch makes the query allocation-free. The results alias
 // sc and are valid only until its next use.
 func (f *FastIndex) TopNExcludingScratch(userVec []float32, n int, exclude int32, sc *Scratch) ([]Result, SearchStats) {
-	res, stats := f.topNExcluding(userVec, n, exclude, sc, sc.out[:0])
+	res, stats := f.topNExcluding(userVec, nil, n, exclude, sc, sc.out[:0])
 	sc.out = res[:0]
 	return res, stats
 }
 
-func (f *FastIndex) topNExcluding(userVec []float32, n int, exclude int32, sc *Scratch, dst []Result) ([]Result, SearchStats) {
+// TopNExcludingAffScratch is TopNExcludingScratch with the per-event
+// affinity pass precomputed: eventAff[x] must be userVec·Events[x] for
+// every event of the candidate set, produced by the same kernel
+// (vecmath.DotBatch over packed rows) so scores stay bit-identical to
+// the self-computing variants. The sharded engine computes the pass once
+// per query and shares it across every shard — the event side of the
+// space is replicated per shard, so recomputing it per shard would undo
+// the partitioning of the per-query work (see internal/engine).
+func (f *FastIndex) TopNExcludingAffScratch(userVec, eventAff []float32, n int, exclude int32, sc *Scratch) ([]Result, SearchStats) {
+	res, stats := f.topNExcluding(userVec, eventAff, n, exclude, sc, sc.out[:0])
+	sc.out = res[:0]
+	return res, stats
+}
+
+func (f *FastIndex) topNExcluding(userVec, eventAff []float32, n int, exclude int32, sc *Scratch, dst []Result) ([]Result, SearchStats) {
 	start := time.Now()
 	set := f.set
 	nc := len(set.Pairs)
@@ -188,10 +202,14 @@ func (f *FastIndex) topNExcluding(userVec []float32, n int, exclude int32, sc *S
 	}
 
 	// Per-query event and partner affinities, streamed over the packed
-	// rows.
-	sc.a = resizeF32(sc.a, len(set.Events))
-	a := sc.a
-	vecmath.DotBatch(userVec, set.eventData, set.K, a)
+	// rows. A caller that already holds the event pass hands it in and
+	// only the partner pass runs here.
+	a := eventAff
+	if a == nil {
+		sc.a = resizeF32(sc.a, len(set.Events))
+		a = sc.a
+		vecmath.DotBatch(userVec, set.eventData, set.K, a)
+	}
 	var amax float32
 	for x, v := range a {
 		if x == 0 || v > amax {
@@ -219,7 +237,14 @@ func (f *FastIndex) topNExcluding(userVec []float32, n int, exclude int32, sc *S
 	*h = (*h)[:0]
 	for len(bounds) > 0 {
 		top := bounds[0]
-		if len(*h) == n && (*h)[0].Score >= top.bound {
+		// Strictly greater, not ≥: a remaining pair whose score exactly
+		// equals both the bound and the weakest retained score could still
+		// outrank it on the canonical tie-break (smaller partner/event), so
+		// equality keeps scanning. Exact equality needs a pair to attain
+		// amax and maxCross simultaneously — rare enough that the extra
+		// partner scans are noise, and exactness under ties is what the
+		// sharded engine's merge depends on.
+		if len(*h) == n && (*h)[0].Score > top.bound {
 			break // no remaining partner can beat the current top n
 		}
 		last := len(bounds) - 1
@@ -237,11 +262,11 @@ func (f *FastIndex) topNExcluding(userVec []float32, n int, exclude int32, sc *S
 		for oi := f.partnerStart[u]; oi < f.partnerStart[u+1]; oi++ {
 			i := f.order[oi]
 			stats.RandomAccesses++
-			s := a[set.Pairs[i].Event] + bu + set.Cross[i]
+			r := Result{set.Pairs[i].Event, u, a[set.Pairs[i].Event] + bu + set.Cross[i]}
 			if len(*h) < n {
-				h.push(Result{set.Pairs[i].Event, u, s})
-			} else if s > (*h)[0].Score {
-				h.replaceMin(Result{set.Pairs[i].Event, u, s})
+				h.push(r)
+			} else if r.Outranks((*h)[0]) {
+				h.replaceMin(r)
 			}
 		}
 	}

@@ -68,6 +68,18 @@ func packRows(rows [][]float32, k int, prev []float32) []float32 {
 // Dims returns the transformed-space dimensionality 2K+1.
 func (c *CandidateSet) Dims() int { return 2*c.K + 1 }
 
+// EventAffinities computes the per-event affinity pass a[x] = userVec·
+// Events[x] for every event into dst (grown as needed) and returns it.
+// It runs the same kernel over the same packed storage as the index
+// queries (vecmath.DotBatch), so handing the result to
+// FastIndex.TopNExcludingAffScratch yields bit-identical scores. The set
+// must be packed (any index constructor packs it).
+func (c *CandidateSet) EventAffinities(userVec, dst []float32) []float32 {
+	dst = resizeF32(dst, len(c.Events))
+	vecmath.DotBatch(userVec, c.eventData, c.K, dst)
+	return dst
+}
+
 // Point materializes the transformed point of pair i (mostly for tests).
 func (c *CandidateSet) Point(i int) []float32 {
 	p := make([]float32, c.Dims())
@@ -237,27 +249,45 @@ type Result struct {
 	Score   float32
 }
 
-// BruteForceTopN scores every candidate (GEM-BF) and returns the top n by
-// score, descending, ties broken by pair order.
+// Outranks reports whether r precedes o in the canonical result order:
+// higher score first, score ties broken by ascending partner then
+// ascending event. The tie-break makes top-n selection a total order, so
+// the exact answer no longer depends on traversal order — the property
+// the sharded engine's heap-merge relies on: the canonical global top-n
+// is always contained in the union of canonical per-shard top-n's
+// (see internal/engine).
+func (r Result) Outranks(o Result) bool {
+	if r.Score != o.Score {
+		return r.Score > o.Score
+	}
+	if r.Partner != o.Partner {
+		return r.Partner < o.Partner
+	}
+	return r.Event < o.Event
+}
+
+// BruteForceTopN scores every candidate (GEM-BF) and returns the top n in
+// the canonical order (score descending, ties by partner then event).
 func (c *CandidateSet) BruteForceTopN(userVec []float32, n int) []Result {
 	if n <= 0 {
 		return nil
 	}
 	var h resultHeap
 	for i := range c.Pairs {
-		s := c.Score(userVec, i)
+		r := Result{c.Pairs[i].Event, c.Pairs[i].Partner, c.Score(userVec, i)}
 		if len(h) < n {
-			h.push(Result{c.Pairs[i].Event, c.Pairs[i].Partner, s})
-		} else if s > h[0].Score {
-			h.replaceMin(Result{c.Pairs[i].Event, c.Pairs[i].Partner, s})
+			h.push(r)
+		} else if r.Outranks(h[0]) {
+			h.replaceMin(r)
 		}
 	}
 	return h.drainDescending(nil)
 }
 
-// resultHeap is a min-heap on Score so the root is the weakest retained
-// result. The heap is hand-rolled (no container/heap) so pushes take no
-// interface boxing allocation — it sits on the query hot path.
+// resultHeap is a min-heap in the canonical order (Result.Outranks), so
+// the root is the weakest retained result. The heap is hand-rolled (no
+// container/heap) so pushes take no interface boxing allocation — it
+// sits on the query hot path.
 type resultHeap []Result
 
 // push adds r, sifting up.
@@ -267,7 +297,7 @@ func (h *resultHeap) push(r Result) {
 	i := len(s) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if s[i].Score >= s[p].Score {
+		if !s[p].Outranks(s[i]) {
 			break
 		}
 		s[i], s[p] = s[p], s[i]
@@ -282,10 +312,10 @@ func (h resultHeap) replaceMin(r Result) {
 	for {
 		l, rr := 2*i+1, 2*i+2
 		m := i
-		if l < len(h) && h[l].Score < h[m].Score {
+		if l < len(h) && h[m].Outranks(h[l]) {
 			m = l
 		}
-		if rr < len(h) && h[rr].Score < h[m].Score {
+		if rr < len(h) && h[m].Outranks(h[rr]) {
 			m = rr
 		}
 		if m == i {

@@ -296,11 +296,11 @@ func (idx *Index) topN(userVec []float32, n int, sc *Scratch, dst []Result) ([]R
 
 		if !sc.markSeen(cand) {
 			stats.RandomAccesses++
-			s := set.Score(userVec, int(cand))
+			r := Result{set.Pairs[cand].Event, set.Pairs[cand].Partner, set.Score(userVec, int(cand))}
 			if len(*h) < n {
-				h.push(Result{set.Pairs[cand].Event, set.Pairs[cand].Partner, s})
-			} else if s > (*h)[0].Score {
-				h.replaceMin(Result{set.Pairs[cand].Event, set.Pairs[cand].Partner, s})
+				h.push(r)
+			} else if r.Outranks((*h)[0]) {
+				h.replaceMin(r)
 			}
 		}
 		// Threshold check: no unseen candidate can beat τ.

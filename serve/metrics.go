@@ -2,6 +2,7 @@ package serve
 
 import (
 	"io"
+	"strconv"
 	"time"
 
 	"ebsn"
@@ -80,6 +81,10 @@ type Metrics struct {
 	taRandom     *obs.Counter
 	taCandidates *obs.Counter
 	taDuration   *obs.Histogram
+
+	shardQueries  *obs.Counter
+	shardSearches *obs.CounterVec
+	shardWall     *obs.HistogramVec
 }
 
 // NewMetrics creates a Metrics with one EndpointMetrics per name. The
@@ -129,6 +134,13 @@ func NewMetrics(endpointNames ...string) *Metrics {
 		"Candidate pairs in scope across all TA queries (pruning denominator).")
 	m.taDuration = m.reg.Histogram("ebsn_serve_ta_duration_seconds",
 		"Wall-clock time per query inside the TA index.", taBoundsSeconds)
+	m.shardQueries = m.reg.Counter("ebsn_serve_shard_fanout_total",
+		"Queries answered by the sharded scatter-gather engine.")
+	m.shardSearches = m.reg.CounterVec("ebsn_serve_shard_searches_total",
+		"Per-shard TA searches executed by engine fan-outs.", "shard")
+	m.shardWall = m.reg.HistogramVec("ebsn_serve_shard_wall_seconds",
+		"Wall-clock duration of one shard's search within a fan-out.",
+		taBoundsSeconds, "shard")
 	return m
 }
 
@@ -158,6 +170,21 @@ func (m *Metrics) RecordTA(s ebsn.SearchStats) {
 	m.taRandom.Add(uint64(s.RandomAccesses))
 	m.taCandidates.Add(uint64(s.Candidates))
 	m.taDuration.Observe(s.Elapsed)
+}
+
+// RecordEngine folds one scatter-gather query's fan-out into the shard
+// metrics: the fan-out counter, and per shard a search count and a wall
+//-duration observation. Shard labels are the engine's shard indices, so
+// a skewed partner range shows up as one shard's histogram drifting
+// right. The aggregated TA counters are recorded separately via
+// RecordTA, exactly as on the monolithic path.
+func (m *Metrics) RecordEngine(es ebsn.EngineStats) {
+	m.shardQueries.Inc()
+	for _, ss := range es.Shards {
+		label := strconv.Itoa(ss.Shard)
+		m.shardSearches.With(label).Inc()
+		m.shardWall.With(label).Observe(ss.Wall)
+	}
 }
 
 // AddInFlight moves the in-flight request gauge by delta.

@@ -101,8 +101,14 @@ func TestSlowlogEndpoint(t *testing.T) {
 	for _, st := range miss.Stages {
 		stages = append(stages, st.Name)
 	}
-	if strings.Join(stages, ",") != "cache,ta_search,encode" {
+	// The engine-backed partners path decomposes the search into one
+	// explicit-duration stage per shard (shard0 for the default
+	// one-shard engine) between the wall-time stages.
+	if strings.Join(stages, ",") != "cache,ta_search,shard0,encode" {
 		t.Fatalf("miss stages = %v", stages)
+	}
+	if miss.Attrs["shards"] != 1 {
+		t.Fatalf("miss entry shards attr = %+v", miss.Attrs)
 	}
 
 	// The tracer's span volume shows up in the exposition.

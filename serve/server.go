@@ -25,6 +25,12 @@ type Config struct {
 	// 0 keeps the paper's 5%-of-test-events heuristic, < 0 keeps the
 	// full candidate space, > 0 is used as-is.
 	PruneK int
+	// Shards is the partner-range shard count of the scatter-gather
+	// query engine built by Warm and Reload (default 1 — a monolithic
+	// engine). Values above 1 fan each /v1/partners query out to
+	// per-shard TA searches running concurrently; answers are
+	// bit-identical for every setting.
+	Shards int
 	// DefaultN is the result count when ?n= is absent (default 10).
 	DefaultN int
 	// MaxN caps ?n= (default 100).
@@ -65,6 +71,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if c.DefaultN == 0 {
 		c.DefaultN = 10
 	}
@@ -227,6 +236,13 @@ func (s *Server) registerStateMetrics() {
 	reg.GaugeFunc("ebsn_serve_prune_k",
 		"Per-partner candidate pruning applied by PrepareJoint (0 = full space).",
 		func() float64 { return float64(s.pruneK.Load()) })
+	reg.GaugeFunc("ebsn_serve_engine_shards",
+		"Partner-range shards of the scatter-gather engine (0 until Warm).",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.rec.EngineShards())
+		})
 	reg.GaugeFunc("ebsn_serve_live_events",
 		"Live-ingested events awaiting compaction.",
 		func() float64 {
@@ -277,9 +293,10 @@ func (s *Server) registerStateMetrics() {
 	}
 }
 
-// Warm builds the TA index (PrepareJoint) and marks the server ready.
-// Safe to call from a goroutine while the listener is already up:
-// /healthz answers during warm-up, /readyz flips afterwards.
+// Warm builds the scatter-gather engine (PrepareJointSharded with
+// Config.Shards partner-range shards) and marks the server ready. Safe
+// to call from a goroutine while the listener is already up: /healthz
+// answers during warm-up, /readyz flips afterwards.
 func (s *Server) Warm() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -287,7 +304,7 @@ func (s *Server) Warm() error {
 		return nil
 	}
 	pk := s.resolvePruneK(s.rec)
-	if err := s.rec.PrepareJoint(pk); err != nil {
+	if err := s.rec.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
 		return err
 	}
 	s.pruneK.Store(int64(pk))
@@ -342,7 +359,7 @@ func (s *Server) Reload(path string) (err error) {
 		return err
 	}
 	pk := s.resolvePruneK(next)
-	if err := next.PrepareJoint(pk); err != nil {
+	if err := next.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -653,15 +670,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePartners(w http.ResponseWriter, r *http.Request) {
-	s.servePairs(w, r, epPartners, (*ebsn.Recommender).TopEventPartnersStats)
+	s.servePairs(w, r, epPartners, func(rec *ebsn.Recommender, user int32, n int) ([]ebsn.PairRecommendation, ebsn.SearchStats, *ebsn.EngineStats, error) {
+		// Warm prepared the engine; answer through the scatter-gather
+		// path so the per-shard decomposition reaches spans and
+		// /metrics. The monolithic path remains as a fallback for a
+		// recommender warmed outside this server.
+		if rec.EngineShards() > 0 {
+			pairs, es, err := rec.TopEventPartnersShardedStats(user, n)
+			return pairs, es.Agg, &es, err
+		}
+		pairs, stats, err := rec.TopEventPartnersStats(user, n)
+		return pairs, stats, nil, err
+	})
 }
 
 func (s *Server) handlePartnersLive(w http.ResponseWriter, r *http.Request) {
-	s.servePairs(w, r, epPartnersLive, (*ebsn.Recommender).TopEventPartnersLiveStats)
+	s.servePairs(w, r, epPartnersLive, func(rec *ebsn.Recommender, user int32, n int) ([]ebsn.PairRecommendation, ebsn.SearchStats, *ebsn.EngineStats, error) {
+		pairs, stats, err := rec.TopEventPartnersLiveStats(user, n)
+		return pairs, stats, nil, err
+	})
 }
 
 func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
-	query func(*ebsn.Recommender, int32, int) ([]ebsn.PairRecommendation, ebsn.SearchStats, error)) {
+	query func(*ebsn.Recommender, int32, int) ([]ebsn.PairRecommendation, ebsn.SearchStats, *ebsn.EngineStats, error)) {
 	sp := s.tracer.Start(ep)
 	defer sp.End()
 	s.mu.RLock()
@@ -684,7 +715,7 @@ func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
 	}
 	sp.SetAttr("cache_hit", 0)
 	sp.Stage("ta_search")
-	pairs, stats, err := query(rec, user, n)
+	pairs, stats, estats, err := query(rec, user, n)
 	if err != nil {
 		s.mu.RUnlock()
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -695,6 +726,19 @@ func (s *Server) servePairs(w http.ResponseWriter, r *http.Request, ep string,
 	sp.SetAttr("ta_random", int64(stats.RandomAccesses))
 	sp.SetAttr("ta_candidates", int64(stats.Candidates))
 	sp.SetAttr("prune_k", s.pruneK.Load())
+	if estats != nil {
+		// Scatter-gather decomposition: one explicit-duration stage per
+		// shard (they ran concurrently, so wall-clock stage boundaries
+		// cannot measure them) plus the fan-out attrs. Spans cap at
+		// eight stages; shard stages beyond the cap are dropped and
+		// counted in the span's truncated field.
+		s.metrics.RecordEngine(*estats)
+		sp.SetAttr("shards", int64(len(estats.Shards)))
+		sp.SetAttr("critical_path_us", int64(estats.CriticalPath/time.Microsecond))
+		for _, ss := range estats.Shards {
+			sp.StageDur("shard"+strconv.Itoa(ss.Shard), ss.Wall)
+		}
+	}
 	sp.Stage("encode")
 	d := rec.Dataset()
 	resp := &RankingResponse{User: user, N: n, Pairs: make([]PairResult, len(pairs))}

@@ -85,9 +85,15 @@ func (r *Recommender) IngestColdEvent(words []string, venue int32, start time.Ti
 	}
 	if r.taDynamic == nil {
 		if r.taIndex == nil {
-			k := len(r.split.TestEvents) / 20
-			if k < 1 {
-				k = 1
+			// A multi-shard engine has no monolithic candidate set for
+			// the delta to extend; build one with the engine's pruning.
+			// Without an engine, apply the usual 5% default.
+			k := r.taPruneK
+			if r.taEngine == nil && k == 0 {
+				k = len(r.split.TestEvents) / 20
+				if k < 1 {
+					k = 1
+				}
 			}
 			if err := r.PrepareJoint(k); err != nil {
 				return 0, err
@@ -120,6 +126,14 @@ func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecomm
 		return nil, SearchStats{}, fmt.Errorf("ebsn: n must be positive")
 	}
 	if r.taDynamic == nil {
+		// Nothing ingested yet. Prefer the sharded engine when one is
+		// prepared — with shards > 1 there may be no monolithic index,
+		// and query paths must not build one (mutation is reserved for
+		// the serialized prepare/ingest calls).
+		if r.taEngine != nil {
+			out, es, err := r.TopEventPartnersShardedStats(user, n)
+			return out, es.Agg, err
+		}
 		return r.TopEventPartnersStats(user, n)
 	}
 	// As in TopEventPartnersStats: the raw results alias the pooled
