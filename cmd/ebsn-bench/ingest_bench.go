@@ -1,0 +1,239 @@
+// The -serve -ingest experiment: measure what streaming ingest and
+// background compaction cost the query path. Phase one drives the live
+// query endpoints at steady state; phase two batch-ingests a delta of
+// live events, kicks the non-blocking /v1/compact, and keeps driving
+// queries while the fold runs. The record compares the two latency
+// profiles — with the background compactor, the under-compaction p99
+// should sit within a small factor of steady state instead of stalling
+// behind a write-locked rebuild.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"ebsn"
+	"ebsn/serve"
+)
+
+// serveIngestRun is one appended record in the BENCH_serve.json
+// trajectory (mode "ingest-compact" distinguishes it from plain -serve
+// records).
+type serveIngestRun struct {
+	Timestamp   string  `json:"timestamp"`
+	Mode        string  `json:"mode"`
+	City        string  `json:"city"`
+	Seed        uint64  `json:"seed"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+
+	IngestEvents int     `json:"ingest_events"`
+	IngestMs     float64 `json:"ingest_ms"`
+	CompactMs    float64 `json:"compact_ms"`
+
+	SteadyRequests  int     `json:"steady_requests"`
+	SteadyQPS       float64 `json:"steady_qps"`
+	SteadyP50Ms     float64 `json:"steady_p50_ms"`
+	SteadyP99Ms     float64 `json:"steady_p99_ms"`
+	CompactRequests int     `json:"compact_requests"`
+	CompactQPS      float64 `json:"compact_qps"`
+	CompactP50Ms    float64 `json:"compact_p50_ms"`
+	CompactP99Ms    float64 `json:"compact_p99_ms"`
+	P99Ratio        float64 `json:"p99_ratio"`
+	Errors          int     `json:"errors"`
+}
+
+// driveLoad fires conc closed-loop clients at the query endpoints until
+// the deadline, returning the merged latency samples (ms) and the error
+// count.
+func driveLoad(srv *httptest.Server, numUsers, conc int, seed uint64, deadline time.Time) ([]float64, int) {
+	paths := []string{"/v1/partners/live", "/v1/partners/live", "/v1/partners"}
+	lats := make([][]float64, conc)
+	errs := make([]int, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)*1000 + int64(w)))
+			client := srv.Client()
+			for time.Now().Before(deadline) {
+				url := fmt.Sprintf("%s%s?user=%d&n=10", srv.URL, paths[rng.Intn(len(paths))], rng.Intn(numUsers))
+				q0 := time.Now()
+				resp, err := client.Get(url)
+				lat := float64(time.Since(q0).Microseconds()) / 1000
+				if err != nil {
+					errs[w]++
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[w]++
+					continue
+				}
+				lats[w] = append(lats[w], lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []float64
+	errors := 0
+	for w := range lats {
+		all = append(all, lats[w]...)
+		errors += errs[w]
+	}
+	sort.Float64s(all)
+	return all, errors
+}
+
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// runServeIngestBench stands up the serving stack (response cache off,
+// so the delta-scan and fold costs are not masked by cached answers)
+// and measures the query latency profile at steady state and under a
+// batch ingest plus background compaction.
+func runServeIngestBench(city ebsn.City, seed uint64, steps int64, k, threads, conc int, duration time.Duration, events int, outPath string) error {
+	fmt.Printf("ingest bench: training %s (seed %d)...\n", city, seed)
+	t0 := time.Now()
+	rec, err := ebsn.New(ebsn.Config{City: city, Seed: seed, K: k, Threads: threads, TrainSteps: steps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model ready in %.1fs; warming TA index...\n", time.Since(t0).Seconds())
+
+	s := serve.New(rec, serve.Config{MaxInFlight: conc * 2, CacheCapacity: -1})
+	if err := s.Warm(); err != nil {
+		return err
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	numUsers := rec.Dataset().NumUsers
+
+	fmt.Printf("steady state: %d clients for %s...\n", conc, duration)
+	steady, errs1 := driveLoad(srv, numUsers, conc, seed, time.Now().Add(duration))
+	if len(steady) == 0 {
+		return fmt.Errorf("ingest bench: no successful steady-state requests (errors=%d)", errs1)
+	}
+
+	// Batch-ingest the delta, chunked to stay under the request cap.
+	fmt.Printf("ingesting %d live events...\n", events)
+	d := rec.Dataset()
+	tev := rec.Split().TestEvents
+	i0 := time.Now()
+	for off := 0; off < events; off += 2000 {
+		n := min(2000, events-off)
+		evs := make([]serve.IngestEvent, n)
+		for i := range evs {
+			template := tev[(off+i)%len(tev)]
+			evs[i] = serve.IngestEvent{
+				Words: d.Events[template].Words,
+				Venue: d.Events[template].Venue,
+				Start: time.Date(2013, 3, 1+(off+i)%27, 19, 0, 0, 0, time.UTC),
+			}
+		}
+		body, err := json.Marshal(serve.IngestRequest{Source: "bench", Events: evs})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("ingest bench: batch ingest = %d", resp.StatusCode)
+		}
+	}
+	ingestMs := float64(time.Since(i0).Microseconds()) / 1000
+
+	// Kick the background fold and keep querying for the full window;
+	// the join goroutine records how long the fold itself took.
+	fmt.Printf("background compaction + %d clients for %s...\n", conc, duration)
+	resp, err := http.Post(srv.URL+"/v1/compact", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	var compactMs float64
+	joinErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/compact?wait=1", "application/json", nil)
+		if err != nil {
+			joinErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		var out serve.CompactResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			joinErr <- err
+			return
+		}
+		if out.PendingEvents != 0 || out.Compaction.Failures != 0 {
+			joinErr <- fmt.Errorf("compaction left %d pending events (failures=%d: %s)",
+				out.PendingEvents, out.Compaction.Failures, out.Compaction.LastError)
+			return
+		}
+		compactMs = out.Compaction.LastMs
+		joinErr <- nil
+	}()
+	under, errs2 := driveLoad(srv, numUsers, conc, seed+1, time.Now().Add(duration))
+	if err := <-joinErr; err != nil {
+		return err
+	}
+	if len(under) == 0 {
+		return fmt.Errorf("ingest bench: no successful requests under compaction (errors=%d)", errs2)
+	}
+
+	run := serveIngestRun{
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		Mode:            "ingest-compact",
+		City:            city.String(),
+		Seed:            seed,
+		Concurrency:     conc,
+		DurationS:       duration.Seconds(),
+		IngestEvents:    events,
+		IngestMs:        ingestMs,
+		CompactMs:       compactMs,
+		SteadyRequests:  len(steady),
+		SteadyQPS:       float64(len(steady)) / duration.Seconds(),
+		SteadyP50Ms:     quantile(steady, 0.50),
+		SteadyP99Ms:     quantile(steady, 0.99),
+		CompactRequests: len(under),
+		CompactQPS:      float64(len(under)) / duration.Seconds(),
+		CompactP50Ms:    quantile(under, 0.50),
+		CompactP99Ms:    quantile(under, 0.99),
+		Errors:          errs1 + errs2,
+	}
+	if run.SteadyP99Ms > 0 {
+		run.P99Ratio = run.CompactP99Ms / run.SteadyP99Ms
+	}
+
+	fmt.Printf("\ningest bench (%s, %d clients, %d events):\n", city, conc, events)
+	fmt.Printf("  ingest     %.1fms for %d events\n", run.IngestMs, events)
+	fmt.Printf("  compaction %.1fms background fold\n", run.CompactMs)
+	fmt.Printf("  steady     %d req, %.0f req/s, p50 %.3fms, p99 %.3fms\n",
+		run.SteadyRequests, run.SteadyQPS, run.SteadyP50Ms, run.SteadyP99Ms)
+	fmt.Printf("  compacting %d req, %.0f req/s, p50 %.3fms, p99 %.3fms\n",
+		run.CompactRequests, run.CompactQPS, run.CompactP50Ms, run.CompactP99Ms)
+	fmt.Printf("  p99 ratio  %.2fx (under compaction vs steady)\n", run.P99Ratio)
+
+	if outPath != "" {
+		if err := appendBenchRun(outPath, run); err != nil {
+			return err
+		}
+		fmt.Println("appended run to", outPath)
+	}
+	return nil
+}

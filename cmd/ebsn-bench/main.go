@@ -59,6 +59,7 @@ func main() {
 		serveMode = flag.Bool("serve", false, "load-test the HTTP serving stack instead of running paper experiments")
 		conc      = flag.Int("conc", 16, "concurrent clients for -serve")
 		duration  = flag.Duration("duration", 5*time.Second, "load duration for -serve")
+		ingestN   = flag.Int("ingest", 0, "with -serve: measure query p99 while this many live events batch-ingest and background-compact (0 = plain load test)")
 		benchOut  = flag.String("benchout", "BENCH_serve.json", "trajectory file for -serve results (empty disables)")
 
 		trainMode = flag.Bool("train", false, "micro-benchmark the SGD training hot path: steps/sec at 1/2/4/8 threads")
@@ -89,7 +90,11 @@ func main() {
 			err = perr
 			break
 		}
-		err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *benchOut)
+		if *ingestN > 0 {
+			err = runServeIngestBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *ingestN, *benchOut)
+		} else {
+			err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *benchOut)
+		}
 	case *trainMode:
 		cityID, perr := ebsn.ParseCity(*city)
 		if perr != nil {

@@ -59,6 +59,7 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "connection-drain budget on shutdown")
 		pruneK      = flag.Int("prunek", 0, "TA candidate pruning per partner (0 = 5% heuristic, negative = full space)")
 		shards      = flag.Int("shards", 1, "partner-range shards of the scatter-gather query engine (results identical for any value)")
+		autoCompact = flag.Int("auto-compact", 0, "background-compact the live delta once this many events are pending (0 = only on POST /v1/compact)")
 		snapshot    = flag.String("snapshot", "", "model snapshot file for SIGHUP / POST /v1/reload (default <model>/model.gob)")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
 		trace       = flag.Bool("trace", false, "enable request-scoped tracing (slow-query ring at /v1/debug/slowlog)")
@@ -101,6 +102,7 @@ func main() {
 	s := serve.New(rec, serve.Config{
 		PruneK:             *pruneK,
 		Shards:             *shards,
+		AutoCompactEvents:  *autoCompact,
 		SnapshotPath:       *snapshot,
 		CacheCapacity:      *cache,
 		CacheTTL:           *cacheTTL,

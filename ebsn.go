@@ -261,9 +261,15 @@ type Recommender struct {
 	// after Build/Open, so one capture suffices.
 	snap *core.Snapshot
 
-	// Live-ingestion state (serving.go).
-	taDynamic  *ta.Dynamic
-	liveEvents int
+	// Live-ingestion state (serving.go): the mutable delta tier absorbing
+	// ingested events, plus the live base it overlays — the plain engine
+	// or index until a compaction forks a private fold (taLive*), so the
+	// frozen structures the non-live query paths use are never mutated.
+	taDelta      *ta.Delta
+	taLiveEngine *engine.Engine
+	taLiveSet    *ta.CandidateSet
+	taLiveIdx    *ta.FastIndex
+	liveEvents   int
 }
 
 // New generates a synthetic city per cfg and runs the full pipeline.
@@ -416,18 +422,28 @@ func (r *Recommender) PrepareJoint(pruneK int) error {
 	r.taPruneK = pruneK
 	// A rebuilt candidate space invalidates the live-ingestion delta;
 	// callers re-ingest (or compact before re-preparing).
-	r.taDynamic = nil
+	r.resetLive()
 	return nil
+}
+
+// resetLive clears the live-ingestion tiers; a re-prepared candidate
+// space orphans them.
+func (r *Recommender) resetLive() {
+	r.taDelta = nil
+	r.taLiveEngine = nil
+	r.taLiveSet = nil
+	r.taLiveIdx = nil
 }
 
 // PrepareJointSharded builds the scatter-gather engine over the joint
 // candidate space with the given partner-range shard count (values < 1
 // mean 1) and the same pruning semantics as PrepareJoint. With one
 // shard the engine's candidate set and index double as the monolithic
-// ones, so the TopEventPartners* family and live ingestion keep working
-// without a second build; with more shards the monolithic structures
-// are cleared and rebuilt lazily only if live ingestion needs them
-// (sharding live deltas is future work — see internal/engine).
+// ones, so the TopEventPartners* family keeps working without a second
+// build; with more shards the monolithic structures are cleared and
+// rebuilt lazily only if a non-live monolithic query path needs them.
+// Live ingestion overlays the engine directly: the delta tier covers
+// every partner, and compaction folds it into all shards (Engine.Fold).
 func (r *Recommender) PrepareJointSharded(pruneK, shards int) error {
 	events, partners := r.jointVectors()
 	eng, err := engine.Build(events, partners, engine.Config{
@@ -440,7 +456,7 @@ func (r *Recommender) PrepareJointSharded(pruneK, shards int) error {
 	}
 	r.taEngine = eng
 	r.taPruneK = pruneK
-	r.taDynamic = nil
+	r.resetLive()
 	r.taSet = eng.Set()     // non-nil only for one shard
 	r.taIndex = eng.Index() // likewise
 	return nil

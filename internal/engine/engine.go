@@ -102,8 +102,64 @@ func Build(events, partners [][]float32, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Fold builds a new engine covering this one's candidate space plus a
+// delta of ingested events, without mutating the original: each shard's
+// event list gains the delta events (replicated, as Build replicates),
+// and each delta pair lands on the shard owning its partner with the
+// pair's Event index rebased past the shard's base events and its
+// Partner translated to the shard-local space. Row headers are copied
+// before the per-shard index builds re-alias them into fresh packed
+// storage, so the original engine keeps answering queries while the
+// fold runs — the engine half of the copy-on-write compaction
+// (ta.FoldDelta is the monolithic half, and the two stay bit-identical
+// shard-by-shard because the appended pairs keep their arrival order
+// and cross terms). pairs[i].Event indexes events; partners are global
+// IDs. workers bounds each shard's index-build parallelism.
+func (e *Engine) Fold(events [][]float32, pairs []ta.Candidate, cross []float32, workers int) (*Engine, error) {
+	if len(pairs) != len(cross) {
+		return nil, fmt.Errorf("engine: fold pair/cross length mismatch: %d vs %d", len(pairs), len(cross))
+	}
+	ne := &Engine{k: e.k, nPartners: e.nPartners, shards: make([]Shard, 0, len(e.shards))}
+	ne.pool.New = func() any { return &fanoutScratch{} }
+	for i, sh := range e.shards {
+		ls, ok := sh.(*localShard)
+		if !ok {
+			return nil, fmt.Errorf("engine: shard %d (%T) does not support local folds", i, sh)
+		}
+		nb := len(ls.set.Events)
+		ev := make([][]float32, nb+len(events))
+		copy(ev, ls.set.Events)
+		copy(ev[nb:], events)
+		ps := make([][]float32, len(ls.set.Partners))
+		copy(ps, ls.set.Partners)
+		np := make([]ta.Candidate, len(ls.set.Pairs), len(ls.set.Pairs)+len(pairs))
+		copy(np, ls.set.Pairs)
+		nc := make([]float32, len(ls.set.Cross), len(ls.set.Cross)+len(cross))
+		copy(nc, ls.set.Cross)
+		for j, p := range pairs {
+			if p.Partner >= ls.lo && p.Partner < ls.hi {
+				np = append(np, ta.Candidate{Event: p.Event + int32(nb), Partner: p.Partner - ls.lo})
+				nc = append(nc, cross[j])
+			}
+		}
+		set := &ta.CandidateSet{K: e.k, Events: ev, Partners: ps, Pairs: np, Cross: nc}
+		idx := ta.NewFastIndexWorkers(set, workers)
+		nsh := &localShard{set: set, idx: idx, lo: ls.lo, hi: ls.hi}
+		ne.pairs += nsh.Pairs()
+		ne.shards = append(ne.shards, nsh)
+		if i == 0 {
+			ne.affSet = set
+		}
+	}
+	return ne, nil
+}
+
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// NumEvents returns the number of events each shard replicates — the
+// event index space of Search results.
+func (e *Engine) NumEvents() int { return len(e.affSet.Events) }
 
 // Candidates returns the total candidate pairs across all shards.
 func (e *Engine) Candidates() int { return e.pairs }

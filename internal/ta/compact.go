@@ -1,0 +1,78 @@
+package ta
+
+// FoldDelta builds a fresh candidate set and index covering base plus
+// the delta view, without mutating either: event and partner row headers
+// are copied into new containers before the index build re-aliases them
+// into new packed storage, so queries over base (and appends to the
+// delta past the view) proceed concurrently while the fold runs. Delta
+// events are appended after the base events in arrival order — a delta
+// event at position i lands at index len(base.Events)+i, the same
+// effective index the delta overlay ranks it under — and their pairs
+// keep the cross terms computed at arrival, so the folded index is
+// bit-identical to an in-place rebuild. workers bounds the index-build
+// parallelism (0 = GOMAXPROCS, the NewFastIndexWorkers default).
+func FoldDelta(base *CandidateSet, v DeltaView, workers int) (*CandidateSet, *FastIndex) {
+	nb := len(base.Events)
+	events := make([][]float32, nb+len(v.Events))
+	copy(events, base.Events)
+	copy(events[nb:], v.Events)
+	partners := make([][]float32, len(base.Partners))
+	copy(partners, base.Partners)
+
+	pairs := make([]Candidate, len(base.Pairs)+len(v.Pairs))
+	copy(pairs, base.Pairs)
+	for i, p := range v.Pairs {
+		pairs[len(base.Pairs)+i] = Candidate{Event: p.Event + int32(nb), Partner: p.Partner}
+	}
+	cross := make([]float32, len(base.Cross)+len(v.Cross))
+	copy(cross, base.Cross)
+	copy(cross[len(base.Cross):], v.Cross)
+
+	set := &CandidateSet{K: base.K, Events: events, Partners: partners, Pairs: pairs, Cross: cross}
+	idx := NewFastIndexWorkers(set, workers)
+	return set, idx
+}
+
+// Compaction is one in-flight fold of a Dynamic's delta into a fresh
+// main index. BeginCompact captures the work cheaply under the caller's
+// writer lock; Run does the expensive build with no lock held (queries
+// and further AddEvent calls proceed against the old tiers); Install
+// swaps the result in under the writer lock again — a pointer swap, not
+// a rebuild.
+type Compaction struct {
+	baseSet *CandidateSet
+	view    DeltaView
+
+	// Set and Idx are the folded main tier, populated by Run.
+	Set *CandidateSet
+	Idx *FastIndex
+}
+
+// Events returns the number of delta events this compaction folds.
+func (c *Compaction) Events() int { return len(c.view.Events) }
+
+// Run performs the fold. It holds no reference to the Dynamic and may
+// run on any goroutine; the capture/install steps carry the mutual
+// exclusion.
+func (c *Compaction) Run(workers int) {
+	c.Set, c.Idx = FoldDelta(c.baseSet, c.view, workers)
+}
+
+// BeginCompact captures the current delta as a compaction unit, or nil
+// when the delta is empty. Serialize with AddEvent/Install (the same
+// writer lock); the returned compaction's Run needs no lock.
+func (d *Dynamic) BeginCompact() *Compaction {
+	if d.delta.Events() == 0 {
+		return nil
+	}
+	return &Compaction{baseSet: d.set, view: d.delta.View()}
+}
+
+// Install swaps the compaction's folded index in as the main tier and
+// drops the folded prefix from the delta (events ingested after
+// BeginCompact remain queued). Serialize with AddEvent and queries; the
+// call is two pointer swaps plus the residual-delta copy.
+func (d *Dynamic) Install(c *Compaction) {
+	d.set, d.idx = c.Set, c.Idx
+	d.delta.Advance(c.view)
+}

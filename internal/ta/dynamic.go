@@ -1,87 +1,41 @@
 package ta
 
 import (
-	"fmt"
-	"slices"
-	"sort"
 	"time"
-
-	"ebsn/internal/vecmath"
 )
 
 // Dynamic serves exact top-n queries over a candidate space that keeps
 // growing: EBSN events arrive continuously (the cold-start premise), and
-// rebuilding the sorted TA index per arrival would be wasteful. New
-// events' pairs accumulate in an unsorted delta that every query scans
-// exhaustively (it is small), merged into a fresh index on Rebuild —
-// the classic main-index-plus-delta design of search systems.
+// rebuilding the sorted TA index per arrival would be wasteful. It is
+// the two-tier composition of an immutable packed main index and a small
+// mutable Delta that every query scans exhaustively. Compaction folds
+// the delta into a fresh main index copy-on-write (BeginCompact / Run /
+// Install, or the synchronous Rebuild wrapper): the old tiers keep
+// serving while the fold runs, and installation is a pointer swap.
 type Dynamic struct {
-	set *CandidateSet
-	idx *FastIndex
-
-	// Delta state: appended events and their pruned pairs.
-	deltaEvents [][]float32
-	deltaPairs  []Candidate // Event indexes into deltaEvents
-	deltaCross  []float32
-	topK        int
+	set   *CandidateSet
+	idx   *FastIndex
+	delta *Delta
 }
 
 // NewDynamic wraps a built candidate set. topK bounds the pairs added per
 // arriving event (0 = all partners).
 func NewDynamic(set *CandidateSet, topK int) *Dynamic {
-	return &Dynamic{set: set, idx: NewFastIndex(set), topK: topK}
+	idx := NewFastIndex(set) // packs the set; the delta shares its rows
+	return &Dynamic{set: set, idx: idx, delta: NewDeltaForSet(set, topK)}
 }
 
 // DeltaSize returns the number of unindexed pairs.
-func (d *Dynamic) DeltaSize() int { return len(d.deltaPairs) }
+func (d *Dynamic) DeltaSize() int { return d.delta.PairCount() }
 
 // NumEvents returns the total events known (indexed + delta).
-func (d *Dynamic) NumEvents() int { return len(d.set.Events) + len(d.deltaEvents) }
+func (d *Dynamic) NumEvents() int { return len(d.set.Events) + d.delta.Events() }
 
 // AddEvent registers a newly arrived event vector. Its candidate pairs
 // are the topK partners by the partner-preference score u'·x (the same
 // pruning rule the offline build uses), or all partners when topK ≤ 0.
 // The vector is copied, so the caller may reuse its slice.
-func (d *Dynamic) AddEvent(vec []float32) error {
-	if len(vec) != d.set.K {
-		return fmt.Errorf("ta: event vector length %d, want %d", len(vec), d.set.K)
-	}
-	vec = append(make([]float32, 0, len(vec)), vec...)
-	eventIdx := int32(len(d.deltaEvents))
-	d.deltaEvents = append(d.deltaEvents, vec)
-
-	// One streamed pass over the packed partner rows covers both the
-	// pruning scores and the cross terms of the retained pairs.
-	scores := make([]float32, len(d.set.Partners))
-	vecmath.DotBatch(vec, d.set.partnerData, d.set.K, scores)
-	for _, u := range d.partnerIndices(scores) {
-		d.deltaPairs = append(d.deltaPairs, Candidate{Event: eventIdx, Partner: u})
-		d.deltaCross = append(d.deltaCross, scores[u])
-	}
-	return nil
-}
-
-// partnerIndices returns the partners whose candidate list the new event
-// joins, given the per-partner preference scores u'·x: everyone when
-// unpruned, else the topK by score.
-func (d *Dynamic) partnerIndices(scores []float32) []int32 {
-	n := len(d.set.Partners)
-	if d.topK <= 0 || d.topK >= n {
-		out := make([]int32, n)
-		for i := range out {
-			out[i] = int32(i)
-		}
-		return out
-	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(i)
-	}
-	sort.Slice(out, func(i, j int) bool { return scores[out[i]] > scores[out[j]] })
-	out = out[:d.topK]
-	slices.Sort(out)
-	return out
-}
+func (d *Dynamic) AddEvent(vec []float32) error { return d.delta.AddEvent(vec) }
 
 // DynamicResult tags a Result with whether the event came from the delta
 // (its Event index then refers to arrival order, not the base set).
@@ -114,65 +68,28 @@ func (d *Dynamic) topNExcluding(userVec []float32, n int, exclude int32, sc *Scr
 	start := time.Now()
 	base, stats := d.idx.topNExcluding(userVec, nil, n, exclude, sc, sc.out[:0])
 	sc.out = base[:0]
-	merged := sc.dout[:0]
-	for _, r := range base {
-		merged = append(merged, DynamicResult{Result: r})
-	}
-	// Exhaustive scan of the delta: tiny by construction.
-	for i, pair := range d.deltaPairs {
-		if pair.Partner == exclude {
-			continue
-		}
-		s := vecmath.Dot(userVec, d.deltaEvents[pair.Event]) +
-			d.deltaCross[i] +
-			vecmath.Dot(userVec, d.set.Partners[pair.Partner])
-		merged = append(merged, DynamicResult{
-			Result:    Result{Event: pair.Event, Partner: pair.Partner, Score: s},
-			FromDelta: true,
-		})
-		stats.RandomAccesses++
-	}
-	stats.Candidates += len(d.deltaPairs)
-	slices.SortStableFunc(merged, func(a, b DynamicResult) int {
-		switch {
-		case a.Score > b.Score:
-			return -1
-		case a.Score < b.Score:
-			return 1
-		default:
-			return 0
-		}
-	})
-	sc.dout = merged
-	if len(merged) > n {
-		merged = merged[:n]
-	}
+	merged := d.delta.MergeTopN(base, len(d.set.Events), userVec, n, exclude, sc, &stats)
 	// Re-stamp over the base index's reading so Elapsed covers the delta
 	// scan and merge as well.
 	stats.Elapsed = time.Since(start)
 	return merged, stats
 }
 
-// Rebuild folds the delta into a fresh candidate set and index. Delta
-// events are appended to the base event list in arrival order, so their
+// Rebuild folds the delta into a fresh candidate set and index
+// synchronously (BeginCompact + Run + Install in one call). Delta events
+// are appended to the base event list in arrival order, so their
 // post-rebuild Event indices are len(baseEvents) + arrival position.
-// The rebuilt index (grouping, bounds, re-pack) uses all available CPUs.
+// The base set is not mutated — the fold is copy-on-write — and the
+// rebuilt index (grouping, bounds, re-pack) uses all available CPUs.
 func (d *Dynamic) Rebuild() {
-	if len(d.deltaEvents) == 0 {
+	c := d.BeginCompact()
+	if c == nil {
 		return
 	}
-	offset := int32(len(d.set.Events))
-	d.set.Events = append(d.set.Events, d.deltaEvents...)
-	for i, pair := range d.deltaPairs {
-		d.set.Pairs = append(d.set.Pairs, Candidate{Event: offset + pair.Event, Partner: pair.Partner})
-		d.set.Cross = append(d.set.Cross, d.deltaCross[i])
-	}
-	d.deltaEvents = nil
-	d.deltaPairs = nil
-	d.deltaCross = nil
-	d.idx = NewFastIndex(d.set)
+	c.Run(0)
+	d.Install(c)
 }
 
 // DeltaEvents returns the number of events currently in the delta (not
-// yet folded into the base index by Rebuild).
-func (d *Dynamic) DeltaEvents() int { return len(d.deltaEvents) }
+// yet folded into the base index by a compaction).
+func (d *Dynamic) DeltaEvents() int { return d.delta.Events() }

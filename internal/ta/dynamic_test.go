@@ -87,7 +87,7 @@ func TestDynamicTopKPruning(t *testing.T) {
 	for _, e := range all[:4] {
 		best[e.u] = true
 	}
-	for _, pair := range dyn.deltaPairs {
+	for _, pair := range dyn.delta.pairs {
 		if !best[pair.Partner] {
 			t.Fatalf("partner %d not in true top-4", pair.Partner)
 		}

@@ -3,6 +3,7 @@ package serve
 import (
 	"io"
 	"strconv"
+	"sync"
 	"time"
 
 	"ebsn"
@@ -85,6 +86,24 @@ type Metrics struct {
 	shardQueries  *obs.Counter
 	shardSearches *obs.CounterVec
 	shardWall     *obs.HistogramVec
+
+	// Streaming-ingest panel: per-source arrival counters (bounded label
+	// cardinality — see RecordIngest) and the background-compaction
+	// lifecycle.
+	ingestEvents       *obs.CounterVec
+	ingestMu           sync.Mutex
+	ingestSrc          map[string]*obs.Counter
+	compactions        *obs.Counter
+	compactionFailures *obs.Counter
+	compactionRunning  *obs.Gauge
+	compactionDuration *obs.Histogram
+	compactedEvents    *obs.Counter
+}
+
+// compactionBoundsSeconds are the background-fold duration buckets:
+// milliseconds on the tiny presets up to tens of seconds at city scale.
+var compactionBoundsSeconds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
 // NewMetrics creates a Metrics with one EndpointMetrics per name. The
@@ -141,7 +160,75 @@ func NewMetrics(endpointNames ...string) *Metrics {
 	m.shardWall = m.reg.HistogramVec("ebsn_serve_shard_wall_seconds",
 		"Wall-clock duration of one shard's search within a fan-out.",
 		taBoundsSeconds, "shard")
+	m.ingestEvents = m.reg.CounterVec("ebsn_serve_ingest_events_total",
+		"Live events accepted by /v1/ingest, by source attribution.", "source")
+	m.ingestSrc = make(map[string]*obs.Counter)
+	m.compactions = m.reg.Counter("ebsn_serve_compactions_total",
+		"Background delta compactions completed (successes and failures).")
+	m.compactionFailures = m.reg.Counter("ebsn_serve_compaction_failures_total",
+		"Background delta compactions that failed or were superseded.")
+	m.compactionRunning = m.reg.Gauge("ebsn_serve_compaction_running",
+		"1 while a background delta compaction is in flight.")
+	m.compactionDuration = m.reg.Histogram("ebsn_serve_compaction_duration_seconds",
+		"Wall-clock duration of one background delta fold (build + swap).",
+		compactionBoundsSeconds)
+	m.compactedEvents = m.reg.Counter("ebsn_serve_compacted_events_total",
+		"Live events folded from the delta into the main index.")
 	return m
+}
+
+// maxIngestSources bounds the source label cardinality; arrivals past
+// the cap are attributed to "_other" so a misbehaving client cannot
+// grow the exposition without bound.
+const maxIngestSources = 64
+
+// RecordIngest counts n accepted events for the source and returns the
+// source's running total. Unknown sources allocate a new labeled child
+// until the cardinality cap, then collapse into "_other".
+func (m *Metrics) RecordIngest(source string, n int) uint64 {
+	m.ingestMu.Lock()
+	c, ok := m.ingestSrc[source]
+	if !ok {
+		if len(m.ingestSrc) >= maxIngestSources {
+			source = "_other"
+			c, ok = m.ingestSrc[source]
+		}
+		if !ok {
+			c = m.ingestEvents.With(source)
+			m.ingestSrc[source] = c
+		}
+	}
+	m.ingestMu.Unlock()
+	c.Add(uint64(n))
+	return c.Value()
+}
+
+// IngestSources snapshots the per-source accepted-event totals.
+func (m *Metrics) IngestSources() map[string]uint64 {
+	m.ingestMu.Lock()
+	defer m.ingestMu.Unlock()
+	out := make(map[string]uint64, len(m.ingestSrc))
+	for src, c := range m.ingestSrc {
+		out[src] = c.Value()
+	}
+	return out
+}
+
+// CompactionStarted flips the running gauge up; pair with CompactionDone.
+func (m *Metrics) CompactionStarted() { m.compactionRunning.Set(1) }
+
+// CompactionDone records one finished background compaction: duration,
+// events folded (on success), and the failure counter when err is
+// non-nil. The running gauge flips down.
+func (m *Metrics) CompactionDone(d time.Duration, folded int, err error) {
+	m.compactionRunning.Set(0)
+	m.compactions.Inc()
+	m.compactionDuration.Observe(d)
+	if err != nil {
+		m.compactionFailures.Inc()
+		return
+	}
+	m.compactedEvents.Add(uint64(folded))
 }
 
 // Registry exposes the underlying registry so the server can attach

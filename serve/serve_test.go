@@ -212,9 +212,10 @@ func TestCacheHitMissAndInvalidationOnIngest(t *testing.T) {
 		t.Fatalf("post-ingest query: hits %d→%d misses %d→%d, want one miss", h2, h3, m2, m3)
 	}
 
-	// Compaction bumps the generation too.
+	// Compaction bumps the generation too once the background fold
+	// lands; ?wait=1 restores synchronous semantics for the assertion.
 	genBefore := s.Generation()
-	resp, err := http.Post(srv.URL+"/v1/compact", "application/json", nil)
+	resp, err := http.Post(srv.URL+"/v1/compact?wait=1", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,6 +226,9 @@ func TestCacheHitMissAndInvalidationOnIngest(t *testing.T) {
 	resp.Body.Close()
 	if comp.Generation != genBefore+1 {
 		t.Fatalf("compact generation = %d, want %d", comp.Generation, genBefore+1)
+	}
+	if comp.PendingEvents != 0 {
+		t.Fatalf("pending events after awaited compact = %d, want 0", comp.PendingEvents)
 	}
 }
 
@@ -408,7 +412,9 @@ func TestConcurrentTrafficWithIngest(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < 3; i++ {
 			ingestTemplateEvent(t, srv)
-			resp, err := http.Post(srv.URL+"/v1/compact", "application/json", nil)
+			// wait=1 keeps the fold from outliving the test: the shared
+			// recommender must not be compacted under a later test's server.
+			resp, err := http.Post(srv.URL+"/v1/compact?wait=1", "application/json", nil)
 			if err != nil {
 				t.Error(err)
 				return
@@ -557,7 +563,7 @@ func TestReloadFailureKeepsServingOldModel(t *testing.T) {
 	}
 }
 
-func TestReloadDropsLiveEventsAndKeepsConsistency(t *testing.T) {
+func TestReloadReplaysLiveEventsAndKeepsConsistency(t *testing.T) {
 	snapPath := saveTestSnapshot(t)
 	s := warmServer(t, Config{SnapshotPath: snapPath})
 	srv := httptest.NewServer(s)
@@ -568,16 +574,25 @@ func TestReloadDropsLiveEventsAndKeepsConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var out ReloadResponse
+	if decErr := json.NewDecoder(resp.Body).Decode(&out); decErr != nil {
+		t.Fatal(decErr)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("reload = %d", resp.StatusCode)
 	}
+	// The journaled live event was replayed onto the fresh model instead
+	// of being dropped.
+	if out.Replayed != 1 {
+		t.Fatalf("reload replayed %d live events, want 1", out.Replayed)
+	}
 	var m ServerMetrics
 	getJSON(t, srv, "/metrics?format=json", &m)
-	if m.LiveEvents != 0 {
-		t.Fatalf("live events after reload = %d, want 0 (retrained model supersedes the delta)", m.LiveEvents)
+	if m.LiveEvents != 1 {
+		t.Fatalf("live events after reload = %d, want 1 (journal replay)", m.LiveEvents)
 	}
-	// Live path still answers against the fresh index.
+	// Live path still answers against the fresh index plus replayed delta.
 	if resp := getJSON(t, srv, "/v1/partners/live?user=2&n=5", nil); resp.StatusCode != 200 {
 		t.Fatalf("/v1/partners/live after reload = %d", resp.StatusCode)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"ebsn"
 	"ebsn/internal/obs"
+	"ebsn/internal/text"
 )
 
 // Config tunes the server. The zero value is serviceable: every field
@@ -42,6 +43,10 @@ type Config struct {
 	CacheShards int
 	// CacheTTL bounds entry staleness (default 60s; < 0 disables expiry).
 	CacheTTL time.Duration
+	// AutoCompactEvents kicks a background delta compaction once the
+	// pending live-event count reaches this threshold (0 disables —
+	// compaction then runs only on explicit /v1/compact).
+	AutoCompactEvents int
 	// MaxInFlight is the concurrency bound before load shedding
 	// (default 256).
 	MaxInFlight int
@@ -109,12 +114,14 @@ func (c *Config) fill() {
 // Server wraps a Recommender in the production HTTP stack. Create with
 // New, then call Warm to build the TA index and flip readiness.
 //
-// Concurrency: query handlers hold a read lock; ingestion, compaction
-// and the reload swap hold the write lock, serializing the
-// Recommender's mutating methods as its contract requires. Reload
-// builds its replacement Recommender entirely outside the lock, so
-// in-flight queries finish against the old model and the swap itself is
-// one pointer write.
+// Concurrency: query handlers hold a read lock; ingestion and the two
+// swap points (the reload pointer swap and the compaction install) hold
+// the write lock, serializing the Recommender's mutating methods as its
+// contract requires. Both heavy builds run entirely outside the lock:
+// Reload constructs its replacement Recommender off the request path,
+// and the background compaction folds the delta into a fresh index on a
+// copy — queries never wait on either, only on the pointer-swap
+// critical sections.
 type Server struct {
 	cfg     Config
 	cache   *Cache
@@ -130,6 +137,39 @@ type Server struct {
 
 	reloadMu sync.Mutex // serializes Reload calls end to end
 	reload   reloadState
+
+	compact compactState
+
+	// journal records every accepted live ingest since startup so Reload
+	// can replay them onto the fresh model instead of dropping them.
+	// Appends happen while holding s.mu (write), so holding s.mu also
+	// stabilizes the journal; journalMu alone suffices for snapshots.
+	journalMu sync.Mutex
+	journal   []ingestRecord
+}
+
+// ingestRecord is one replayable live ingest.
+type ingestRecord struct {
+	words  []string
+	venue  int32
+	start  time.Time
+	source string
+}
+
+// compactState tracks the single-flight background compaction: at most
+// one fold runs at a time, and waiters (POST /v1/compact?wait=1) block
+// on the done channel of the in-flight run.
+type compactState struct {
+	mu         sync.Mutex
+	running    bool
+	done       chan struct{}
+	count      uint64
+	failures   uint64
+	folded     uint64
+	lastDur    time.Duration
+	lastFolded int
+	lastErr    string
+	lastAt     time.Time
 }
 
 // reloadState is the observability record behind /metrics' reload
@@ -244,11 +284,25 @@ func (s *Server) registerStateMetrics() {
 			return float64(s.rec.EngineShards())
 		})
 	reg.GaugeFunc("ebsn_serve_live_events",
-		"Live-ingested events awaiting compaction.",
+		"Live-ingested events layered on the serving snapshot (total since the last reload).",
 		func() float64 {
 			s.mu.RLock()
 			defer s.mu.RUnlock()
 			return float64(s.rec.LiveEventCount())
+		})
+	reg.GaugeFunc("ebsn_serve_delta_events",
+		"Live events pending in the mutable delta, awaiting background compaction.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.rec.PendingLiveEvents())
+		})
+	reg.GaugeFunc("ebsn_serve_delta_pairs",
+		"Candidate pairs in the mutable delta overlay scanned by every live query.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.rec.PendingLivePairs())
 		})
 	reg.GaugeFunc("ebsn_serve_model_steps",
 		"Gradient steps of the serving model snapshot.",
@@ -333,10 +387,17 @@ func (s *Server) resolvePruneK(rec *ebsn.Recommender) int {
 // rebuilds a Recommender and its TA index entirely off the request
 // path, then atomically swaps it in and bumps the cache generation —
 // zero downtime: queries in flight finish against the old model, new
-// queries see the new one. Any live-ingested events are dropped (the
-// retrained model supersedes them). A failed reload leaves the serving
-// model untouched; success and failure are both recorded for /metrics.
+// queries see the new one. Live-ingested events are replayed from the
+// ingest journal onto the fresh model (the bulk off-lock; arrivals that
+// race the replay are caught up under the final swap lock), so a reload
+// never silently drops them. A failed reload leaves the serving model
+// untouched; success and failure are both recorded for /metrics.
 func (s *Server) Reload(path string) (err error) {
+	_, err = s.reload2(path)
+	return err
+}
+
+func (s *Server) reload2(path string) (replayed int, err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	defer func() { s.recordReload(path, err) }()
@@ -345,33 +406,85 @@ func (s *Server) Reload(path string) (err error) {
 		path = s.cfg.SnapshotPath
 	}
 	if path == "" {
-		return errors.New("serve: no snapshot path configured (set Config.SnapshotPath or name one in the reload request)")
+		return 0, errors.New("serve: no snapshot path configured (set Config.SnapshotPath or name one in the reload request)")
 	}
 	snap, err := ebsn.LoadModelSnapshot(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.RLock()
 	cur := s.rec
 	s.mu.RUnlock()
 	next, err := cur.WithSnapshot(snap)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	pk := s.resolvePruneK(next)
 	if err := next.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
-		return err
+		return 0, err
 	}
+	// Replay the journaled live events into the fresh recommender while
+	// the old one keeps serving. Ingests that land mid-replay append to
+	// the journal under s.mu, so the tail pass below (inside the write
+	// lock, which blocks ingest) is guaranteed to see all of them.
+	base := s.journalSnapshot()
+	replayed = s.replayJournal(next, base)
 	s.mu.Lock()
+	replayed += s.replayJournal(next, s.journalTail(len(base)))
 	s.rec = next
 	s.mu.Unlock()
 	s.pruneK.Store(int64(pk))
 	s.gen.Add(1) // orphan every cached response from the old model
 	s.ready.Store(true)
 	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf("reloaded model from %s (steps=%d, generation=%d)", path, snap.Steps, s.gen.Load())
+		s.cfg.Logger.Printf("reloaded model from %s (steps=%d, generation=%d, replayed=%d live events)",
+			path, snap.Steps, s.gen.Load(), replayed)
 	}
-	return nil
+	return replayed, nil
+}
+
+// replayJournal folds the records into rec, returning how many landed.
+// Failures are logged and skipped: one bad record must not abort the
+// reload that 0 or more good ones depend on.
+func (s *Server) replayJournal(rec *ebsn.Recommender, records []ingestRecord) int {
+	n := 0
+	for _, jr := range records {
+		if _, err := rec.IngestColdEvent(jr.words, jr.venue, jr.start); err != nil {
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("reload: replaying live event (venue=%d source=%q) failed: %v", jr.venue, jr.source, err)
+			}
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func (s *Server) appendJournal(jr ingestRecord) {
+	s.journalMu.Lock()
+	s.journal = append(s.journal, jr)
+	s.journalMu.Unlock()
+}
+
+func (s *Server) journalSnapshot() []ingestRecord {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	out := make([]ingestRecord, len(s.journal))
+	copy(out, s.journal)
+	return out
+}
+
+// journalTail returns the records appended after the first n. Callers
+// hold s.mu (write) so the tail cannot grow underneath them.
+func (s *Server) journalTail(n int) []ingestRecord {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	if n >= len(s.journal) {
+		return nil
+	}
+	out := make([]ingestRecord, len(s.journal)-n)
+	copy(out, s.journal[n:])
+	return out
 }
 
 func (s *Server) recordReload(path string, err error) {
@@ -556,27 +669,76 @@ type ExplainResponse struct {
 	Friend       bool    `json:"friend"`
 }
 
-// IngestRequest is the POST /v1/ingest body.
+// IngestRequest is the POST /v1/ingest body. Two shapes are accepted:
+// the original single-event form (words/venue/start at the top level)
+// and a batch form carrying events[] plus an optional source
+// attribution. The two are mutually exclusive.
 type IngestRequest struct {
-	// Words is the event description, tokenized.
-	Words []string `json:"words"`
-	// Venue is a known venue ID (the fold-in anchor).
-	Venue int32 `json:"venue"`
-	// Start is the event start time, RFC 3339.
-	Start time.Time `json:"start"`
+	// Words is the event description, tokenized (single-event form).
+	Words []string `json:"words,omitempty"`
+	// Venue is a known venue ID, the fold-in anchor (single-event form).
+	Venue int32 `json:"venue,omitempty"`
+	// Start is the event start time, RFC 3339 (single-event form).
+	Start time.Time `json:"start,omitempty"`
+	// Source attributes the batch to an upstream feed for the
+	// per-source ingest counters ("default" when empty).
+	Source string `json:"source,omitempty"`
+	// Events is the batch form: every event is validated before any is
+	// ingested, and the whole batch lands under one generation bump.
+	Events []IngestEvent `json:"events,omitempty"`
 }
 
-// IngestResponse reports the assigned live event ID.
+// IngestEvent is one event in a batched ingest. Either pre-tokenized
+// words or Schema.org/Event-flavored text fields (name, description,
+// keywords — tokenized server-side exactly like the training corpus)
+// must yield at least one token, and either start or startDate must be
+// set.
+type IngestEvent struct {
+	Name        string    `json:"name,omitempty"`
+	Description string    `json:"description,omitempty"`
+	Keywords    []string  `json:"keywords,omitempty"`
+	Words       []string  `json:"words,omitempty"`
+	Venue       int32     `json:"venue"`
+	StartDate   time.Time `json:"startDate,omitempty"`
+	Start       time.Time `json:"start,omitempty"`
+}
+
+// IngestResponse reports the assigned live event IDs (ID mirrors the
+// first for single-event callers) and the resulting overlay state.
 type IngestResponse struct {
-	ID         int32  `json:"id"`
-	LiveEvents int    `json:"live_events"`
-	Generation uint64 `json:"generation"`
+	ID            int32   `json:"id"`
+	IDs           []int32 `json:"ids,omitempty"`
+	Ingested      int     `json:"ingested"`
+	Source        string  `json:"source,omitempty"`
+	SourceTotal   uint64  `json:"source_total,omitempty"`
+	LiveEvents    int     `json:"live_events"`
+	PendingEvents int     `json:"pending_events"`
+	Generation    uint64  `json:"generation"`
 }
 
-// CompactResponse reports the post-compaction state.
+// CompactResponse reports the compaction state. POST /v1/compact
+// returns immediately with started=true while the fold runs in the
+// background; ?wait=1 blocks until the in-flight run (this one or an
+// earlier one) completes, restoring synchronous semantics.
 type CompactResponse struct {
-	LiveEvents int    `json:"live_events"`
-	Generation uint64 `json:"generation"`
+	Started       bool               `json:"started"`
+	Running       bool               `json:"running"`
+	LiveEvents    int                `json:"live_events"`
+	PendingEvents int                `json:"pending_events"`
+	Generation    uint64             `json:"generation"`
+	Compaction    CompactionSnapshot `json:"compaction"`
+}
+
+// CompactionSnapshot is the background-compaction section of /metrics.
+type CompactionSnapshot struct {
+	Count        uint64  `json:"count"`
+	Failures     uint64  `json:"failures"`
+	EventsFolded uint64  `json:"events_folded"`
+	Running      bool    `json:"running"`
+	LastMs       float64 `json:"last_ms,omitempty"`
+	LastFolded   int     `json:"last_folded,omitempty"`
+	LastError    string  `json:"last_error,omitempty"`
+	LastAt       string  `json:"last_at,omitempty"`
 }
 
 // ReloadRequest is the POST /v1/reload body; an empty body (or empty
@@ -586,10 +748,12 @@ type ReloadRequest struct {
 	Path string `json:"path,omitempty"`
 }
 
-// ReloadResponse reports the post-reload serving state.
+// ReloadResponse reports the post-reload serving state, including how
+// many journaled live events were replayed onto the fresh model.
 type ReloadResponse struct {
 	Generation uint64         `json:"generation"`
 	ModelSteps int64          `json:"model_steps"`
+	Replayed   int            `json:"replayed"`
 	Reload     ReloadSnapshot `json:"reload"`
 }
 
@@ -606,11 +770,14 @@ type ReloadSnapshot struct {
 // ServerMetrics is the full /metrics payload.
 type ServerMetrics struct {
 	MetricsSnapshot
-	Generation uint64         `json:"generation"`
-	LiveEvents int            `json:"live_events"`
-	ModelSteps int64          `json:"model_steps"`
-	Reload     ReloadSnapshot `json:"reload"`
-	Cache      CacheSnapshot  `json:"cache"`
+	Generation    uint64             `json:"generation"`
+	LiveEvents    int                `json:"live_events"`
+	PendingEvents int                `json:"pending_events"`
+	ModelSteps    int64              `json:"model_steps"`
+	IngestSources map[string]uint64  `json:"ingest_sources,omitempty"`
+	Compaction    CompactionSnapshot `json:"compaction"`
+	Reload        ReloadSnapshot     `json:"reload"`
+	Cache         CacheSnapshot      `json:"cache"`
 }
 
 // CacheSnapshot is the cache section of /metrics.
@@ -793,6 +960,34 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxIngestBatch bounds one POST /v1/ingest; larger feeds should chunk.
+const maxIngestBatch = 4096
+
+// normalize resolves one ingest payload into fold-in inputs: explicit
+// words win; otherwise name, description and keywords are tokenized the
+// same way the training corpus was.
+func (ev *IngestEvent) normalize() (words []string, start time.Time, err error) {
+	words = ev.Words
+	if len(words) == 0 {
+		words = append(words, text.Tokenize(ev.Name)...)
+		words = append(words, text.Tokenize(ev.Description)...)
+		for _, kw := range ev.Keywords {
+			words = append(words, text.Tokenize(kw)...)
+		}
+	}
+	if len(words) == 0 {
+		return nil, time.Time{}, errors.New("words must be non-empty (set words, or name/description/keywords)")
+	}
+	start = ev.Start
+	if start.IsZero() {
+		start = ev.StartDate
+	}
+	if start.IsZero() {
+		return nil, time.Time{}, errors.New("start must be a valid RFC 3339 time (set start or startDate)")
+	}
+	return words, start, nil
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -801,40 +996,222 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad ingest body: "+err.Error())
 		return
 	}
-	if len(req.Words) == 0 {
-		writeError(w, http.StatusBadRequest, "ingest: words must be non-empty")
+	events := req.Events
+	switch {
+	case len(events) == 0:
+		// Original single-event shape; same validation errors as before.
+		events = []IngestEvent{{Words: req.Words, Venue: req.Venue, Start: req.Start}}
+	case len(req.Words) > 0 || !req.Start.IsZero():
+		writeError(w, http.StatusBadRequest, "ingest: use either the single-event fields or events[], not both")
+		return
+	case len(events) > maxIngestBatch:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("ingest: batch of %d exceeds the %d-event limit; split the feed", len(events), maxIngestBatch))
 		return
 	}
-	if req.Start.IsZero() {
-		writeError(w, http.StatusBadRequest, "ingest: start must be a valid RFC 3339 time")
-		return
+	source := req.Source
+	if source == "" {
+		source = "default"
 	}
+	// Resolve and validate every event before ingesting any: a batch
+	// either lands whole or is rejected whole, so partial feeds cannot
+	// leave half-applied state behind a 4xx.
+	batch := make([]ingestRecord, len(events))
+	for i := range events {
+		words, start, err := events[i].normalize()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("ingest: event %d: %v", i, err))
+			return
+		}
+		batch[i] = ingestRecord{words: words, venue: events[i].Venue, start: start, source: source}
+	}
+
 	s.mu.Lock()
 	rec := s.rec
-	if int(req.Venue) < 0 || int(req.Venue) >= len(rec.Dataset().Venues) {
-		s.mu.Unlock()
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("ingest: venue %d out of range [0,%d)", req.Venue, len(rec.Dataset().Venues)))
-		return
+	nv := len(rec.Dataset().Venues)
+	for i := range batch {
+		if int(batch[i].venue) < 0 || int(batch[i].venue) >= nv {
+			s.mu.Unlock()
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("ingest: event %d: venue %d out of range [0,%d)", i, batch[i].venue, nv))
+			return
+		}
 	}
-	id, err := rec.IngestColdEvent(req.Words, req.Venue, req.Start)
+	ids := make([]int32, 0, len(batch))
+	var ingestErr error
+	for i := range batch {
+		id, err := rec.IngestColdEvent(batch[i].words, batch[i].venue, batch[i].start)
+		if err != nil {
+			ingestErr = err
+			break
+		}
+		ids = append(ids, id)
+		s.appendJournal(batch[i])
+	}
 	live := rec.LiveEventCount()
+	pending := rec.PendingLiveEvents()
 	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+
+	var gen uint64
+	var total uint64
+	if len(ids) > 0 {
+		gen = s.gen.Add(1)
+		total = s.metrics.RecordIngest(source, len(ids))
+		if s.cfg.AutoCompactEvents > 0 && pending >= s.cfg.AutoCompactEvents {
+			s.startCompaction()
+		}
+	}
+	if ingestErr != nil {
+		// Validation passed, so this is an internal fold-in failure; any
+		// earlier events of the batch already landed and stay.
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("ingest: event %d: %v (%d earlier events in this batch were ingested)", len(ids), ingestErr, len(ids)))
 		return
 	}
-	gen := s.gen.Add(1)
-	writeJSON(w, http.StatusOK, &IngestResponse{ID: id, LiveEvents: live, Generation: gen})
+	writeJSON(w, http.StatusOK, &IngestResponse{
+		ID:            ids[0],
+		IDs:           ids,
+		Ingested:      len(ids),
+		Source:        source,
+		SourceTotal:   total,
+		LiveEvents:    live,
+		PendingEvents: pending,
+		Generation:    gen,
+	})
+}
+
+// startCompaction kicks the background delta fold unless one is already
+// in flight or there is nothing pending. It returns the done channel of
+// the run that will next complete (nil when there is none) and whether
+// this call started it.
+func (s *Server) startCompaction() (<-chan struct{}, bool) {
+	s.compact.mu.Lock()
+	if s.compact.running {
+		done := s.compact.done
+		s.compact.mu.Unlock()
+		return done, false
+	}
+	s.mu.RLock()
+	pending := s.rec.PendingLiveEvents()
+	s.mu.RUnlock()
+	if pending == 0 {
+		s.compact.mu.Unlock()
+		return nil, false
+	}
+	done := make(chan struct{})
+	s.compact.running = true
+	s.compact.done = done
+	s.compact.mu.Unlock()
+	s.metrics.CompactionStarted()
+	go s.runCompaction(done)
+	return done, true
+}
+
+// runCompaction is the background fold: capture the delta prefix under
+// the write lock (microseconds), build the merged index entirely
+// outside any lock while queries keep flowing, then swap it in under
+// the write lock again. A reload that swapped the recommender mid-fold
+// supersedes the result, which is discarded.
+func (s *Server) runCompaction(done chan struct{}) {
+	start := time.Now()
+	var folded int
+	var err error
+
+	s.mu.Lock()
+	rec := s.rec
+	c := rec.BeginCompaction()
+	s.mu.Unlock()
+	if c != nil {
+		folded = c.Events()
+		if err = c.Run(); err == nil {
+			s.mu.Lock()
+			if s.rec == rec {
+				err = rec.InstallCompaction(c)
+			} else {
+				err = errors.New("compaction superseded: model reloaded while the fold ran")
+			}
+			s.mu.Unlock()
+		}
+	}
+	d := time.Since(start)
+	if err == nil && folded > 0 {
+		s.gen.Add(1) // the live overlay shrank; orphan cached live responses
+	}
+	s.metrics.CompactionDone(d, folded, err)
+	if s.cfg.Logger != nil {
+		if err != nil {
+			s.cfg.Logger.Printf("background compaction failed after %s: %v", d.Round(time.Microsecond), err)
+		} else {
+			s.cfg.Logger.Printf("background compaction folded %d live events in %s (generation=%d)",
+				folded, d.Round(time.Microsecond), s.gen.Load())
+		}
+	}
+	s.compact.mu.Lock()
+	s.compact.count++
+	s.compact.lastDur = d
+	s.compact.lastAt = time.Now()
+	if err != nil {
+		s.compact.failures++
+		s.compact.lastErr = err.Error()
+	} else {
+		s.compact.folded += uint64(folded)
+		s.compact.lastFolded = folded
+		s.compact.lastErr = ""
+	}
+	s.compact.running = false
+	s.compact.done = nil
+	s.compact.mu.Unlock()
+	close(done)
+}
+
+func (s *Server) compactionSnapshot() CompactionSnapshot {
+	s.compact.mu.Lock()
+	defer s.compact.mu.Unlock()
+	cs := CompactionSnapshot{
+		Count:        s.compact.count,
+		Failures:     s.compact.failures,
+		EventsFolded: s.compact.folded,
+		Running:      s.compact.running,
+		LastFolded:   s.compact.lastFolded,
+		LastError:    s.compact.lastErr,
+	}
+	if s.compact.lastDur > 0 {
+		cs.LastMs = float64(s.compact.lastDur) / float64(time.Millisecond)
+	}
+	if !s.compact.lastAt.IsZero() {
+		cs.LastAt = s.compact.lastAt.Format(time.RFC3339)
+	}
+	return cs
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.rec.CompactLiveEvents()
+	wait := false
+	if v := r.URL.Query().Get("wait"); v != "" && v != "0" && v != "false" {
+		wait = true
+	}
+	done, started := s.startCompaction()
+	if wait && done != nil {
+		select {
+		case <-done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable,
+				"compact: request canceled while waiting; the background fold continues")
+			return
+		}
+	}
+	s.mu.RLock()
 	live := s.rec.LiveEventCount()
-	s.mu.Unlock()
-	gen := s.gen.Add(1)
-	writeJSON(w, http.StatusOK, &CompactResponse{LiveEvents: live, Generation: gen})
+	pending := s.rec.PendingLiveEvents()
+	s.mu.RUnlock()
+	snap := s.compactionSnapshot()
+	writeJSON(w, http.StatusOK, &CompactResponse{
+		Started:       started,
+		Running:       snap.Running,
+		LiveEvents:    live,
+		PendingEvents: pending,
+		Generation:    s.gen.Load(),
+		Compaction:    snap,
+	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -845,7 +1222,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad reload body: "+err.Error())
 		return
 	}
-	if err := s.Reload(req.Path); err != nil {
+	replayed, err := s.reload2(req.Path)
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -855,6 +1233,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &ReloadResponse{
 		Generation: s.gen.Load(),
 		ModelSteps: steps,
+		Replayed:   replayed,
 		Reload:     s.reloadSnapshot(),
 	})
 }
@@ -889,13 +1268,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	live := s.rec.LiveEventCount()
+	pending := s.rec.PendingLiveEvents()
 	steps := s.rec.Model().Steps()
 	s.mu.RUnlock()
 	m := ServerMetrics{
 		MetricsSnapshot: s.metrics.Snapshot(),
 		Generation:      s.gen.Load(),
 		LiveEvents:      live,
+		PendingEvents:   pending,
 		ModelSteps:      steps,
+		IngestSources:   s.metrics.IngestSources(),
+		Compaction:      s.compactionSnapshot(),
 		Reload:          s.reloadSnapshot(),
 	}
 	if s.cache != nil {

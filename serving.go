@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ebsn/internal/engine"
 	"ebsn/internal/ta"
 	"ebsn/internal/vecmath"
 )
@@ -83,13 +84,12 @@ func (r *Recommender) IngestColdEvent(words []string, venue int32, start time.Ti
 	if err != nil {
 		return 0, err
 	}
-	if r.taDynamic == nil {
-		if r.taIndex == nil {
-			// A multi-shard engine has no monolithic candidate set for
-			// the delta to extend; build one with the engine's pruning.
-			// Without an engine, apply the usual 5% default.
+	if r.taDelta == nil {
+		if r.taEngine == nil && r.taIndex == nil {
+			// No base index yet: build the monolithic one with the usual
+			// 5% default pruning.
 			k := r.taPruneK
-			if r.taEngine == nil && k == 0 {
+			if k == 0 {
 				k = len(r.split.TestEvents) / 20
 				if k < 1 {
 					k = 1
@@ -99,9 +99,23 @@ func (r *Recommender) IngestColdEvent(words []string, venue int32, start time.Ti
 				return 0, err
 			}
 		}
-		r.taDynamic = ta.NewDynamic(r.taSet, r.taPruneK)
+		if r.taSet != nil {
+			// Monolithic index (or one-shard engine): the delta shares its
+			// packed partner rows.
+			r.taDelta = ta.NewDeltaForSet(r.taSet, r.taPruneK)
+		} else {
+			// Multi-shard engine: no monolithic set exists, and the delta
+			// must cover every partner, so it packs its own copy of the
+			// partner rows. Queries overlay it on the engine's fan-out.
+			_, partners := r.jointVectors()
+			d, err := ta.NewDelta(partners, r.taPruneK)
+			if err != nil {
+				return 0, err
+			}
+			r.taDelta = d
+		}
 	}
-	if err := r.taDynamic.AddEvent(vec); err != nil {
+	if err := r.taDelta.AddEvent(vec); err != nil {
 		return 0, err
 	}
 	r.liveEvents++
@@ -125,7 +139,7 @@ func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecomm
 	if n <= 0 {
 		return nil, SearchStats{}, fmt.Errorf("ebsn: n must be positive")
 	}
-	if r.taDynamic == nil {
+	if r.taDelta == nil {
 		// Nothing ingested yet. Prefer the sharded engine when one is
 		// prepared — with shards > 1 there may be no monolithic index,
 		// and query paths must not build one (mutation is reserved for
@@ -136,12 +150,35 @@ func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecomm
 		}
 		return r.TopEventPartnersStats(user, n)
 	}
-	// As in TopEventPartnersStats: the raw results alias the pooled
-	// scratch and are converted before it is released.
+	// Two-tier query: exact top-n over the live base (the compacted fold
+	// when one was installed, else the plain engine or index), overlaid
+	// with an exhaustive scan of the delta. The raw results alias the
+	// pooled scratch and are converted before it is released.
+	userVec := r.model.UserVec(user)
 	sc := ta.GetScratch()
 	defer ta.PutScratch(sc)
-	res, stats := r.taDynamic.TopNExcludingScratch(r.model.UserVec(user), n, user, sc)
-	base := len(r.split.TestEvents)
+	var (
+		base       []ta.Result
+		stats      SearchStats
+		baseEvents int
+	)
+	if eng := r.liveEngine(); eng != nil {
+		res, es, err := eng.Search(userVec, n, user)
+		if err != nil {
+			return nil, SearchStats{}, err
+		}
+		base, stats, baseEvents = res, es.Agg, eng.NumEvents()
+	} else {
+		idx, set := r.taLiveIdx, r.taLiveSet
+		if idx == nil {
+			idx, set = r.taIndex, r.taSet
+		}
+		base, stats = idx.TopNExcludingScratch(userVec, n, user, sc)
+		baseEvents = len(set.Events)
+	}
+	res := r.taDelta.MergeTopN(base, baseEvents, userVec, n, user, sc, &stats)
+
+	testN := len(r.split.TestEvents)
 	out := make([]PairRecommendation, 0, n)
 	for _, rr := range res {
 		var event int32
@@ -150,12 +187,12 @@ func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecomm
 			// Delta events are numbered by arrival within the current
 			// delta; compacted events shift the numbering, so offset by
 			// how many were already folded into the base.
-			compacted := r.liveEvents - r.taDynamic.DeltaEvents()
+			compacted := r.liveEvents - r.taDelta.Events()
 			event = -int32(compacted) - (rr.Event + 1)
-		case int(rr.Event) >= base:
+		case int(rr.Event) >= testN:
 			// A previously compacted live event: positions past the
 			// original test events map back to arrival order.
-			event = -(rr.Event - int32(base) + 1)
+			event = -(rr.Event - int32(testN) + 1)
 		default:
 			event = r.split.TestEvents[rr.Event]
 		}
@@ -167,18 +204,139 @@ func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecomm
 	return out, stats, nil
 }
 
-// CompactLiveEvents folds all ingested events into the main index (a
-// rebuild), keeping query latency flat as the delta grows. Live events
-// keep their negative LiveEventIDs in subsequent results: compaction is
-// invisible to callers apart from the latency profile.
-func (r *Recommender) CompactLiveEvents() {
-	if r.taDynamic != nil {
-		r.taDynamic.Rebuild()
+// liveEngine returns the engine the live path fans out over: the
+// compacted fork when a compaction has installed one, else the plain
+// engine, else nil (monolithic index deployment).
+func (r *Recommender) liveEngine() *engine.Engine {
+	if r.taLiveEngine != nil {
+		return r.taLiveEngine
 	}
+	return r.taEngine
+}
+
+// Compaction is one in-flight background fold of the live delta into a
+// fresh main tier. BeginCompaction captures it cheaply under the
+// caller's writer lock, Run performs the expensive build with no lock
+// held, and InstallCompaction swaps the result in under the writer lock
+// again — so queries never wait on a rebuild.
+type Compaction struct {
+	delta *ta.Delta
+	view  ta.DeltaView
+	// events is the delta-event count being folded.
+	events  int
+	workers int
+
+	// Exactly one base is set, matching the live tier being forked.
+	baseEngine *engine.Engine
+	baseSet    *ta.CandidateSet
+	baseIdx    *ta.FastIndex
+
+	newEngine *engine.Engine
+	newSet    *ta.CandidateSet
+	newIdx    *ta.FastIndex
+}
+
+// Events returns the number of delta events the compaction folds.
+func (c *Compaction) Events() int { return c.events }
+
+// BeginCompaction captures the pending delta as a compaction unit, or
+// nil when nothing is pending. Must be serialized with ingestion and
+// InstallCompaction (the caller's writer lock); the returned
+// compaction's Run needs no lock.
+func (r *Recommender) BeginCompaction() *Compaction {
+	if r.taDelta == nil || r.taDelta.Events() == 0 {
+		return nil
+	}
+	c := &Compaction{
+		delta:   r.taDelta,
+		view:    r.taDelta.View(),
+		workers: r.cfg.Threads,
+	}
+	c.events = len(c.view.Events)
+	if eng := r.liveEngine(); eng != nil {
+		c.baseEngine = eng
+	} else if r.taLiveIdx != nil {
+		c.baseSet, c.baseIdx = r.taLiveSet, r.taLiveIdx
+	} else {
+		c.baseSet, c.baseIdx = r.taSet, r.taIndex
+	}
+	return c
+}
+
+// Run builds the folded tier — the expensive step, run on any goroutine
+// with no lock held; the old tiers keep serving meanwhile.
+func (c *Compaction) Run() error {
+	if c.baseEngine != nil {
+		eng, err := c.baseEngine.Fold(c.view.Events, c.view.Pairs, c.view.Cross, c.workers)
+		if err != nil {
+			return err
+		}
+		c.newEngine = eng
+		return nil
+	}
+	c.newSet, c.newIdx = ta.FoldDelta(c.baseSet, c.view, c.workers)
+	return nil
+}
+
+// InstallCompaction swaps the folded tier in as the live base and drops
+// the folded prefix from the delta (events ingested after
+// BeginCompaction stay queued). Serialize with ingestion and queries;
+// the call is a pointer swap plus the residual-delta copy. It fails if
+// the recommender's delta was replaced since BeginCompaction (a
+// re-prepare) — the fold is then stale and discarded.
+func (r *Recommender) InstallCompaction(c *Compaction) error {
+	if c == nil {
+		return nil
+	}
+	if r.taDelta != c.delta {
+		return fmt.Errorf("ebsn: compaction superseded: candidate space re-prepared while the fold ran")
+	}
+	if c.newEngine != nil {
+		r.taLiveEngine = c.newEngine
+	} else {
+		r.taLiveSet, r.taLiveIdx = c.newSet, c.newIdx
+	}
+	r.taDelta.Advance(c.view)
+	return nil
+}
+
+// CompactLiveEvents folds all ingested events into the main index
+// synchronously (BeginCompaction + Run + InstallCompaction in one
+// call), keeping query latency flat as the delta grows. Live events
+// keep their negative LiveEventIDs in subsequent results: compaction is
+// invisible to callers apart from the latency profile. Services wanting
+// the fold off the request path drive the three steps themselves.
+func (r *Recommender) CompactLiveEvents() error {
+	c := r.BeginCompaction()
+	if c == nil {
+		return nil
+	}
+	if err := c.Run(); err != nil {
+		return err
+	}
+	return r.InstallCompaction(c)
 }
 
 // LiveEventCount returns how many events were ingested since training.
 func (r *Recommender) LiveEventCount() int { return r.liveEvents }
+
+// PendingLiveEvents returns how many ingested events still sit in the
+// mutable delta tier — the compaction queue depth.
+func (r *Recommender) PendingLiveEvents() int {
+	if r.taDelta == nil {
+		return 0
+	}
+	return r.taDelta.Events()
+}
+
+// PendingLivePairs returns the candidate pairs in the delta tier — the
+// per-query exhaustive-scan cost until the next compaction.
+func (r *Recommender) PendingLivePairs() int {
+	if r.taDelta == nil {
+		return 0
+	}
+	return r.taDelta.PairCount()
+}
 
 // ScoreBreakdown decomposes a joint recommendation score into the three
 // pairwise terms of Eqn. 8 — the explanation surface for "why this event,
