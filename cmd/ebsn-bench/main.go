@@ -19,7 +19,9 @@
 // BENCH_query.json:
 //
 //	ebsn-bench -query -events 2000 -partners 5000 -topk 50
-//	ebsn-bench -query -shards 4   # adds the scatter-gather shard-scaling sweep
+//	ebsn-bench -query -shards 4      # adds the scatter-gather shard-scaling sweep
+//	ebsn-bench -query -batch 16      # adds the batched-query amortization curve
+//	ebsn-bench -query -quantized     # adds int8-quantized latency + recall@10
 //
 // With -train it micro-benchmarks the SGD training hot path (steps/sec
 // and ns/step at 1/2/4/8 Hogwild threads) and appends the results to
@@ -71,6 +73,8 @@ func main() {
 		topK      = flag.Int("topk", 50, "per-partner candidate pruning for -query")
 		topN      = flag.Int("topn", 10, "results per query for -query")
 		shards    = flag.Int("shards", 1, "sweep the scatter-gather engine over shard counts {1,2,4,...,N} for -query (1 disables)")
+		batch     = flag.Int("batch", 1, "sweep the batched query path over widths {1,2,4,...,B} for -query (1 disables)")
+		quantized = flag.Bool("quantized", false, "with -query: also measure int8-quantized queries and recall@10; with -serve: serve from quantized candidate storage")
 		note      = flag.String("note", "", "free-form label recorded with the -query run")
 		queryOut  = flag.String("queryout", "BENCH_query.json", "trajectory file for -query results (empty disables)")
 
@@ -93,7 +97,7 @@ func main() {
 		if *ingestN > 0 {
 			err = runServeIngestBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *ingestN, *benchOut)
 		} else {
-			err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *benchOut)
+			err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *quantized, *benchOut)
 		}
 	case *trainMode:
 		cityID, perr := ebsn.ParseCity(*city)
@@ -103,7 +107,7 @@ func main() {
 		}
 		err = runTrainBench(cityID, *seed, *steps, *k, *note, *trainOut)
 	case *queryMode:
-		err = runQueryBench(*nEvents, *nPartners, *k, *topK, *topN, *shards, *seed, *note, *queryOut)
+		err = runQueryBench(*nEvents, *nPartners, *k, *topK, *topN, *shards, *batch, *quantized, *seed, *note, *queryOut)
 	default:
 		err = runExperiments(*exp, *city, *seed, *steps, *k, *threads, *cases, *queries, *outDir)
 	}

@@ -46,6 +46,38 @@ type queryBenchRun struct {
 	QueryAllocsOp float64 `json:"query_allocs_op"`
 
 	ShardCurve []shardCurvePoint `json:"shard_curve,omitempty"`
+	BatchCurve []batchCurvePoint `json:"batch_curve,omitempty"`
+	Quantized  *quantizedBench   `json:"quantized,omitempty"`
+}
+
+// batchCurvePoint is one batch width's measurement in the batched-query
+// sweep: the whole batch shares one index traversal (matrix-panel
+// affinity passes, one bound walk per user), so ns_user falling below
+// the single-query ns/op is the panel amortization. Results are
+// bit-identical to sequential single queries at every width.
+type batchCurvePoint struct {
+	Batch           int     `json:"batch"`
+	QueryIters      int     `json:"query_iters"` // batched calls, not users
+	NsUser          float64 `json:"ns_user"`
+	P50Us           float64 `json:"p50_us"` // per batched call
+	P95Us           float64 `json:"p95_us"`
+	AllocsOp        float64 `json:"allocs_op"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+}
+
+// quantizedBench is the int8-quantized query measurement: latency of the
+// approximate walk + exact re-rank, its batched (b=8) per-user cost, and
+// recall@10 against the exact ranking. The quantized path trades walk
+// depth (4x overfetch) for 4x-smaller candidate storage — its win is
+// memory, not latency; the recall column is the quality gate.
+type quantizedBench struct {
+	QueryIters    int     `json:"query_iters"`
+	QueryNsOp     float64 `json:"query_ns_op"`
+	QueryP50Us    float64 `json:"query_p50_us"`
+	QueryP95Us    float64 `json:"query_p95_us"`
+	QueryAllocsOp float64 `json:"query_allocs_op"`
+	Batch8NsUser  float64 `json:"batch8_ns_user"`
+	RecallAt10    float64 `json:"recall_at_10"`
 }
 
 // shardCurvePoint is one shard count's measurement in the scatter-gather
@@ -138,7 +170,7 @@ func shardCounts(maxShards int) []int {
 // rotating query vectors and excluded partners (cold cache by design)
 // through a warmed pooled scratch. shards > 1 adds the scatter-gather
 // engine sweep.
-func runQueryBench(nEvents, nPartners, k, topK, topN, shards int, seed uint64, note, outPath string) error {
+func runQueryBench(nEvents, nPartners, k, topK, topN, shards, batch int, quantized bool, seed uint64, note, outPath string) error {
 	if nEvents <= 0 || nPartners <= 0 || k <= 0 || topN <= 0 {
 		return fmt.Errorf("query bench: events, partners, k and topn must be positive")
 	}
@@ -225,6 +257,13 @@ func runQueryBench(nEvents, nPartners, k, topK, topN, shards int, seed uint64, n
 	fmt.Printf("  query (top-%d)    %.0f ns/op   p50 %.1fµs   p95 %.1fµs   %.0f allocs/op   (%d iters)\n",
 		topN, run.QueryNsOp, run.QueryP50Us, run.QueryP95Us, run.QueryAllocsOp, m.iters)
 
+	if batch > 1 {
+		run.BatchCurve = runBatchSweep(f, queries, nPartners, topN, batch, run.QueryNsOp)
+	}
+	if quantized {
+		run.Quantized = runQuantizedBench(cs, f, queries, nPartners, topN)
+	}
+
 	if shards > 1 {
 		curve, err := runShardSweep(events, partners, queries, topK, topN, shards, workers, ms)
 		if err != nil {
@@ -240,6 +279,126 @@ func runQueryBench(nEvents, nPartners, k, topK, topN, shards int, seed uint64, n
 		fmt.Println("appended run to", outPath)
 	}
 	return nil
+}
+
+// runBatchSweep measures the batched exact query path at each width in
+// {1, 2, 4, ..., maxB}: TopNBatch shares one affinity-panel pass and one
+// partner-bound pass per batch, so per-user cost drops as the width
+// amortizes the candidate traversal.
+func runBatchSweep(f *ta.FastIndex, queries [][]float32, nPartners, topN, maxB int, singleNsOp float64) []batchCurvePoint {
+	fmt.Printf("  batch sweep (panel-batched exact queries, top-%d)\n", topN)
+	bsc := ta.GetBatchScratch()
+	defer ta.PutBatchScratch(bsc)
+	var curve []batchCurvePoint
+	users := make([][]float32, maxB)
+	excl := make([]int32, maxB)
+	for _, nb := range shardCounts(maxB) {
+		us, ex := users[:nb], excl[:nb]
+		fill := func(i int) {
+			for j := 0; j < nb; j++ {
+				us[j] = queries[(i*nb+j)%len(queries)]
+				ex[j] = int32((i*nb + j) % nPartners)
+			}
+		}
+		fill(0)
+		f.TopNBatch(ta.BatchQuery{Users: us, N: topN, Exclude: ex}, bsc) // warm the scratch
+		m := measureQueries(func(i int) {
+			fill(i)
+			f.TopNBatch(ta.BatchQuery{Users: us, N: topN, Exclude: ex}, bsc)
+		})
+		pt := batchCurvePoint{
+			Batch:      nb,
+			QueryIters: m.iters,
+			NsUser:     m.nsOp / float64(nb),
+			P50Us:      m.p50Us,
+			P95Us:      m.p95Us,
+			AllocsOp:   m.allocsOp,
+		}
+		if pt.NsUser > 0 {
+			pt.SpeedupVsSingle = singleNsOp / pt.NsUser
+		}
+		curve = append(curve, pt)
+		fmt.Printf("    batch=%d  %.0f ns/user (%.2fx vs single)   call p50 %.1fµs p95 %.1fµs   %.0f allocs/op\n",
+			nb, pt.NsUser, pt.SpeedupVsSingle, pt.P50Us, pt.P95Us, pt.AllocsOp)
+	}
+	return curve
+}
+
+// runQuantizedBench packs the int8 mirrors and measures the quantized
+// query path — single and batched at width 8 — plus recall@10 against
+// the exact ranking over 200 held-out queries.
+func runQuantizedBench(cs *ta.CandidateSet, f *ta.FastIndex, queries [][]float32, nPartners, topN int) *quantizedBench {
+	t0 := time.Now()
+	cs.PackQuantized()
+	fmt.Printf("  quantized: int8 mirrors packed in %.1fms (~4x smaller candidate storage)\n",
+		float64(time.Since(t0).Microseconds())/1000)
+
+	sc := ta.GetScratch()
+	defer ta.PutScratch(sc)
+	f.TopNExcludingQuantizedScratch(queries[0], topN, 0, sc) // warm
+	m := measureQueries(func(i int) {
+		f.TopNExcludingQuantizedScratch(queries[i%len(queries)], topN, int32(i%nPartners), sc)
+	})
+	qb := &quantizedBench{
+		QueryIters:    m.iters,
+		QueryNsOp:     m.nsOp,
+		QueryP50Us:    m.p50Us,
+		QueryP95Us:    m.p95Us,
+		QueryAllocsOp: m.allocsOp,
+	}
+
+	// Batched quantized at width 8, the serving coalescer's typical shape.
+	const nb = 8
+	bsc := ta.GetBatchScratch()
+	defer ta.PutBatchScratch(bsc)
+	users := make([][]float32, nb)
+	excl := make([]int32, nb)
+	fill := func(i int) {
+		for j := 0; j < nb; j++ {
+			users[j] = queries[(i*nb+j)%len(queries)]
+			excl[j] = int32((i*nb + j) % nPartners)
+		}
+	}
+	fill(0)
+	f.TopNBatch(ta.BatchQuery{Users: users, N: topN, Exclude: excl, Quantized: true}, bsc)
+	mb := measureQueries(func(i int) {
+		fill(i)
+		f.TopNBatch(ta.BatchQuery{Users: users, N: topN, Exclude: excl, Quantized: true}, bsc)
+	})
+	qb.Batch8NsUser = mb.nsOp / nb
+
+	// recall@10 against the exact walk: the CI gate holds this ≥ 0.99.
+	const rn = 10
+	total, count := 0.0, 0
+	for i := 0; i < 200; i++ {
+		q := queries[i%len(queries)]
+		ex := int32(i % nPartners)
+		exact, _ := f.TopNExcludingScratch(q, rn, ex, sc)
+		if len(exact) == 0 {
+			continue
+		}
+		keys := make(map[[2]int32]bool, len(exact))
+		for _, r := range exact {
+			keys[[2]int32{r.Event, r.Partner}] = true
+		}
+		quant, _ := f.TopNExcludingQuantizedScratch(q, rn, ex, sc)
+		hit := 0
+		for _, r := range quant {
+			if keys[[2]int32{r.Event, r.Partner}] {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(exact))
+		count++
+	}
+	if count > 0 {
+		qb.RecallAt10 = total / float64(count)
+	}
+
+	fmt.Printf("    quantized query   %.0f ns/op   p50 %.1fµs   p95 %.1fµs   %.0f allocs/op   (%d iters)\n",
+		qb.QueryNsOp, qb.QueryP50Us, qb.QueryP95Us, qb.QueryAllocsOp, qb.QueryIters)
+	fmt.Printf("    quantized batch=8 %.0f ns/user   recall@10 %.4f\n", qb.Batch8NsUser, qb.RecallAt10)
+	return qb
 }
 
 // runShardSweep measures the scatter-gather engine at each shard count

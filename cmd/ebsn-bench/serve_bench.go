@@ -32,12 +32,21 @@ type serveBenchRun struct {
 	P95Ms        float64 `json:"p95_ms"`
 	P99Ms        float64 `json:"p99_ms"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Micro-batching admission: how many single-user partner queries the
+	// coalescer folded together, and the resulting batch-width shape.
+	Quantized         bool    `json:"quantized,omitempty"`
+	CoalesceWindowUs  float64 `json:"coalesce_window_us,omitempty"`
+	CoalescedRequests uint64  `json:"coalesced_requests,omitempty"`
+	BatchDispatches   uint64  `json:"batch_dispatches,omitempty"`
+	BatchMeanSize     float64 `json:"batch_mean_size,omitempty"`
+	BatchP95Size      float64 `json:"batch_p95_size,omitempty"`
 }
 
 // runServeBench trains (or reuses the scale default budget for) a model,
 // stands up the full serving stack on an ephemeral port, and drives it
 // with conc closed-loop clients for the given duration.
-func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc int, duration time.Duration, outPath string) error {
+func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc int, duration time.Duration, quantized bool, outPath string) error {
 	fmt.Printf("serve bench: training %s (seed %d)...\n", city, seed)
 	t0 := time.Now()
 	rec, err := ebsn.New(ebsn.Config{City: city, Seed: seed, K: k, Threads: threads, TrainSteps: steps})
@@ -46,7 +55,15 @@ func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc in
 	}
 	fmt.Printf("model ready in %.1fs; warming TA index...\n", time.Since(t0).Seconds())
 
-	s := serve.New(rec, serve.Config{MaxInFlight: conc * 2})
+	// Coalescing mirrors the ebsn-serve daemon defaults so the measured
+	// throughput is what a deployment actually gets.
+	const coalesceWindow = 200 * time.Microsecond
+	s := serve.New(rec, serve.Config{
+		MaxInFlight:    conc * 2,
+		Quantized:      quantized,
+		CoalesceWindow: coalesceWindow,
+		CoalesceBatch:  16,
+	})
 	if err := s.Warm(); err != nil {
 		return err
 	}
@@ -123,12 +140,21 @@ func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc in
 	if total := hits + misses; total > 0 {
 		run.CacheHitRate = float64(hits) / float64(total)
 	}
+	batch := s.Metrics().Snapshot().Batch
+	run.Quantized = quantized
+	run.CoalesceWindowUs = float64(coalesceWindow.Microseconds())
+	run.CoalescedRequests = batch.CoalescedRequests
+	run.BatchDispatches = batch.Dispatches
+	run.BatchMeanSize = batch.MeanSize
+	run.BatchP95Size = batch.P95Size
 
 	fmt.Printf("\nserve bench (%s, %d clients, %.0fs):\n", city, conc, duration.Seconds())
 	fmt.Printf("  requests   %d (%d errors)\n", run.Requests, run.Errors)
 	fmt.Printf("  throughput %.0f req/s\n", run.QPS)
 	fmt.Printf("  latency    p50 %.3fms   p95 %.3fms   p99 %.3fms\n", run.P50Ms, run.P95Ms, run.P99Ms)
 	fmt.Printf("  cache hit  %.1f%%\n", run.CacheHitRate*100)
+	fmt.Printf("  coalescer  %d requests folded into %d dispatches (mean %.2f, p95 %.0f per batch)\n",
+		run.CoalescedRequests, run.BatchDispatches, run.BatchMeanSize, run.BatchP95Size)
 
 	if outPath != "" {
 		if err := appendBenchRun(outPath, run); err != nil {
@@ -138,4 +164,3 @@ func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc in
 	}
 	return nil
 }
-

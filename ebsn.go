@@ -66,6 +66,10 @@ type (
 	EngineStats = engine.Stats
 	// EngineShardStats is one shard's share of a scatter-gather query.
 	EngineShardStats = engine.ShardStats
+	// EngineBatchStats decomposes one batched scatter-gather query:
+	// aggregated TA work, the per-shard breakdown, and the shared
+	// prepass/merge timings amortized across the batch.
+	EngineBatchStats = engine.BatchStats
 )
 
 // City selects a built-in synthetic dataset scale.
@@ -256,6 +260,10 @@ type Recommender struct {
 	// monolithic index remains a separate lazily built structure that
 	// only the live-ingestion path needs.
 	taEngine *engine.Engine
+
+	// taQuantized routes joint queries through the int8-quantized
+	// candidate mirrors (EnableQuantizedQueries).
+	taQuantized bool
 
 	// Lazily captured snapshot for fold-in scoring; the model is frozen
 	// after Build/Open, so one capture suffices.
@@ -549,7 +557,15 @@ func (r *Recommender) TopEventPartnersStats(user int32, n int) ([]PairRecommenda
 	// returned.
 	sc := ta.GetScratch()
 	defer ta.PutScratch(sc)
-	res, stats := r.taIndex.TopNExcludingScratch(r.model.UserVec(user), n, user, sc)
+	var (
+		res   []ta.Result
+		stats SearchStats
+	)
+	if r.quantizedJointQuery(r.taSet) {
+		res, stats = r.taIndex.TopNExcludingQuantizedScratch(r.model.UserVec(user), n, user, sc)
+	} else {
+		res, stats = r.taIndex.TopNExcludingScratch(r.model.UserVec(user), n, user, sc)
+	}
 	out := make([]PairRecommendation, 0, len(res))
 	for _, rr := range res {
 		out = append(out, PairRecommendation{

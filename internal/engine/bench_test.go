@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"strconv"
+	"testing"
+
+	"ebsn/internal/rng"
+	"ebsn/internal/ta"
+)
+
+// benchEngine builds the standard engine benchmark space: 1000 events ×
+// 4000 partners at K=32 with top-40 pruning.
+func benchEngine(b *testing.B, shards int) (*Engine, [][]float32) {
+	b.Helper()
+	src := rng.New(71)
+	events := randomVecs(src, 1000, 32)
+	partners := randomVecs(src, 4000, 32)
+	e, err := Build(events, partners, Config{Shards: shards, TopKEvents: 40, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, randomVecs(src, 128, 32)
+}
+
+// BenchmarkEngineSearchInto measures the sharded single-query hot path
+// with caller-managed buffers. The allocs/op column is the regression
+// gate: steady state must report 0 allocs/op for every shard count (the
+// multi-shard fan-out reuses pre-built closures, pooled responses and
+// the caller's result and stats buffers).
+func BenchmarkEngineSearchInto(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			e, queries := benchEngine(b, shards)
+			out := make([]ta.Result, 0, 10)
+			ss := make([]ShardStats, shards)
+			var err error
+			for i := 0; i < 4; i++ { // warm the pooled fan-out scratch
+				if out, _, err = e.SearchInto(queries[i], 10, int32(i), out, ss); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _, err = e.SearchInto(queries[i%len(queries)], 10, int32(i)%4000, out, ss)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSearchBatch measures per-user cost of the batched
+// fan-out across batch widths.
+func BenchmarkEngineSearchBatch(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		e, queries := benchEngine(b, shards)
+		for _, nb := range []int{4, 8} {
+			b.Run("shards="+strconv.Itoa(shards)+"/b="+strconv.Itoa(nb), func(b *testing.B) {
+				users := make([][]float32, nb)
+				exclude := make([]int32, nb)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < nb; j++ {
+						users[j] = queries[(i*nb+j)%len(queries)]
+						exclude[j] = int32((i*nb + j) % 4000)
+					}
+					if _, _, err := e.SearchBatch(users, 10, exclude); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nb), "ns/user")
+			})
+		}
+	}
+}

@@ -25,13 +25,14 @@ type Config struct {
 // Engine is the scatter-gather query front: it owns N partner-range
 // shards and answers top-n queries by fanning a self-contained Request
 // out to each shard concurrently and merging the per-shard answers in
-// canonical order. Queries are safe for concurrent use; building is
-// not.
+// canonical order. Queries are safe for concurrent use; building and
+// EnableQuantized are not.
 type Engine struct {
 	k         int
 	nPartners int
 	pairs     int
 	shards    []Shard
+	quantized bool
 	// affSet computes the shared per-event affinity prepass. It belongs
 	// to shard 0, whose event rows are bit-identical copies of every
 	// other shard's (events are replicated across shards).
@@ -40,7 +41,9 @@ type Engine struct {
 }
 
 // fanoutScratch owns one query's fan-out state so steady-state queries
-// reuse buffers instead of reallocating them.
+// reuse buffers instead of reallocating them. The shard closures are
+// built once per scratch and read their per-query parameters from the
+// scratch fields, so the fan-out itself allocates nothing.
 type fanoutScratch struct {
 	aff    []float32
 	resp   []Response
@@ -48,7 +51,74 @@ type fanoutScratch struct {
 	walls  []time.Duration
 	dsts   [][]ta.Result
 	heads  []int
+	lists  [][]ta.Result
 	merged []ta.Result
+	stats  []ShardStats
+	psc    ta.Scratch // quantized-prepass scratch
+
+	// Pre-built zero-arg shard closures (single-query and batch) and
+	// the parameters they read. wg coordinates each fan-out.
+	fns  []func()
+	bfns []func()
+	wg   sync.WaitGroup
+
+	userVec []float32
+	n       int
+	exclude int32
+
+	// Batch fan-out state.
+	absc   *ta.BatchScratch
+	busers [][]float32
+	bexcl  []int32
+	bresp  []BatchResponse
+	bdsts  [][][]ta.Result
+	bstats [][]ta.SearchStats
+}
+
+// ensureFns (re)builds the per-shard closures when the shard count
+// changes — once per scratch lifetime in practice, since a scratch
+// never leaves its engine's pool.
+func (fs *fanoutScratch) ensureFns(e *Engine, ns int) {
+	if len(fs.fns) == ns {
+		return
+	}
+	fs.fns = make([]func(), ns)
+	fs.bfns = make([]func(), ns)
+	for i := 0; i < ns; i++ {
+		i := i
+		fs.fns[i] = func() {
+			defer fs.wg.Done()
+			s0 := time.Now()
+			req := Request{
+				UserVec:        fs.userVec,
+				N:              fs.n,
+				ExcludePartner: fs.exclude,
+				EventAff:       fs.aff,
+				Quantized:      e.quantized,
+				Dst:            fs.dsts[i],
+			}
+			fs.resp[i], fs.errs[i] = e.shards[i].Search(req)
+			fs.dsts[i] = fs.resp[i].Results // keep grown buffers across queries
+			fs.walls[i] = time.Since(s0)
+		}
+		fs.bfns[i] = func() {
+			defer fs.wg.Done()
+			s0 := time.Now()
+			req := BatchRequest{
+				Users:     fs.busers,
+				N:         fs.n,
+				Exclude:   fs.bexcl,
+				EventAff:  fs.aff,
+				Quantized: e.quantized,
+				Dst:       fs.bdsts[i],
+				DstStats:  fs.bstats[i],
+			}
+			fs.bresp[i], fs.errs[i] = e.shards[i].SearchBatch(req)
+			fs.bdsts[i] = fs.bresp[i].Results
+			fs.bstats[i] = fs.bresp[i].Stats
+			fs.walls[i] = time.Since(s0)
+		}
+	}
 }
 
 // Build partitions partners into cfg.Shards contiguous ranges and
@@ -102,6 +172,28 @@ func Build(events, partners [][]float32, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// EnableQuantized packs every shard's int8 candidate mirrors and routes
+// all subsequent queries — single and batched — through the quantized
+// search path (approximate int8 affinity passes, exact re-rank; see
+// ta.PackQuantized). Event rows are replicated bit-identically across
+// shards, so the quantized prepass stays shard-invariant exactly like
+// the exact one. Not safe concurrently with queries; call it right
+// after Build, before serving.
+func (e *Engine) EnableQuantized() error {
+	for i, sh := range e.shards {
+		ls, ok := sh.(*localShard)
+		if !ok {
+			return fmt.Errorf("engine: shard %d (%T) does not support quantization", i, sh)
+		}
+		ls.set.PackQuantized()
+	}
+	e.quantized = true
+	return nil
+}
+
+// Quantized reports whether queries route through the int8 path.
+func (e *Engine) Quantized() bool { return e.quantized }
+
 // Fold builds a new engine covering this one's candidate space plus a
 // delta of ingested events, without mutating the original: each shard's
 // event list gains the delta events (replicated, as Build replicates),
@@ -114,12 +206,14 @@ func Build(events, partners [][]float32, cfg Config) (*Engine, error) {
 // (ta.FoldDelta is the monolithic half, and the two stay bit-identical
 // shard-by-shard because the appended pairs keep their arrival order
 // and cross terms). pairs[i].Event indexes events; partners are global
-// IDs. workers bounds each shard's index-build parallelism.
+// IDs. workers bounds each shard's index-build parallelism. A quantized
+// engine folds into a quantized engine: the new shards re-pack their
+// int8 mirrors over the extended event list.
 func (e *Engine) Fold(events [][]float32, pairs []ta.Candidate, cross []float32, workers int) (*Engine, error) {
 	if len(pairs) != len(cross) {
 		return nil, fmt.Errorf("engine: fold pair/cross length mismatch: %d vs %d", len(pairs), len(cross))
 	}
-	ne := &Engine{k: e.k, nPartners: e.nPartners, shards: make([]Shard, 0, len(e.shards))}
+	ne := &Engine{k: e.k, nPartners: e.nPartners, shards: make([]Shard, 0, len(e.shards)), quantized: e.quantized}
 	ne.pool.New = func() any { return &fanoutScratch{} }
 	for i, sh := range e.shards {
 		ls, ok := sh.(*localShard)
@@ -144,6 +238,9 @@ func (e *Engine) Fold(events [][]float32, pairs []ta.Candidate, cross []float32,
 		}
 		set := &ta.CandidateSet{K: e.k, Events: ev, Partners: ps, Pairs: np, Cross: nc}
 		idx := ta.NewFastIndexWorkers(set, workers)
+		if ne.quantized {
+			set.PackQuantized()
+		}
 		nsh := &localShard{set: set, idx: idx, lo: ls.lo, hi: ls.hi}
 		ne.pairs += nsh.Pairs()
 		ne.shards = append(ne.shards, nsh)
@@ -229,9 +326,26 @@ type Stats struct {
 
 // Search answers the exact top-n for userVec with one partner excluded
 // (< 0 excludes no one), scattering the query across all shards and
-// gathering the canonical merge. The returned slice is freshly
-// allocated and owned by the caller.
+// gathering the canonical merge. The returned slice and Stats.Shards
+// are freshly allocated and owned by the caller; latency-critical
+// callers use SearchInto to reuse both.
 func (e *Engine) Search(userVec []float32, n int, exclude int32) ([]ta.Result, Stats, error) {
+	out, stats, err := e.SearchInto(userVec, n, exclude, nil, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	owned := make([]ShardStats, len(stats.Shards))
+	copy(owned, stats.Shards)
+	stats.Shards = owned
+	return out, stats, nil
+}
+
+// SearchInto is Search with caller-managed storage: results are
+// appended to dst[:0] and Stats.Shards reuses shardStats when its
+// capacity suffices (both are grown — and thus allocated — only when
+// too small). With warmed buffers a steady-state sharded query
+// allocates nothing.
+func (e *Engine) SearchInto(userVec []float32, n int, exclude int32, dst []ta.Result, shardStats []ShardStats) ([]ta.Result, Stats, error) {
 	start := time.Now()
 	var stats Stats
 	if n <= 0 {
@@ -244,10 +358,15 @@ func (e *Engine) Search(userVec []float32, n int, exclude int32) ([]ta.Result, S
 	defer e.pool.Put(fs)
 
 	// Shared prepass: the per-event affinities are shard-invariant
-	// (every shard replicates the event rows), so one DotBatch serves
-	// all shards.
+	// (every shard replicates the event rows), so one pass serves all
+	// shards. The quantized pass is shard-invariant too — the int8
+	// event mirrors are derived from replicated rows.
 	t0 := time.Now()
-	fs.aff = e.affSet.EventAffinities(userVec, fs.aff)
+	if e.quantized {
+		fs.aff = e.affSet.EventAffinitiesQuantized(userVec, fs.aff, &fs.psc)
+	} else {
+		fs.aff = e.affSet.EventAffinities(userVec, fs.aff)
+	}
 	stats.Prepass = time.Since(t0)
 
 	ns := len(e.shards)
@@ -255,37 +374,28 @@ func (e *Engine) Search(userVec []float32, n int, exclude int32) ([]ta.Result, S
 	fs.errs = resize(fs.errs, ns)
 	fs.walls = resize(fs.walls, ns)
 	fs.dsts = resize(fs.dsts, ns)
-	search := func(i int) {
-		s0 := time.Now()
-		req := Request{
-			UserVec:        userVec,
-			N:              n,
-			ExcludePartner: exclude,
-			EventAff:       fs.aff,
-			Dst:            fs.dsts[i],
-		}
-		fs.resp[i], fs.errs[i] = e.shards[i].Search(req)
-		fs.dsts[i] = fs.resp[i].Results // keep grown buffers across queries
-		fs.walls[i] = time.Since(s0)
-	}
+	fs.ensureFns(e, ns)
+	fs.userVec, fs.n, fs.exclude = userVec, n, exclude
 	if ns == 1 {
-		search(0)
+		fs.wg.Add(1)
+		fs.fns[0]()
 	} else {
-		var wg sync.WaitGroup
-		wg.Add(ns)
+		fs.wg.Add(ns)
 		for i := 0; i < ns; i++ {
-			go func(i int) {
-				defer wg.Done()
-				search(i)
-			}(i)
+			go fs.fns[i]()
 		}
-		wg.Wait()
+		fs.wg.Wait()
 	}
+	fs.userVec = nil // do not retain the caller's vector in the pool
 
-	stats.Shards = make([]ShardStats, ns)
+	if cap(shardStats) < ns {
+		shardStats = make([]ShardStats, ns)
+	}
+	stats.Shards = shardStats[:ns]
 	var maxWall time.Duration
 	for i := 0; i < ns; i++ {
 		if err := fs.errs[i]; err != nil {
+			stats.Shards = nil
 			return nil, stats, fmt.Errorf("engine: shard %d: %w", i, err)
 		}
 		st := fs.resp[i].Stats
@@ -300,14 +410,13 @@ func (e *Engine) Search(userVec []float32, n int, exclude int32) ([]ta.Result, S
 	}
 
 	m0 := time.Now()
+	fs.lists = resize(fs.lists, ns)
 	fs.heads = resize(fs.heads, ns)
-	for i := range fs.heads {
+	for i := 0; i < ns; i++ {
+		fs.lists[i] = fs.resp[i].Results
 		fs.heads[i] = 0
 	}
-	merged := mergeCanonical(fs.resp, fs.heads, n, fs.merged[:0])
-	fs.merged = merged[:0]
-	out := make([]ta.Result, len(merged))
-	copy(out, merged)
+	out := mergeCanonical(fs.lists, fs.heads, n, dst[:0])
 	stats.Merge = time.Since(m0)
 
 	stats.Agg.Elapsed += stats.Prepass + stats.Merge
@@ -316,25 +425,152 @@ func (e *Engine) Search(userVec []float32, n int, exclude int32) ([]ta.Result, S
 	return out, stats, nil
 }
 
-// mergeCanonical merges the per-shard canonical top-n lists into the
-// global top-n by repeatedly taking the best head (ta.Result.Outranks).
-// Shard counts are small, so the O(n·shards) linear scan beats a heap.
-func mergeCanonical(resp []Response, heads []int, n int, dst []ta.Result) []ta.Result {
-	for len(dst) < n {
+// BatchStats decomposes one scatter-gather batch.
+type BatchStats struct {
+	// Agg sums the TA work across every user and shard, plus the shared
+	// prepass and the merges — the CPU cost of the whole batch.
+	Agg ta.SearchStats
+	// Shards is the per-shard breakdown: Stats sums the shard's work
+	// over the batch's users; Wall is the one batched shard call.
+	Shards []ShardStats
+	// Prepass is the shared event-affinity panel duration.
+	Prepass time.Duration
+	// Merge totals the per-user canonical merges.
+	Merge time.Duration
+	// Wall is the end-to-end SearchBatch duration.
+	Wall time.Duration
+	// CriticalPath is Prepass + the slowest shard's Wall + Merge.
+	CriticalPath time.Duration
+}
+
+// SearchBatch answers the top-n for every user vector with one fan-out:
+// the event-affinity panel is computed once (matrix-panel kernel over
+// the shared event rows), each shard receives the whole batch as a
+// single BatchRequest, and the per-shard answers are merged per user in
+// canonical order. Results are indexed like users; exclude may be nil
+// (no exclusions) or one global partner ID per user. The exact path is
+// bit-identical to calling Search per user — same pairs, same score
+// bits, same tie order — which is what lets the serving layer coalesce
+// concurrent requests into batches transparently. The returned slices
+// are freshly allocated (one backing array) and owned by the caller;
+// Stats.Shards aliases nothing pooled.
+func (e *Engine) SearchBatch(users [][]float32, n int, exclude []int32) ([][]ta.Result, BatchStats, error) {
+	start := time.Now()
+	var stats BatchStats
+	if n <= 0 {
+		return nil, stats, fmt.Errorf("engine: n must be positive, got %d", n)
+	}
+	if exclude != nil && len(exclude) != len(users) {
+		return nil, stats, fmt.Errorf("engine: batch has %d users but %d excludes", len(users), len(exclude))
+	}
+	for j, u := range users {
+		if len(u) != e.k {
+			return nil, stats, fmt.Errorf("engine: batch user %d vector length %d, want %d", j, len(u), e.k)
+		}
+	}
+	nb := len(users)
+	if nb == 0 {
+		return nil, stats, nil
+	}
+	fs := e.pool.Get().(*fanoutScratch)
+	defer e.pool.Put(fs)
+	if fs.absc == nil {
+		fs.absc = ta.GetBatchScratch()
+	}
+
+	// Shared prepass: one panel over the replicated event rows serves
+	// every shard.
+	t0 := time.Now()
+	fs.aff = append(fs.aff[:0], e.affSet.EventAffinityPanel(users, e.quantized, fs.absc)...)
+	stats.Prepass = time.Since(t0)
+
+	ns := len(e.shards)
+	fs.bresp = resize(fs.bresp, ns)
+	fs.errs = resize(fs.errs, ns)
+	fs.walls = resize(fs.walls, ns)
+	fs.bdsts = resize(fs.bdsts, ns)
+	fs.bstats = resize(fs.bstats, ns)
+	fs.ensureFns(e, ns)
+	fs.busers, fs.n, fs.bexcl = users, n, exclude
+	if ns == 1 {
+		fs.wg.Add(1)
+		fs.bfns[0]()
+	} else {
+		fs.wg.Add(ns)
+		for i := 0; i < ns; i++ {
+			go fs.bfns[i]()
+		}
+		fs.wg.Wait()
+	}
+	fs.busers, fs.bexcl = nil, nil // do not retain caller data in the pool
+
+	stats.Shards = make([]ShardStats, ns)
+	var maxWall time.Duration
+	for i := 0; i < ns; i++ {
+		if err := fs.errs[i]; err != nil {
+			stats.Shards = nil
+			return nil, stats, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		ss := ShardStats{Shard: i, Wall: fs.walls[i]}
+		for _, st := range fs.bresp[i].Stats {
+			ss.Stats.SortedAccesses += st.SortedAccesses
+			ss.Stats.RandomAccesses += st.RandomAccesses
+			ss.Stats.Elapsed += st.Elapsed
+			ss.Stats.Candidates = st.Candidates // per-query resident pairs, not summed
+		}
+		stats.Shards[i] = ss
+		stats.Agg.SortedAccesses += ss.Stats.SortedAccesses
+		stats.Agg.RandomAccesses += ss.Stats.RandomAccesses
+		stats.Agg.Candidates += ss.Stats.Candidates
+		stats.Agg.Elapsed += ss.Stats.Elapsed
+		if fs.walls[i] > maxWall {
+			maxWall = fs.walls[i]
+		}
+	}
+
+	// Per-user canonical merges into one caller-owned backing array.
+	m0 := time.Now()
+	fs.lists = resize(fs.lists, ns)
+	fs.heads = resize(fs.heads, ns)
+	flat := make([]ta.Result, 0, nb*n)
+	outs := make([][]ta.Result, nb)
+	for j := 0; j < nb; j++ {
+		for i := 0; i < ns; i++ {
+			fs.lists[i] = fs.bresp[i].Results[j]
+			fs.heads[i] = 0
+		}
+		lo := len(flat)
+		flat = mergeCanonical(fs.lists, fs.heads, n, flat)
+		outs[j] = flat[lo:len(flat):len(flat)]
+	}
+	stats.Merge = time.Since(m0)
+
+	stats.Agg.Elapsed += stats.Prepass + stats.Merge
+	stats.Wall = time.Since(start)
+	stats.CriticalPath = stats.Prepass + maxWall + stats.Merge
+	return outs, stats, nil
+}
+
+// mergeCanonical merges per-shard canonical top-n lists into the global
+// top-n by repeatedly taking the best head (ta.Result.Outranks). Shard
+// counts are small, so the O(n·shards) linear scan beats a heap.
+func mergeCanonical(lists [][]ta.Result, heads []int, n int, dst []ta.Result) []ta.Result {
+	want := len(dst) + n
+	for len(dst) < want {
 		best := -1
-		for s := range resp {
+		for s := range lists {
 			h := heads[s]
-			if h >= len(resp[s].Results) {
+			if h >= len(lists[s]) {
 				continue
 			}
-			if best < 0 || resp[s].Results[h].Outranks(resp[best].Results[heads[best]]) {
+			if best < 0 || lists[s][h].Outranks(lists[best][heads[best]]) {
 				best = s
 			}
 		}
 		if best < 0 {
 			break
 		}
-		dst = append(dst, resp[best].Results[heads[best]])
+		dst = append(dst, lists[best][heads[best]])
 		heads[best]++
 	}
 	return dst

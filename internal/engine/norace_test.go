@@ -1,0 +1,6 @@
+//go:build !race
+
+package engine
+
+// See race_test.go: normal builds run the allocation assertions.
+const raceEnabled = false

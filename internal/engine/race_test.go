@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled lets the steady-state allocation tests skip their
+// assertions under the race detector, whose instrumentation charges
+// goroutine bookkeeping allocations to the fan-out path.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"ebsn/internal/ta"
 )
@@ -23,7 +24,13 @@ type Request struct {
 	// so in-process shards skip the shard-invariant half of the work; a
 	// transport moving requests across processes may omit it and let the
 	// shard recompute, trading bandwidth for compute, never correctness.
+	// When Quantized is set the pass carries the approximate affinities
+	// (ta.EventAffinitiesQuantized), which are likewise shard-invariant.
 	EventAff []float32
+	// Quantized routes the shard search through its int8 candidate
+	// mirrors (the shard must have been packed via PackQuantized — the
+	// engine's EnableQuantized packs every shard).
+	Quantized bool
 	// Dst, when non-nil, offers a buffer Response.Results may reuse — an
 	// allocation optimization for in-process shards; transports ignore
 	// it.
@@ -40,13 +47,47 @@ type Response struct {
 	Stats ta.SearchStats
 }
 
+// BatchRequest is one self-contained shard batch: every user of the
+// batch queried against the shard in a single call, sharing one panel
+// pass over the shard's partner rows.
+type BatchRequest struct {
+	// Users holds one K-dim vector per batch lane.
+	Users [][]float32
+	// N is the per-user result count.
+	N int
+	// Exclude is one global partner ID per user (nil excludes no one).
+	Exclude []int32
+	// EventAff optionally carries the shared event-affinity panel, laid
+	// out user-major (u·|X| .. (u+1)·|X|), produced by
+	// ta.EventAffinityPanel over replicated event rows. Same transport
+	// semantics as Request.EventAff.
+	EventAff []float32
+	// Quantized routes the batch through the shard's int8 mirrors.
+	Quantized bool
+	// Dst and DstStats, when non-nil, offer buffers the response may
+	// reuse; transports ignore them.
+	Dst      [][]ta.Result
+	DstStats []ta.SearchStats
+}
+
+// BatchResponse is a shard's answer to a BatchRequest.
+type BatchResponse struct {
+	// Results holds each user's canonical top-N with global partner IDs,
+	// indexed like BatchRequest.Users.
+	Results [][]ta.Result
+	// Stats is the per-user TA work, indexed like Users.
+	Stats []ta.SearchStats
+}
+
 // Shard answers self-contained top-n requests over one contiguous
 // partner range of the candidate space. Implementations must be safe
-// for concurrent Search calls — the engine fans one query's requests
-// out in parallel and may overlap queries.
+// for concurrent Search and SearchBatch calls — the engine fans one
+// query's requests out in parallel and may overlap queries.
 type Shard interface {
 	// Search answers one request exactly.
 	Search(req Request) (Response, error)
+	// SearchBatch answers every user of the batch in one call.
+	SearchBatch(req BatchRequest) (BatchResponse, error)
 	// PartnerRange returns the global partner ID range [lo, hi) this
 	// shard owns.
 	PartnerRange() (lo, hi int32)
@@ -78,7 +119,15 @@ func (s *localShard) Search(req Request) (Response, error) {
 	}
 	sc := ta.GetScratch()
 	defer ta.PutScratch(sc)
-	res, stats := s.idx.TopNExcludingAffScratch(req.UserVec, req.EventAff, req.N, exclude, sc)
+	var (
+		res   []ta.Result
+		stats ta.SearchStats
+	)
+	if req.Quantized {
+		res, stats = s.idx.TopNExcludingQuantizedAffScratch(req.UserVec, req.EventAff, req.N, exclude, sc)
+	} else {
+		res, stats = s.idx.TopNExcludingAffScratch(req.UserVec, req.EventAff, req.N, exclude, sc)
+	}
 	// The raw results alias the scratch; copy them out (into the
 	// caller's buffer when offered) translating partners to global IDs.
 	// Local IDs are offset by a constant, so the canonical order — which
@@ -92,6 +141,81 @@ func (s *localShard) Search(req Request) (Response, error) {
 		out = append(out, r)
 	}
 	return Response{Results: out, Stats: stats}, nil
+}
+
+// shardBatchState is one batch call's shard-side scratch: the ta batch
+// scratch plus the translated-exclusion buffer.
+type shardBatchState struct {
+	bsc  *ta.BatchScratch
+	excl []int32
+}
+
+var shardBatchPool = sync.Pool{New: func() any { return &shardBatchState{bsc: ta.GetBatchScratch()} }}
+
+// SearchBatch runs the whole batch against the shard with one
+// partner-panel pass, translating exclusions in and partner IDs out.
+func (s *localShard) SearchBatch(req BatchRequest) (BatchResponse, error) {
+	if req.N <= 0 {
+		return BatchResponse{}, fmt.Errorf("engine: shard batch n must be positive, got %d", req.N)
+	}
+	for j, u := range req.Users {
+		if len(u) != s.set.K {
+			return BatchResponse{}, fmt.Errorf("engine: shard batch user %d vector length %d, want %d", j, len(u), s.set.K)
+		}
+	}
+	if req.Exclude != nil && len(req.Exclude) != len(req.Users) {
+		return BatchResponse{}, fmt.Errorf("engine: shard batch has %d users but %d excludes", len(req.Users), len(req.Exclude))
+	}
+	nb := len(req.Users)
+	sb := shardBatchPool.Get().(*shardBatchState)
+	defer shardBatchPool.Put(sb)
+
+	var excl []int32
+	if req.Exclude != nil {
+		sb.excl = resize(sb.excl, nb)
+		excl = sb.excl
+		for j, g := range req.Exclude {
+			if g >= s.lo && g < s.hi {
+				excl[j] = g - s.lo
+			} else {
+				excl[j] = -1
+			}
+		}
+	}
+	res, stats := s.idx.TopNBatch(ta.BatchQuery{
+		Users:     req.Users,
+		N:         req.N,
+		Exclude:   excl,
+		EventAff:  req.EventAff,
+		Quantized: req.Quantized,
+	}, sb.bsc)
+
+	// Copy out of the pooled scratch into caller-offered (and otherwise
+	// fresh) response storage, translating partners to the global ID
+	// space — the response must not alias the pooled scratch.
+	outs := req.Dst
+	if cap(outs) < nb {
+		outs = make([][]ta.Result, nb)
+	}
+	outs = outs[:nb]
+	outStats := req.DstStats
+	if cap(outStats) < nb {
+		outStats = make([]ta.SearchStats, nb)
+	}
+	outStats = outStats[:nb]
+	for j, rs := range res {
+		dst := outs[j][:0]
+		if cap(dst) < len(rs) {
+			dst = make([]ta.Result, 0, len(rs))
+		}
+		for _, r := range rs {
+			r.Partner += s.lo
+			dst = append(dst, r)
+		}
+		outs[j] = dst
+		outStats[j] = stats[j]
+	}
+	return BatchResponse{Results: outs, Stats: outStats}, nil
 }
 
 // PartnerRange returns the shard's global partner range [lo, hi).

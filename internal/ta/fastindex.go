@@ -210,19 +210,35 @@ func (f *FastIndex) topNExcluding(userVec, eventAff []float32, n int, exclude in
 		a = sc.a
 		vecmath.DotBatch(userVec, set.eventData, set.K, a)
 	}
+	nu := len(set.Partners)
+	sc.b = resizeF32(sc.b, nu)
+	b := sc.b
+	vecmath.DotBatch(userVec, set.partnerData, set.K, b)
+
+	res := f.walkTopN(a, b, n, exclude, sc, &stats, dst)
+	stats.Elapsed = time.Since(start)
+	return res, stats
+}
+
+// walkTopN runs the bound-heap walk over precomputed affinities: a[x] =
+// a(x) per event, b[u] = b(u') per partner. It is the shared core of
+// the single-query and batched exact paths — both hand it affinities
+// produced by the same accumulation order (DotBatch and DotPanel are
+// bit-identical), so batched results match sequential ones bit for bit,
+// tie ordering included. Results are drained into dst in canonical
+// order; stats accumulates the access counts.
+func (f *FastIndex) walkTopN(a, b []float32, n int, exclude int32, sc *Scratch, stats *SearchStats, dst []Result) []Result {
+	set := f.set
 	var amax float32
 	for x, v := range a {
 		if x == 0 || v > amax {
 			amax = v
 		}
 	}
-	nu := len(set.Partners)
-	sc.b = resizeF32(sc.b, nu)
-	b := sc.b
-	vecmath.DotBatch(userVec, set.partnerData, set.K, b)
 
 	// Lazy selection: heapify the partner bounds in O(|U|) and pop only
 	// as many as the threshold stop actually consumes.
+	nu := len(set.Partners)
 	bounds := sc.bounds[:0]
 	for u := 0; u < nu; u++ {
 		if f.partnerStart[u] == f.partnerStart[u+1] {
@@ -270,8 +286,7 @@ func (f *FastIndex) topNExcluding(userVec, eventAff []float32, n int, exclude in
 			}
 		}
 	}
-	stats.Elapsed = time.Since(start)
-	return h.drainDescending(dst), stats
+	return h.drainDescending(dst)
 }
 
 // heapifyBounds establishes the max-heap invariant on bound.

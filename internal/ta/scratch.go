@@ -25,6 +25,13 @@ type Scratch struct {
 	seen    []uint32 // epoch stamps per candidate (replaces a map)
 	epoch   uint32
 
+	// Quantized query state: the int8-quantized query, its scale's
+	// widening dot results, and the approximate-walk survivor heap the
+	// exact re-rank consumes.
+	q8     []int8
+	i32    []int32
+	qcands quantHeap
+
 	// Shared result state.
 	results resultHeap
 	out     []Result
@@ -62,6 +69,14 @@ func (sc *Scratch) sizeSeen(n int) {
 func resizeF32(buf []float32, n int) []float32 {
 	if cap(buf) < n {
 		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// resizeSlice is resizeF32 for any element type.
+func resizeSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
 	}
 	return buf[:n]
 }

@@ -37,6 +37,16 @@ type CandidateSet struct {
 	// require them; index constructors guarantee they are current.
 	eventData   []float32
 	partnerData []float32
+
+	// int8-quantized mirrors of the packed rows with per-row scales
+	// (see PackQuantized). Present only after PackQuantized; the exact
+	// float32 rows are always kept — the quantized query path re-ranks
+	// its survivors against them.
+	eventQ       []int8
+	partnerQ     []int8
+	eventScale   []float32
+	partnerScale []float32
+	quantized    bool
 }
 
 // Pack (re)builds the contiguous row-major backing arrays and re-aliases
@@ -64,6 +74,33 @@ func packRows(rows [][]float32, k int, prev []float32) []float32 {
 	}
 	return data
 }
+
+// PackQuantized builds the int8-quantized mirrors of the packed rows:
+// each event and partner row is quantized symmetrically with its own
+// scale (vecmath.QuantizeRow), so row i reconstructs as
+// scale[i]·float32(q[i*K+j]). Candidate storage for the approximate
+// walk drops to a quarter of the float32 footprint; the exact rows stay
+// resident for re-ranking. Calls Pack first, so it subsumes it; like
+// Pack it must not run concurrently with queries. A set that is
+// re-packed after mutation (Dynamic.Rebuild) is re-quantized too.
+func (c *CandidateSet) PackQuantized() {
+	c.Pack()
+	k := c.K
+	c.eventQ = resizeSlice(c.eventQ, len(c.Events)*k)
+	c.eventScale = resizeF32(c.eventScale, len(c.Events))
+	for i := range c.Events {
+		c.eventScale[i] = vecmath.QuantizeRow(c.eventData[i*k:(i+1)*k], c.eventQ[i*k:(i+1)*k])
+	}
+	c.partnerQ = resizeSlice(c.partnerQ, len(c.Partners)*k)
+	c.partnerScale = resizeF32(c.partnerScale, len(c.Partners))
+	for i := range c.Partners {
+		c.partnerScale[i] = vecmath.QuantizeRow(c.partnerData[i*k:(i+1)*k], c.partnerQ[i*k:(i+1)*k])
+	}
+	c.quantized = true
+}
+
+// Quantized reports whether PackQuantized has built the int8 mirrors.
+func (c *CandidateSet) Quantized() bool { return c.quantized }
 
 // Dims returns the transformed-space dimensionality 2K+1.
 func (c *CandidateSet) Dims() int { return 2*c.K + 1 }

@@ -87,6 +87,13 @@ type Metrics struct {
 	shardSearches *obs.CounterVec
 	shardWall     *obs.HistogramVec
 
+	// Batched-admission panel: dispatch widths (explicit POST batches
+	// and coalesced windows), requests answered through the coalescer,
+	// and over-cap rejections.
+	batchSize     *obs.Histogram
+	coalesced     *obs.Counter
+	batchRejected *obs.Counter
+
 	// Streaming-ingest panel: per-source arrival counters (bounded label
 	// cardinality — see RecordIngest) and the background-compaction
 	// lifecycle.
@@ -160,6 +167,13 @@ func NewMetrics(endpointNames ...string) *Metrics {
 	m.shardWall = m.reg.HistogramVec("ebsn_serve_shard_wall_seconds",
 		"Wall-clock duration of one shard's search within a fan-out.",
 		taBoundsSeconds, "shard")
+	m.batchSize = m.reg.Histogram("ebsn_serve_batch_size",
+		"Users per batched engine dispatch (POST batches and coalesced windows).",
+		batchSizeBounds)
+	m.coalesced = m.reg.Counter("ebsn_serve_coalesced_requests_total",
+		"Single-user partner queries answered through the micro-batching coalescer.")
+	m.batchRejected = m.reg.Counter("ebsn_serve_batch_rejected_total",
+		"Batched queries rejected 400 for exceeding the configured user cap.")
 	m.ingestEvents = m.reg.CounterVec("ebsn_serve_ingest_events_total",
 		"Live events accepted by /v1/ingest, by source attribution.", "source")
 	m.ingestSrc = make(map[string]*obs.Counter)
@@ -176,6 +190,24 @@ func NewMetrics(endpointNames ...string) *Metrics {
 		"Live events folded from the delta into the main index.")
 	return m
 }
+
+// batchSizeBounds are the batch-width histogram buckets, in users per
+// dispatch (the histogram's "seconds" are unitless counts here).
+var batchSizeBounds = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// RecordBatch observes one explicit batched dispatch of the given width.
+func (m *Metrics) RecordBatch(size int) { m.batchSize.ObserveSeconds(float64(size)) }
+
+// RecordCoalesced counts size requests answered by one coalesced
+// dispatch and observes the dispatch width.
+func (m *Metrics) RecordCoalesced(size int) {
+	m.coalesced.Add(uint64(size))
+	m.batchSize.ObserveSeconds(float64(size))
+}
+
+// RecordBatchRejected counts one batch rejected for exceeding the
+// configured user cap.
+func (m *Metrics) RecordBatchRejected() { m.batchRejected.Inc() }
 
 // maxIngestSources bounds the source label cardinality; arrivals past
 // the cap are attributed to "_other" so a misbehaving client cannot
@@ -261,7 +293,7 @@ func (m *Metrics) RecordTA(s ebsn.SearchStats) {
 
 // RecordEngine folds one scatter-gather query's fan-out into the shard
 // metrics: the fan-out counter, and per shard a search count and a wall
-//-duration observation. Shard labels are the engine's shard indices, so
+// -duration observation. Shard labels are the engine's shard indices, so
 // a skewed partner range shows up as one shard's histogram drifting
 // right. The aggregated TA counters are recorded separately via
 // RecordTA, exactly as on the monolithic path.
@@ -309,6 +341,18 @@ type TASnapshot struct {
 	AccessFraction float64 `json:"access_fraction"`
 }
 
+// BatchSnapshot is the batched-admission section of the JSON metrics
+// view: coalescer throughput and the batch-width distribution across
+// explicit POST batches and coalesced dispatches.
+type BatchSnapshot struct {
+	CoalescedRequests uint64  `json:"coalesced_requests"`
+	Rejected          uint64  `json:"rejected"`
+	Dispatches        uint64  `json:"dispatches"`
+	MeanSize          float64 `json:"mean_size,omitempty"`
+	P50Size           float64 `json:"p50_size,omitempty"`
+	P95Size           float64 `json:"p95_size,omitempty"`
+}
+
 // MetricsSnapshot is the instrument section of the JSON metrics view
 // (/metrics?format=json).
 type MetricsSnapshot struct {
@@ -319,6 +363,7 @@ type MetricsSnapshot struct {
 	Panics        uint64                      `json:"panics"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	TA            TASnapshot                  `json:"ta"`
+	Batch         BatchSnapshot               `json:"batch"`
 }
 
 // Snapshot renders the current counters. Values are read without
@@ -357,6 +402,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if snap.TA.Candidates > 0 {
 		snap.TA.AccessFraction = float64(snap.TA.RandomAccesses) / float64(snap.TA.Candidates)
+	}
+	snap.Batch = BatchSnapshot{
+		CoalescedRequests: m.coalesced.Value(),
+		Rejected:          m.batchRejected.Value(),
+		Dispatches:        m.batchSize.Count(),
+	}
+	if snap.Batch.Dispatches > 0 {
+		snap.Batch.MeanSize = m.batchSize.Mean()
+		snap.Batch.P50Size = m.batchSize.Quantile(0.50)
+		snap.Batch.P95Size = m.batchSize.Quantile(0.95)
 	}
 	return snap
 }

@@ -82,11 +82,11 @@ func TestMetricsExpositionIsValidPrometheus(t *testing.T) {
 		got[s.Key()] = s.Value
 	}
 	for key, want := range map[string]float64{
-		`ebsn_serve_requests_total{endpoint="events"}`:   1,
-		`ebsn_serve_requests_total{endpoint="partners"}`: 1,
-		`ebsn_serve_ta_queries_total`:                    1,
-		`ebsn_serve_ta_random_accesses_total`:            9,
-		`ebsn_serve_ta_candidates_total`:                 50,
+		`ebsn_serve_requests_total{endpoint="events"}`:                 1,
+		`ebsn_serve_requests_total{endpoint="partners"}`:               1,
+		`ebsn_serve_ta_queries_total`:                                  1,
+		`ebsn_serve_ta_random_accesses_total`:                          9,
+		`ebsn_serve_ta_candidates_total`:                               50,
 		`ebsn_serve_request_duration_seconds_count{endpoint="events"}`: 1,
 	} {
 		if got[key] != want {

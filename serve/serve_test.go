@@ -172,14 +172,15 @@ func TestBadRequests(t *testing.T) {
 		}
 	}
 
-	// Wrong method: the go 1.22 mux rejects POST to a GET route.
-	resp, err := http.Post(srv.URL+"/v1/events?user=3", "application/json", nil)
+	// Wrong method: the go 1.22 mux rejects POST to a GET-only route
+	// (/v1/events and /v1/partners accept POST now — batched queries).
+	resp, err := http.Post(srv.URL+"/v1/explain?user=1&partner=2&event=3", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST /v1/events = %d, want 405", resp.StatusCode)
+		t.Fatalf("POST /v1/explain = %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -32,10 +32,27 @@ type Config struct {
 	// per-shard TA searches running concurrently; answers are
 	// bit-identical for every setting.
 	Shards int
+	// Quantized routes joint queries through int8-quantized candidate
+	// mirrors (EnableQuantizedQueries): ~4x smaller candidate storage
+	// with approximate rankings (recall@10 ≥ 0.99 against exact). Off by
+	// default — see OPERATIONS.md for when to enable it.
+	Quantized bool
 	// DefaultN is the result count when ?n= is absent (default 10).
 	DefaultN int
 	// MaxN caps ?n= (default 100).
 	MaxN int
+	// MaxBatch caps the users of one batched POST query (default 64);
+	// larger batches are rejected 400 and counted in /metrics.
+	MaxBatch int
+	// CoalesceWindow enables the micro-batching admission layer when
+	// positive: cache-missing single-user GET /v1/partners requests are
+	// held up to this long and dispatched as one engine batch. 0 (the
+	// default) disables coalescing; the daemon flags it on at 200µs.
+	CoalesceWindow time.Duration
+	// CoalesceBatch caps one coalesced dispatch (default 16); the
+	// arrival that fills the batch dispatches it without waiting out
+	// the window.
+	CoalesceBatch int
 	// CacheCapacity is the total cached responses (default 4096;
 	// < 0 disables caching).
 	CacheCapacity int
@@ -85,6 +102,12 @@ func (c *Config) fill() {
 	if c.MaxN == 0 {
 		c.MaxN = 100
 	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.CoalesceBatch == 0 {
+		c.CoalesceBatch = 16
+	}
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 4096
 	}
@@ -123,11 +146,12 @@ func (c *Config) fill() {
 // copy — queries never wait on either, only on the pointer-swap
 // critical sections.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	metrics *Metrics
-	tracer  *obs.Tracer
-	handler http.Handler
+	cfg      Config
+	cache    *Cache
+	metrics  *Metrics
+	tracer   *obs.Tracer
+	handler  http.Handler
+	coalesce *coalescer // nil unless Config.CoalesceWindow > 0
 
 	mu     sync.RWMutex // guards rec (the pointer and its live/ingest state)
 	rec    *ebsn.Recommender
@@ -185,12 +209,14 @@ type reloadState struct {
 
 // endpointNames is the fixed metrics key set, one per instrumented route.
 const (
-	epEvents       = "events"
-	epPartners     = "partners"
-	epPartnersLive = "partners_live"
-	epExplain      = "explain"
-	epIngest       = "ingest"
-	epCompact      = "compact"
+	epEvents        = "events"
+	epEventsBatch   = "events_batch"
+	epPartners      = "partners"
+	epPartnersBatch = "partners_batch"
+	epPartnersLive  = "partners_live"
+	epExplain       = "explain"
+	epIngest        = "ingest"
+	epCompact       = "compact"
 )
 
 // New assembles the server around a trained recommender. The joint
@@ -199,12 +225,16 @@ const (
 func New(rec *ebsn.Recommender, cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		rec:     rec,
-		cfg:     cfg,
-		metrics: NewMetrics(epEvents, epPartners, epPartnersLive, epExplain, epIngest, epCompact),
-		tracer:  obs.NewTracer(cfg.SlowLogSize, cfg.SlowQueryThreshold),
+		rec: rec,
+		cfg: cfg,
+		metrics: NewMetrics(epEvents, epEventsBatch, epPartners, epPartnersBatch,
+			epPartnersLive, epExplain, epIngest, epCompact),
+		tracer: obs.NewTracer(cfg.SlowLogSize, cfg.SlowQueryThreshold),
 	}
 	s.tracer.SetEnabled(cfg.TraceEnabled)
+	if cfg.CoalesceWindow > 0 {
+		s.coalesce = &coalescer{s: s, window: cfg.CoalesceWindow, maxB: cfg.CoalesceBatch}
+	}
 	if cfg.CacheCapacity > 0 {
 		s.cache = NewCache(cfg.CacheCapacity, cfg.CacheShards, cfg.CacheTTL)
 	}
@@ -212,7 +242,9 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 
 	api := http.NewServeMux()
 	api.HandleFunc("GET /v1/events", s.api(epEvents, s.handleEvents))
+	api.HandleFunc("POST /v1/events", s.api(epEventsBatch, s.handleEventsBatch))
 	api.HandleFunc("GET /v1/partners", s.api(epPartners, s.handlePartners))
+	api.HandleFunc("POST /v1/partners", s.api(epPartnersBatch, s.handlePartnersBatch))
 	api.HandleFunc("GET /v1/partners/live", s.api(epPartnersLive, s.handlePartnersLive))
 	api.HandleFunc("GET /v1/explain", s.api(epExplain, s.handleExplain))
 	api.HandleFunc("POST /v1/ingest", s.api(epIngest, s.handleIngest))
@@ -276,6 +308,16 @@ func (s *Server) registerStateMetrics() {
 	reg.GaugeFunc("ebsn_serve_prune_k",
 		"Per-partner candidate pruning applied by PrepareJoint (0 = full space).",
 		func() float64 { return float64(s.pruneK.Load()) })
+	reg.GaugeFunc("ebsn_serve_quantized",
+		"1 while joint queries route through int8-quantized candidate mirrors.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if s.rec.QuantizedQueries() {
+				return 1
+			}
+			return 0
+		})
 	reg.GaugeFunc("ebsn_serve_engine_shards",
 		"Partner-range shards of the scatter-gather engine (0 until Warm).",
 		func() float64 {
@@ -361,6 +403,11 @@ func (s *Server) Warm() error {
 	if err := s.rec.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
 		return err
 	}
+	if s.cfg.Quantized {
+		if err := s.rec.EnableQuantizedQueries(); err != nil {
+			return err
+		}
+	}
 	s.pruneK.Store(int64(pk))
 	s.ready.Store(true)
 	return nil
@@ -422,6 +469,11 @@ func (s *Server) reload2(path string) (replayed int, err error) {
 	pk := s.resolvePruneK(next)
 	if err := next.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
 		return 0, err
+	}
+	if s.cfg.Quantized {
+		if err := next.EnableQuantizedQueries(); err != nil {
+			return 0, err
+		}
 	}
 	// Replay the journaled live events into the fresh recommender while
 	// the old one keeps serving. Ingests that land mid-replay append to
@@ -837,6 +889,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePartners(w http.ResponseWriter, r *http.Request) {
+	if s.coalesce != nil {
+		// Micro-batching admission: cache misses park in the coalescer
+		// and share one engine traversal per window.
+		s.handlePartnersCoalesced(w, r)
+		return
+	}
 	s.servePairs(w, r, epPartners, func(rec *ebsn.Recommender, user int32, n int) ([]ebsn.PairRecommendation, ebsn.SearchStats, *ebsn.EngineStats, error) {
 		// Warm prepared the engine; answer through the scatter-gather
 		// path so the per-shard decomposition reaches spans and

@@ -173,7 +173,11 @@ func (r *Recommender) TopEventPartnersLiveStats(user int32, n int) ([]PairRecomm
 		if idx == nil {
 			idx, set = r.taIndex, r.taSet
 		}
-		base, stats = idx.TopNExcludingScratch(userVec, n, user, sc)
+		if r.quantizedJointQuery(set) {
+			base, stats = idx.TopNExcludingQuantizedScratch(userVec, n, user, sc)
+		} else {
+			base, stats = idx.TopNExcludingScratch(userVec, n, user, sc)
+		}
 		baseEvents = len(set.Events)
 	}
 	res := r.taDelta.MergeTopN(base, baseEvents, userVec, n, user, sc, &stats)
@@ -225,6 +229,10 @@ type Compaction struct {
 	// events is the delta-event count being folded.
 	events  int
 	workers int
+	// quantized carries the recommender's quantized-queries mode into
+	// the fold: the folded tier re-packs its int8 mirrors so the swap
+	// does not silently revert queries to the exact path.
+	quantized bool
 
 	// Exactly one base is set, matching the live tier being forked.
 	baseEngine *engine.Engine
@@ -248,9 +256,10 @@ func (r *Recommender) BeginCompaction() *Compaction {
 		return nil
 	}
 	c := &Compaction{
-		delta:   r.taDelta,
-		view:    r.taDelta.View(),
-		workers: r.cfg.Threads,
+		delta:     r.taDelta,
+		view:      r.taDelta.View(),
+		workers:   r.cfg.Threads,
+		quantized: r.taQuantized,
 	}
 	c.events = len(c.view.Events)
 	if eng := r.liveEngine(); eng != nil {
@@ -275,6 +284,9 @@ func (c *Compaction) Run() error {
 		return nil
 	}
 	c.newSet, c.newIdx = ta.FoldDelta(c.baseSet, c.view, c.workers)
+	if c.quantized {
+		c.newSet.PackQuantized()
+	}
 	return nil
 }
 
