@@ -59,7 +59,7 @@ func main() {
 		outDir  = flag.String("out", "", "also write each table as TSV into this directory")
 
 		serveMode = flag.Bool("serve", false, "load-test the HTTP serving stack instead of running paper experiments")
-		conc      = flag.Int("conc", 16, "concurrent clients for -serve")
+		conc      = flag.Int("conc", 8, "concurrent clients for -serve (the trajectory's stable sweep config)")
 		duration  = flag.Duration("duration", 5*time.Second, "load duration for -serve")
 		ingestN   = flag.Int("ingest", 0, "with -serve: measure query p99 while this many live events batch-ingest and background-compact (0 = plain load test)")
 		benchOut  = flag.String("benchout", "BENCH_serve.json", "trajectory file for -serve results (empty disables)")
@@ -72,7 +72,7 @@ func main() {
 		nPartners = flag.Int("partners", 5000, "synthetic partner count for -query")
 		topK      = flag.Int("topk", 50, "per-partner candidate pruning for -query")
 		topN      = flag.Int("topn", 10, "results per query for -query")
-		shards    = flag.Int("shards", 1, "sweep the scatter-gather engine over shard counts {1,2,4,...,N} for -query (1 disables)")
+		shards    = flag.Int("shards", 1, "with -query: sweep the scatter-gather engine over shard counts {1,2,4,...,N} (1 disables); with -serve: the serving engine's shard count")
 		batch     = flag.Int("batch", 1, "sweep the batched query path over widths {1,2,4,...,B} for -query (1 disables)")
 		quantized = flag.Bool("quantized", false, "with -query: also measure int8-quantized queries and recall@10; with -serve: serve from quantized candidate storage")
 		note      = flag.String("note", "", "free-form label recorded with the -query run")
@@ -97,7 +97,7 @@ func main() {
 		if *ingestN > 0 {
 			err = runServeIngestBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *ingestN, *benchOut)
 		} else {
-			err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *duration, *quantized, *benchOut)
+			err = runServeBench(cityID, *seed, *steps, *k, *threads, *conc, *shards, *duration, *quantized, *benchOut)
 		}
 	case *trainMode:
 		cityID, perr := ebsn.ParseCity(*city)

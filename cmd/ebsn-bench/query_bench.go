@@ -10,6 +10,8 @@ package main
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -48,6 +50,27 @@ type queryBenchRun struct {
 	ShardCurve []shardCurvePoint `json:"shard_curve,omitempty"`
 	BatchCurve []batchCurvePoint `json:"batch_curve,omitempty"`
 	Quantized  *quantizedBench   `json:"quantized,omitempty"`
+	Load       *loadBench        `json:"load,omitempty"`
+}
+
+// loadBench is the zero-copy artifact measurement: the cost of bringing
+// a query engine up by rebuilding it from the raw embedding vectors
+// versus mapping the artifact that rebuild wrote. The heap columns
+// approximate reload peak memory — each engine is stood up while a
+// fully-built one stays resident, the serving reload's double-occupancy
+// moment. bit_identical is verified over sampled queries before the
+// block is recorded; a mismatch fails the whole bench run.
+type loadBench struct {
+	Shards        int     `json:"shards"`
+	Quantized     bool    `json:"quantized"`
+	ArtifactMB    float64 `json:"artifact_mb"`
+	RebuildMs     float64 `json:"rebuild_ms"`
+	SaveMs        float64 `json:"save_ms"`
+	MapMs         float64 `json:"map_ms"`
+	Speedup       float64 `json:"speedup"`
+	RebuildHeapMB float64 `json:"rebuild_heap_mb"`
+	MapHeapMB     float64 `json:"map_heap_mb"`
+	BitIdentical  bool    `json:"bit_identical"`
 }
 
 // batchCurvePoint is one batch width's measurement in the batched-query
@@ -272,6 +295,12 @@ func runQueryBench(nEvents, nPartners, k, topK, topN, shards, batch int, quantiz
 		run.ShardCurve = curve
 	}
 
+	load, err := runLoadBench(events, partners, queries, topK, topN, shards, workers, quantized)
+	if err != nil {
+		return err
+	}
+	run.Load = load
+
 	if outPath != "" {
 		if err := appendBenchRun(outPath, run); err != nil {
 			return err
@@ -456,6 +485,124 @@ func runShardSweep(events, partners, queries [][]float32, topK, topN, maxShards,
 			pt.CriticalPathP50Us, pt.CriticalPathP95Us, pt.QueryAllocsOp)
 	}
 	return curve, nil
+}
+
+// runLoadBench measures the zero-copy artifact path at the -shards
+// shard count: build the engine, write its artifact, then stand up a
+// second engine both ways — a full rebuild and an OpenArtifact map —
+// timing each and reading the heap growth while the first engine stays
+// resident (the reload double-occupancy peak). It then proves the
+// mapped engine answers bit-identically to the rebuild over sampled
+// queries; any divergence is an error, which makes the CI query-bench
+// smoke a round-trip gate.
+func runLoadBench(events, partners, queries [][]float32, topK, topN, shards, workers int, quantized bool) (*loadBench, error) {
+	ns := shards
+	if ns < 1 {
+		ns = 1
+	}
+	cfg := engine.Config{Shards: ns, TopKEvents: topK, Workers: workers}
+	prepare := func() (*engine.Engine, error) {
+		eng, err := engine.Build(events, partners, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if quantized {
+			if err := eng.EnableQuantized(); err != nil {
+				return nil, err
+			}
+		}
+		return eng, nil
+	}
+
+	built, err := prepare()
+	if err != nil {
+		return nil, err
+	}
+	fp := ta.Fingerprint([]uint64{uint64(len(events[0])), uint64(topK), uint64(ns)}, events, partners)
+	dir, err := os.MkdirTemp("", "ebsn-loadbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.art")
+
+	lb := &loadBench{Shards: ns, Quantized: quantized}
+	t0 := time.Now()
+	if err := built.SaveArtifact(path, fp); err != nil {
+		return nil, err
+	}
+	lb.SaveMs = float64(time.Since(t0).Microseconds()) / 1000
+	if st, err := os.Stat(path); err == nil {
+		lb.ArtifactMB = float64(st.Size()) / (1 << 20)
+	}
+
+	// Both bring-up paths run with `built` resident, so the heap deltas
+	// are the double-occupancy cost a zero-downtime reload pays.
+	heapMB := func(f func() error) (float64, float64, error) {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		t := time.Now()
+		err := f()
+		ms := float64(time.Since(t).Microseconds()) / 1000
+		runtime.ReadMemStats(&m1)
+		grew := float64(m1.HeapAlloc) - float64(m0.HeapAlloc)
+		if grew < 0 {
+			grew = 0
+		}
+		return ms, grew / (1 << 20), err
+	}
+
+	var rebuilt, mapped *engine.Engine
+	lb.RebuildMs, lb.RebuildHeapMB, err = heapMB(func() error {
+		rebuilt, err = prepare()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	lb.MapMs, lb.MapHeapMB, err = heapMB(func() error {
+		mapped, err = engine.OpenArtifact(path, fp)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if lb.MapMs > 0 {
+		lb.Speedup = lb.RebuildMs / lb.MapMs
+	}
+
+	// Bit-identity over sampled queries: exact path always, quantized
+	// path too when mirrors are in play.
+	lb.BitIdentical = true
+	for i := 0; i < 64 && lb.BitIdentical; i++ {
+		q := queries[i%len(queries)]
+		ex := int32(i % len(partners))
+		want, _, err1 := rebuilt.Search(q, topN, ex)
+		got, _, err2 := mapped.Search(q, topN, ex)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("load bench: search failed: %v / %v", err1, err2)
+		}
+		if len(want) != len(got) {
+			lb.BitIdentical = false
+			break
+		}
+		for j := range want {
+			if want[j].Event != got[j].Event || want[j].Partner != got[j].Partner ||
+				math.Float32bits(want[j].Score) != math.Float32bits(got[j].Score) {
+				lb.BitIdentical = false
+				break
+			}
+		}
+	}
+	if !lb.BitIdentical {
+		return nil, fmt.Errorf("load bench: mapped engine diverges from rebuilt engine (artifact round-trip broken)")
+	}
+
+	fmt.Printf("  artifact load (shards=%d%s)  rebuild %.1fms (+%.1f MiB heap)   map %.2fms (+%.1f MiB heap)   %.0fx faster   save %.1fms   %.1f MiB file   bit-identical\n",
+		ns, map[bool]string{true: ", quantized"}[quantized], lb.RebuildMs, lb.RebuildHeapMB,
+		lb.MapMs, lb.MapHeapMB, lb.Speedup, lb.SaveMs, lb.ArtifactMB)
+	return lb, nil
 }
 
 // signedVecs draws n random K-vectors with signed N(0, 1/K) entries —

@@ -33,10 +33,16 @@ type serveBenchRun struct {
 	P99Ms        float64 `json:"p99_ms"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
+	// Serving configuration, recorded in full on every entry so runs in
+	// the trajectory are comparable at a glance — an entry whose config
+	// drifted from its neighbors is not a regression.
+	Shards           int     `json:"shards"`
+	Quantized        bool    `json:"quantized"`
+	CoalesceWindowUs float64 `json:"coalesce_window_us"`
+	CoalesceBatch    int     `json:"coalesce_batch"`
+
 	// Micro-batching admission: how many single-user partner queries the
 	// coalescer folded together, and the resulting batch-width shape.
-	Quantized         bool    `json:"quantized,omitempty"`
-	CoalesceWindowUs  float64 `json:"coalesce_window_us,omitempty"`
 	CoalescedRequests uint64  `json:"coalesced_requests,omitempty"`
 	BatchDispatches   uint64  `json:"batch_dispatches,omitempty"`
 	BatchMeanSize     float64 `json:"batch_mean_size,omitempty"`
@@ -46,7 +52,7 @@ type serveBenchRun struct {
 // runServeBench trains (or reuses the scale default budget for) a model,
 // stands up the full serving stack on an ephemeral port, and drives it
 // with conc closed-loop clients for the given duration.
-func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc int, duration time.Duration, quantized bool, outPath string) error {
+func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc, shards int, duration time.Duration, quantized bool, outPath string) error {
 	fmt.Printf("serve bench: training %s (seed %d)...\n", city, seed)
 	t0 := time.Now()
 	rec, err := ebsn.New(ebsn.Config{City: city, Seed: seed, K: k, Threads: threads, TrainSteps: steps})
@@ -58,11 +64,13 @@ func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc in
 	// Coalescing mirrors the ebsn-serve daemon defaults so the measured
 	// throughput is what a deployment actually gets.
 	const coalesceWindow = 200 * time.Microsecond
+	const coalesceBatch = 16
 	s := serve.New(rec, serve.Config{
 		MaxInFlight:    conc * 2,
+		Shards:         shards,
 		Quantized:      quantized,
 		CoalesceWindow: coalesceWindow,
-		CoalesceBatch:  16,
+		CoalesceBatch:  coalesceBatch,
 	})
 	if err := s.Warm(); err != nil {
 		return err
@@ -141,8 +149,10 @@ func runServeBench(city ebsn.City, seed uint64, steps int64, k, threads, conc in
 		run.CacheHitRate = float64(hits) / float64(total)
 	}
 	batch := s.Metrics().Snapshot().Batch
+	run.Shards = rec.EngineShards()
 	run.Quantized = quantized
 	run.CoalesceWindowUs = float64(coalesceWindow.Microseconds())
+	run.CoalesceBatch = coalesceBatch
 	run.CoalescedRequests = batch.CoalescedRequests
 	run.BatchDispatches = batch.Dispatches
 	run.BatchMeanSize = batch.MeanSize

@@ -65,6 +65,7 @@ func main() {
 		coalesceCap = flag.Int("coalesce-batch", 16, "max single-user queries folded into one coalesced dispatch")
 		autoCompact = flag.Int("auto-compact", 0, "background-compact the live delta once this many events are pending (0 = only on POST /v1/compact)")
 		snapshot    = flag.String("snapshot", "", "model snapshot file for SIGHUP / POST /v1/reload (default <model>/model.gob)")
+		artifact    = flag.String("artifact", "", "zero-copy index artifact: map it on start/reload instead of rebuilding, rewrite it after fallback rebuilds (default <model>/index.art)")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
 		trace       = flag.Bool("trace", false, "enable request-scoped tracing (slow-query ring at /v1/debug/slowlog)")
 		slowQuery   = flag.Duration("slow-query", 100*time.Millisecond, "traced-request duration that lands in the slowlog")
@@ -102,6 +103,9 @@ func main() {
 	if *snapshot == "" && *model != "" {
 		*snapshot = filepath.Join(*model, "model.gob")
 	}
+	if *artifact == "" && *model != "" {
+		*artifact = filepath.Join(*model, "index.art")
+	}
 
 	s := serve.New(rec, serve.Config{
 		PruneK:             *pruneK,
@@ -112,6 +116,7 @@ func main() {
 		CoalesceBatch:      *coalesceCap,
 		AutoCompactEvents:  *autoCompact,
 		SnapshotPath:       *snapshot,
+		ArtifactPath:       *artifact,
 		CacheCapacity:      *cache,
 		CacheTTL:           *cacheTTL,
 		MaxInFlight:        *maxInflight,

@@ -51,6 +51,7 @@ func main() {
 		ckptEvery = flag.Int64("checkpoint-every", 0, "write an atomic model checkpoint every N steps (0 = only at the end)")
 		resume    = flag.Bool("resume", false, "resume from the checkpoint in -out, continuing its decay schedule")
 		objSample = flag.Int("objective-samples", 4096, "edges sampled per progress report for the objective estimate (0 disables)")
+		artShards = flag.Int("artifact-shards", 1, "shard count of the zero-copy index artifact written to <out>/index.art after training (0 skips the artifact)")
 		metrics   = flag.String("metrics-addr", "", "Prometheus exposition listener (e.g. localhost:9090; empty disables)")
 		debugAddr = flag.String("debug-addr", "", "net/http/pprof listener address (e.g. localhost:6060; empty disables)")
 	)
@@ -183,6 +184,35 @@ func main() {
 	}
 	fmt.Printf("trained %s in %.1fs (%d steps)\n", v, time.Since(start).Seconds(), model.Steps())
 	fmt.Printf("saved filtered dataset to %s and model to %s\n", dataDir, modelPath)
+
+	// Build the joint index once here and persist it as a zero-copy
+	// artifact, so ebsn-serve -model starts by mapping it instead of
+	// rebuilding. pruneK mirrors the daemon's default (the paper's
+	// 5%-of-test-events heuristic) so a default serve run's fingerprint
+	// matches. Best-effort: a failed artifact only costs the daemon one
+	// rebuild on its next start.
+	if *artShards > 0 {
+		artPath := filepath.Join(*out, "index.art")
+		t0 := time.Now()
+		pk := len(rec.Split().TestEvents) / 20
+		if pk < 1 {
+			pk = 1
+		}
+		err := rec.PrepareJointSharded(pk, *artShards)
+		if err == nil {
+			// Include the int8 mirrors so quantized serving maps too.
+			err = rec.EnableQuantizedQueries()
+		}
+		if err == nil {
+			err = rec.SaveIndexArtifact(artPath)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ebsn-train: index artifact skipped: %v\n", err)
+		} else {
+			fmt.Printf("built joint index (pruneK=%d, %d shard(s)) and saved zero-copy artifact to %s in %.1fs\n",
+				pk, *artShards, artPath, time.Since(t0).Seconds())
+		}
+	}
 	fmt.Println("next: ebsn-recommend -run", *out, "-user 0")
 }
 

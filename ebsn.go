@@ -19,6 +19,7 @@ package ebsn
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"time"
 
 	"ebsn/internal/core"
@@ -629,11 +630,11 @@ func GenerateDataset(cfg GeneratorConfig) (*Dataset, error) { return datagen.Gen
 // snapshot's dimension overrides cfg.K.
 func Open(dir string, cfg Config) (*Recommender, error) {
 	cfg.fill()
-	d, err := ebsnet.ImportCSV(dir + "/dataset")
+	d, err := ebsnet.ImportCSV(filepath.Join(dir, "dataset"))
 	if err != nil {
 		return nil, err
 	}
-	snap, err := core.LoadSnapshotFile(dir + "/model.gob")
+	snap, err := core.LoadSnapshotFile(filepath.Join(dir, "model.gob"))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+
+	"ebsn/internal/ta"
+)
+
+// SaveArtifact serializes the engine's built state — every shard's
+// packed candidate set, FastIndex and partner range, quantized mirrors
+// included when EnableQuantized has run — into a zero-copy index
+// artifact at path (see ta.WriteArtifact for the format and atomicity
+// guarantees). The fingerprint should come from ta.Fingerprint over the
+// engine's build inputs; OpenArtifact with the same value maps the file
+// back into an equivalent engine.
+func (e *Engine) SaveArtifact(path string, fingerprint uint64) error {
+	segs := make([]ta.Segment, 0, len(e.shards))
+	for i, sh := range e.shards {
+		ls, ok := sh.(*localShard)
+		if !ok {
+			return fmt.Errorf("engine: shard %d (%T) cannot be serialized", i, sh)
+		}
+		segs = append(segs, ta.Segment{Lo: ls.lo, Hi: ls.hi, Set: ls.set, Idx: ls.idx})
+	}
+	return ta.WriteArtifact(path, fingerprint, e.k, e.nPartners, segs)
+}
+
+// OpenArtifact maps the artifact at path into a ready engine without
+// rebuilding anything: every shard's candidate rows, index arrays and
+// quantized mirrors alias the mapped file (see ta.OpenArtifact). The
+// fingerprint must match the stored one or the open fails with
+// ta.ErrArtifactStale; structural damage fails with
+// ta.ErrArtifactCorrupt; callers fall back to Build in every error
+// case. A mapped engine answers queries bit-identically to the build
+// that produced the artifact. Quantized routing still starts off — call
+// EnableQuantized to turn it on; when the artifact carries the int8
+// mirrors that flip is free.
+func OpenArtifact(path string, fingerprint uint64) (*Engine, error) {
+	art, err := ta.OpenArtifact(path, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{k: art.K(), nPartners: art.Partners(), art: art}
+	e.pool.New = func() any { return &fanoutScratch{} }
+	for i, seg := range art.Segments() {
+		sh := &localShard{set: seg.Set, idx: seg.Idx, lo: seg.Lo, hi: seg.Hi}
+		e.pairs += sh.Pairs()
+		e.shards = append(e.shards, sh)
+		if i == 0 {
+			e.affSet = seg.Set
+		}
+	}
+	return e, nil
+}
+
+// Artifact returns the open artifact backing a mapped engine, or nil
+// for an engine built in memory.
+func (e *Engine) Artifact() *ta.Artifact { return e.art }

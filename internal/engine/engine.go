@@ -38,6 +38,10 @@ type Engine struct {
 	// other shard's (events are replicated across shards).
 	affSet *ta.CandidateSet
 	pool   sync.Pool // *fanoutScratch
+	// art is the open artifact backing a mapped engine (nil for built
+	// ones); it pins the mapping for the engine's lifetime. See
+	// OpenArtifact in artifact.go.
+	art *ta.Artifact
 }
 
 // fanoutScratch owns one query's fan-out state so steady-state queries

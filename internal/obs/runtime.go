@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime.ReadMemStats snapshot for a short
+// interval so a /metrics scrape that reads several runtime gauges pays
+// the (stop-the-world) collection once, and back-to-back scrapes from
+// multiple collectors don't multiply it.
+type runtimeSampler struct {
+	mu    sync.Mutex
+	at    time.Time
+	stats runtime.MemStats
+}
+
+// read returns a memstats snapshot no older than one second.
+func (s *runtimeSampler) read() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > time.Second {
+		runtime.ReadMemStats(&s.stats)
+		s.at = now
+	}
+	return s.stats
+}
+
+// RegisterRuntimeMetrics registers Go runtime memory and GC telemetry
+// on the registry, under the conventional go_* names so standard
+// dashboards pick them up: heap in-use/allocated/idle bytes, cumulative
+// GC pause time and cycle count, goroutine count, and total bytes ever
+// allocated. All readings come from one cached runtime.ReadMemStats
+// snapshot per scrape.
+func RegisterRuntimeMetrics(reg *Registry) {
+	s := &runtimeSampler{}
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		func() float64 { ms := s.read(); return float64(ms.HeapInuse) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { ms := s.read(); return float64(ms.HeapAlloc) })
+	reg.GaugeFunc("go_memstats_heap_idle_bytes", "Bytes in idle (unused) heap spans.",
+		func() float64 { ms := s.read(); return float64(ms.HeapIdle) })
+	reg.GaugeFunc("go_memstats_next_gc_bytes", "Heap size at which the next GC cycle starts.",
+		func() float64 { ms := s.read(); return float64(ms.NextGC) })
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() uint64 { ms := s.read(); return ms.TotalAlloc })
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() uint64 { ms := s.read(); return uint64(ms.NumGC) })
+	// Exposed as a float gauge rather than the integer counter type so
+	// sub-second cumulative pause totals keep their precision.
+	reg.GaugeFunc("go_gc_pause_seconds", "Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 { ms := s.read(); return float64(ms.PauseTotalNs) / 1e9 })
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"go_memstats_heap_inuse_bytes",
+		"go_memstats_heap_alloc_bytes",
+		"go_memstats_alloc_bytes_total",
+		"go_gc_cycles_total",
+		"go_gc_pause_seconds",
+		"go_goroutines",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition is missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "go_memstats_heap_inuse_bytes ") {
+		t.Fatal("no heap in-use sample")
+	}
+}

@@ -1,0 +1,226 @@
+package ta
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ebsn/internal/rng"
+)
+
+// buildTieSet builds a candidate set + index whose vectors contain
+// deliberate duplicates, so top-n results include exact score ties and
+// the round-trip tests exercise the canonical tie order.
+func buildTieSet(t testing.TB, seed uint64, nEvents, nPartners, k, topK int) (*CandidateSet, *FastIndex) {
+	t.Helper()
+	src := rng.New(seed)
+	events := randomVecs(src, nEvents, k, true)
+	partners := randomVecs(src, nPartners, k, true)
+	for i := 4; i < nEvents; i += 5 {
+		events[i] = append([]float32(nil), events[i-1]...)
+	}
+	for u := 3; u < nPartners; u += 4 {
+		partners[u] = append([]float32(nil), partners[u-1]...)
+	}
+	set, err := BuildCandidates(events, partners, BuildConfig{TopKEvents: topK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, NewFastIndex(set)
+}
+
+// writeTieArtifact writes buildTieSet's single-segment artifact and
+// returns its path, fingerprint, and the original set/index.
+func writeTieArtifact(t testing.TB, dir string, quantized bool) (string, uint64, *CandidateSet, *FastIndex) {
+	t.Helper()
+	set, idx := buildTieSet(t, 42, 60, 35, 8, 9)
+	if quantized {
+		set.PackQuantized()
+	}
+	fp := Fingerprint([]uint64{uint64(set.K), uint64(len(set.Events)), uint64(len(set.Partners))},
+		set.Events, set.Partners)
+	path := filepath.Join(dir, "index.art")
+	seg := Segment{Lo: 0, Hi: int32(len(set.Partners)), Set: set, Idx: idx}
+	if err := WriteArtifact(path, fp, set.K, len(set.Partners), []Segment{seg}); err != nil {
+		t.Fatal(err)
+	}
+	return path, fp, set, idx
+}
+
+// queryBits runs a tie-heavy query workload against an index and
+// returns the exact result stream (pairs + score bit patterns).
+func queryBits(t testing.TB, idx *FastIndex, quantized bool, seed uint64) []uint64 {
+	t.Helper()
+	src := rng.New(seed)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	var out []uint64
+	for trial := 0; trial < 40; trial++ {
+		u := randomVecs(src, 1, idx.set.K, true)[0]
+		for _, n := range []int{1, 5, 17} {
+			var res []Result
+			if quantized {
+				res, _ = idx.TopNExcludingQuantizedScratch(u, n, int32(trial%7), sc)
+			} else {
+				res, _ = idx.TopNExcludingScratch(u, n, int32(trial%7), sc)
+			}
+			for _, r := range res {
+				out = append(out, uint64(r.Event)<<40|uint64(r.Partner)<<8)
+				out = append(out, uint64(math.Float32bits(r.Score)))
+			}
+		}
+	}
+	return out
+}
+
+func TestArtifactRoundTripBitIdentical(t *testing.T) {
+	for _, quantized := range []bool{false, true} {
+		path, fp, set, idx := writeTieArtifact(t, t.TempDir(), quantized)
+		art, err := OpenArtifact(path, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer art.Close()
+		if art.Quantized() != quantized {
+			t.Fatalf("quantized=%v, artifact says %v", quantized, art.Quantized())
+		}
+		segs := art.Segments()
+		if len(segs) != 1 {
+			t.Fatalf("got %d segments", len(segs))
+		}
+		m := segs[0]
+		if len(m.Set.Events) != len(set.Events) || len(m.Set.Partners) != len(set.Partners) ||
+			len(m.Set.Pairs) != len(set.Pairs) {
+			t.Fatal("mapped geometry differs")
+		}
+		for i, p := range set.Pairs {
+			if m.Set.Pairs[i] != p {
+				t.Fatalf("pair %d differs", i)
+			}
+		}
+		for i, c := range set.Cross {
+			if math.Float32bits(m.Set.Cross[i]) != math.Float32bits(c) {
+				t.Fatalf("cross %d differs", i)
+			}
+		}
+		want := queryBits(t, idx, quantized, 99)
+		got := queryBits(t, m.Idx, quantized, 99)
+		if len(want) != len(got) {
+			t.Fatalf("result stream length %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("quantized=%v: result stream diverges at %d", quantized, i)
+			}
+		}
+	}
+}
+
+// TestArtifactHeapDecodeMatchesMapped drives the decode path over a
+// plain heap copy of the file — exactly what the non-unix mapFile
+// fallback produces — and checks it yields the same index as the
+// mmap-backed open.
+func TestArtifactHeapDecodeMatchesMapped(t *testing.T) {
+	path, fp, _, idx := writeTieArtifact(t, t.TempDir(), true)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := decodeArtifact(&mapping{data: raw}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryBits(t, idx, true, 7)
+	got := queryBits(t, art.Segments()[0].Idx, true, 7)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("heap decode diverges at %d", i)
+		}
+	}
+}
+
+func TestArtifactCorruptionTable(t *testing.T) {
+	dir := t.TempDir()
+	path, fp, _, _ := writeTieArtifact(t, dir, true)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+		wantFp uint64
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }, ErrArtifactCorrupt, fp},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-100] }, ErrArtifactCorrupt, fp},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrArtifactCorrupt, fp},
+		{"version skew", func(b []byte) []byte { b[11] = 99; return b }, ErrArtifactStale, fp},
+		{"header bit flip", func(b []byte) []byte { b[30] ^= 0x40; return b }, ErrArtifactCorrupt, fp},
+		{"directory bit flip", func(b []byte) []byte { b[artifactHeaderLen+3] ^= 1; return b }, ErrArtifactCorrupt, fp},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, ErrArtifactCorrupt, fp},
+		{"fingerprint mismatch", func(b []byte) []byte { return b }, ErrArtifactStale, fp + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(append([]byte(nil), raw...))
+			p := filepath.Join(dir, "mutated.art")
+			if err := os.WriteFile(p, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := OpenArtifact(p, tc.wantFp)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("missing file", func(t *testing.T) {
+		_, err := OpenArtifact(filepath.Join(dir, "nope.art"), fp)
+		if !os.IsNotExist(err) {
+			t.Fatalf("got %v, want not-exist", err)
+		}
+	})
+}
+
+// TestArtifactMappedPackQuantizedNoop checks that re-quantizing a
+// mapped set is a no-op: the mirrors already alias the artifact pages
+// and must not be rewritten in place.
+func TestArtifactMappedPackQuantizedNoop(t *testing.T) {
+	path, fp, _, _ := writeTieArtifact(t, t.TempDir(), true)
+	art, err := OpenArtifact(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer art.Close()
+	set := art.Segments()[0].Set
+	beforeQ := &set.eventQ[0]
+	beforeS := &set.eventScale[0]
+	set.PackQuantized()
+	if &set.eventQ[0] != beforeQ || &set.eventScale[0] != beforeS {
+		t.Fatal("PackQuantized rewrote a mapped set's mirrors")
+	}
+}
+
+func TestArtifactMappedBytesAccounting(t *testing.T) {
+	path, fp, _, _ := writeTieArtifact(t, t.TempDir(), false)
+	before := MappedBytes()
+	art, err := OpenArtifact(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MappedBytes() - before; got != art.Size() {
+		t.Fatalf("MappedBytes grew by %d, artifact is %d bytes", got, art.Size())
+	}
+	if err := art.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := art.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got := MappedBytes(); got != before {
+		t.Fatalf("MappedBytes %d after close, want %d", got, before)
+	}
+}

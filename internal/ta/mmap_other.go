@@ -1,0 +1,24 @@
+//go:build !unix
+
+package ta
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the file into the heap — the portable fallback for
+// platforms without a usable mmap. Decode aliases the index slices onto
+// the heap copy exactly as it would onto mapped pages, so everything
+// above this function behaves identically; only the "outside the GC
+// heap" property is lost.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+// release is a no-op: the heap copy is reclaimed by the GC.
+func (m *mapping) release() error { return nil }

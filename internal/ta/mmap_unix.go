@@ -1,0 +1,31 @@
+//go:build unix
+
+package ta
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f copy-on-write. PROT_WRITE with
+// MAP_PRIVATE means reads serve straight from the page cache while an
+// accidental in-process store dirties a private anonymous page instead
+// of the artifact file — the on-disk bytes can never be damaged through
+// the mapping.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data, mmapped: true}, nil
+}
+
+// release unmaps an OS mapping; heap-backed mappings (from tests
+// exercising the portable decode path) have nothing to release.
+func (m *mapping) release() error {
+	if !m.mmapped || m.data == nil {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

@@ -47,6 +47,15 @@ type CandidateSet struct {
 	eventScale   []float32
 	partnerScale []float32
 	quantized    bool
+
+	// Artifact backing (see artifact.go). mapped marks a set decoded
+	// from an open artifact: its packed (and, when quantized, int8)
+	// storage aliases the artifact's pages and must not be rewritten in
+	// place. owner pins that artifact, so a mapped set kept alive by a
+	// delta or a folded engine keeps its pages mapped even after every
+	// other reference to the artifact is gone.
+	mapped bool
+	owner  *Artifact
 }
 
 // Pack (re)builds the contiguous row-major backing arrays and re-aliases
@@ -84,6 +93,11 @@ func packRows(rows [][]float32, k int, prev []float32) []float32 {
 // Pack it must not run concurrently with queries. A set that is
 // re-packed after mutation (Dynamic.Rebuild) is re-quantized too.
 func (c *CandidateSet) PackQuantized() {
+	if c.mapped && c.quantized {
+		// Artifact-decoded mirrors are already current, and recomputing
+		// them would store into the mapped (copy-on-write) pages.
+		return
+	}
 	c.Pack()
 	k := c.K
 	c.eventQ = resizeSlice(c.eventQ, len(c.Events)*k)

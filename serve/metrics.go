@@ -105,6 +105,14 @@ type Metrics struct {
 	compactionRunning  *obs.Gauge
 	compactionDuration *obs.Histogram
 	compactedEvents    *obs.Counter
+
+	// Zero-copy index-artifact panel: successful mapped loads (with
+	// their map+verify duration), preparations that fell back to a full
+	// rebuild, and artifact rewrites after such a rebuild.
+	artifactLoads     *obs.Counter
+	artifactFallbacks *obs.Counter
+	artifactSaves     *obs.Counter
+	artifactLoadDur   *obs.Histogram
 }
 
 // compactionBoundsSeconds are the background-fold duration buckets:
@@ -188,6 +196,15 @@ func NewMetrics(endpointNames ...string) *Metrics {
 		compactionBoundsSeconds)
 	m.compactedEvents = m.reg.Counter("ebsn_serve_compacted_events_total",
 		"Live events folded from the delta into the main index.")
+	m.artifactLoads = m.reg.Counter("ebsn_serve_artifact_loads_total",
+		"Joint indexes brought up by mapping a zero-copy artifact instead of rebuilding.")
+	m.artifactFallbacks = m.reg.Counter("ebsn_serve_artifact_fallback_rebuilds_total",
+		"Index preparations that fell back to a full rebuild (artifact missing, corrupt, or stale).")
+	m.artifactSaves = m.reg.Counter("ebsn_serve_artifact_saves_total",
+		"Index artifacts (re)written after a rebuild.")
+	m.artifactLoadDur = m.reg.Histogram("ebsn_serve_artifact_load_seconds",
+		"Time to map and checksum-verify an index artifact on a successful zero-copy load.",
+		compactionBoundsSeconds)
 	return m
 }
 
@@ -244,6 +261,26 @@ func (m *Metrics) IngestSources() map[string]uint64 {
 		out[src] = c.Value()
 	}
 	return out
+}
+
+// RecordArtifactLoad counts one successful zero-copy index load and its
+// map+verify duration.
+func (m *Metrics) RecordArtifactLoad(d time.Duration) {
+	m.artifactLoads.Inc()
+	m.artifactLoadDur.Observe(d)
+}
+
+// RecordArtifactFallback counts one index preparation that fell back to
+// a full rebuild because the artifact was missing, corrupt, or stale.
+func (m *Metrics) RecordArtifactFallback() { m.artifactFallbacks.Inc() }
+
+// RecordArtifactSave counts one artifact rewritten after a rebuild.
+func (m *Metrics) RecordArtifactSave() { m.artifactSaves.Inc() }
+
+// ArtifactStats reads the artifact panel's counters (mapped loads,
+// fallback rebuilds, artifact writes) — the integration tests' hook.
+func (m *Metrics) ArtifactStats() (loads, fallbacks, saves uint64) {
+	return m.artifactLoads.Value(), m.artifactFallbacks.Value(), m.artifactSaves.Value()
 }
 
 // CompactionStarted flips the running gauge up; pair with CompactionDone.

@@ -76,6 +76,12 @@ type Config struct {
 	// /v1/reload (with an empty body) and the daemon's SIGHUP handler
 	// load. Empty means reloads must name a path explicitly.
 	SnapshotPath string
+	// ArtifactPath, when set, is the zero-copy index artifact Warm and
+	// Reload try to map (PrepareJointFromArtifact) before falling back
+	// to a full PrepareJointSharded rebuild. After a fallback rebuild
+	// the artifact is rewritten in place, so the next start or reload
+	// maps instantly. Empty disables artifact use.
+	ArtifactPath string
 	// Logger receives access-log and panic lines (nil = quiet).
 	Logger *log.Logger
 	// AccessLog enables per-request log lines on Logger.
@@ -294,6 +300,10 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 // gauges means the exposition can never go stale.
 func (s *Server) registerStateMetrics() {
 	reg := s.metrics.Registry()
+	obs.RegisterRuntimeMetrics(reg)
+	reg.GaugeFunc("ebsn_mapped_bytes",
+		"Bytes of zero-copy index artifact storage mapped into the process (outside the Go heap).",
+		func() float64 { return float64(ebsn.MappedIndexBytes()) })
 	reg.GaugeFunc("ebsn_serve_ready",
 		"1 once Warm has built the joint index.",
 		func() float64 {
@@ -400,16 +410,64 @@ func (s *Server) Warm() error {
 		return nil
 	}
 	pk := s.resolvePruneK(s.rec)
-	if err := s.rec.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
+	if err := s.prepareIndex(s.rec, pk); err != nil {
 		return err
-	}
-	if s.cfg.Quantized {
-		if err := s.rec.EnableQuantizedQueries(); err != nil {
-			return err
-		}
 	}
 	s.pruneK.Store(int64(pk))
 	s.ready.Store(true)
+	return nil
+}
+
+// prepareIndex brings rec's joint engine up: when Config.ArtifactPath
+// is set it first tries to map the zero-copy artifact there, and only
+// on failure (missing, corrupt, or stale file) falls back to a full
+// PrepareJointSharded rebuild — after which it rewrites the artifact so
+// the next start maps instantly. Both paths end by enabling quantized
+// routing when configured. Loads, fallbacks, and saves all land in
+// /metrics.
+func (s *Server) prepareIndex(rec *ebsn.Recommender, pk int) error {
+	mapped := false
+	if s.cfg.ArtifactPath != "" {
+		start := time.Now()
+		if err := rec.PrepareJointFromArtifact(s.cfg.ArtifactPath, pk, s.cfg.Shards); err == nil {
+			mapped = true
+			s.metrics.RecordArtifactLoad(time.Since(start))
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("mapped index artifact %s in %s", s.cfg.ArtifactPath, time.Since(start).Round(time.Microsecond))
+			}
+		} else {
+			s.metrics.RecordArtifactFallback()
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("index artifact %s unusable (%v); rebuilding", s.cfg.ArtifactPath, err)
+			}
+		}
+	}
+	if !mapped {
+		if err := rec.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
+			return err
+		}
+	}
+	if s.cfg.Quantized {
+		if err := rec.EnableQuantizedQueries(); err != nil {
+			return err
+		}
+	}
+	// Rewrite the artifact after a rebuild (quantized mirrors included,
+	// hence after EnableQuantizedQueries). Best-effort: serving is
+	// already healthy, so a failed write only costs the next start a
+	// rebuild.
+	if s.cfg.ArtifactPath != "" && !mapped {
+		if err := rec.SaveIndexArtifact(s.cfg.ArtifactPath); err != nil {
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("writing index artifact %s failed: %v", s.cfg.ArtifactPath, err)
+			}
+		} else {
+			s.metrics.RecordArtifactSave()
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("wrote index artifact %s", s.cfg.ArtifactPath)
+			}
+		}
+	}
 	return nil
 }
 
@@ -467,13 +525,8 @@ func (s *Server) reload2(path string) (replayed int, err error) {
 		return 0, err
 	}
 	pk := s.resolvePruneK(next)
-	if err := next.PrepareJointSharded(pk, s.cfg.Shards); err != nil {
+	if err := s.prepareIndex(next, pk); err != nil {
 		return 0, err
-	}
-	if s.cfg.Quantized {
-		if err := next.EnableQuantizedQueries(); err != nil {
-			return 0, err
-		}
 	}
 	// Replay the journaled live events into the fresh recommender while
 	// the old one keeps serving. Ingests that land mid-replay append to
