@@ -48,7 +48,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: tab1 fig3 fig3x fig4 fig5 fig6 fig7 tab2 tab3 tab4 tab5 tab6 abl or all (fig3x/abl are extras outside all)")
+		exp     = flag.String("exp", "all", "experiment id: tab1 fig3 fig3x fig4 fig5 fig6 fig7 tab2 tab3 tab4 tab5 tab6 abl group constrained feed or all (fig3x/abl/group/constrained/feed are extras outside all)")
 		city    = flag.String("city", "small", "dataset scale: tiny small beijing shanghai")
 		seed    = flag.Uint64("seed", 11, "generator and training seed")
 		steps   = flag.Int64("steps", 0, "GEM-A training budget N (0 = scale default)")
@@ -199,12 +199,18 @@ func runExperiments(exp, city string, seed uint64, steps int64, k, threads, case
 		{"tab6", func() (*experiments.Table, error) { return experiments.Tab6(env, opts, queries) }},
 		{"fig7", func() (*experiments.Table, error) { return experiments.Fig7(env, opts, queries) }},
 		{"abl", func() (*experiments.Table, error) { return experiments.Ablations(env, opts) }},
+		{"group", func() (*experiments.Table, error) { return experiments.ScenarioGroup(env, opts) }},
+		{"constrained", func() (*experiments.Table, error) { return experiments.ScenarioConstrained(env, opts) }},
+		{"feed", func() (*experiments.Table, error) { return experiments.ScenarioFeed(env, opts) }},
 	}
+	// Extras are valid ids but excluded from "all": fig3x/abl extend the
+	// paper's sweep, and the scenario tables measure derived workloads.
+	extras := map[string]bool{"fig3x": true, "abl": true, "group": true, "constrained": true, "feed": true}
 
 	want := strings.Split(exp, ",")
 	matched := false
 	for _, r := range runners {
-		extra := r.id == "fig3x" || r.id == "abl"
+		extra := extras[r.id]
 		if !selected(want, r.id) || (extra && !explicitly(want, r.id)) {
 			continue
 		}

@@ -49,8 +49,29 @@ type queryBenchRun struct {
 
 	ShardCurve []shardCurvePoint `json:"shard_curve,omitempty"`
 	BatchCurve []batchCurvePoint `json:"batch_curve,omitempty"`
+	PredCurve  []predCurvePoint  `json:"pred_curve,omitempty"`
 	Quantized  *quantizedBench   `json:"quantized,omitempty"`
 	Load       *loadBench        `json:"load,omitempty"`
+}
+
+// predCurvePoint is one selectivity's measurement in the constrained
+// query sweep: the predicate push-down walk versus the post-filter
+// oracle (run the unconstrained walk, drop disallowed events, escalate
+// the fetch depth until the top-n allowed pairs surface). Bit-identity
+// between the two is verified over sampled queries before the point is
+// recorded, and push-down slower than post-filtering at selectivity
+// ≤ 25% fails the whole bench run — both are CI gates.
+type predCurvePoint struct {
+	SelectivityPct float64 `json:"selectivity_pct"`
+	AllowedEvents  int     `json:"allowed_events"`
+	PredNsOp       float64 `json:"pred_ns_op"`
+	PredP50Us      float64 `json:"pred_p50_us"`
+	PredP95Us      float64 `json:"pred_p95_us"`
+	PostNsOp       float64 `json:"postfilter_ns_op"`
+	PostP50Us      float64 `json:"postfilter_p50_us"`
+	PostP95Us      float64 `json:"postfilter_p95_us"`
+	Speedup        float64 `json:"speedup"`
+	BitIdentical   bool    `json:"bit_identical"`
 }
 
 // loadBench is the zero-copy artifact measurement: the cost of bringing
@@ -283,6 +304,11 @@ func runQueryBench(nEvents, nPartners, k, topK, topN, shards, batch int, quantiz
 	if batch > 1 {
 		run.BatchCurve = runBatchSweep(f, queries, nPartners, topN, batch, run.QueryNsOp)
 	}
+	predCurve, err := runPredSweep(f, queries, nEvents, nPartners, topN)
+	if err != nil {
+		return err
+	}
+	run.PredCurve = predCurve
 	if quantized {
 		run.Quantized = runQuantizedBench(cs, f, queries, nPartners, topN)
 	}
@@ -351,6 +377,106 @@ func runBatchSweep(f *ta.FastIndex, queries [][]float32, nPartners, topN, maxB i
 			nb, pt.NsUser, pt.SpeedupVsSingle, pt.P50Us, pt.P95Us, pt.AllocsOp)
 	}
 	return curve
+}
+
+// runPredSweep measures the predicate push-down path against its
+// post-filter oracle at event selectivities {50%, 25%, 10%, 5%}. The
+// oracle answers the same constrained query without push-down: run the
+// unconstrained walk, drop pairs whose event the predicate rejects, and
+// escalate the fetch depth (×4) until the top-n allowed pairs surface —
+// the strategy a caller without TA-level predicates is forced into.
+// Every point is gated on bit-identity over sampled queries, and at
+// selectivity ≤ 25% the push-down path must not be slower than the
+// oracle; either failure aborts the bench run with an error.
+func runPredSweep(f *ta.FastIndex, queries [][]float32, nEvents, nPartners, topN int) ([]predCurvePoint, error) {
+	fmt.Printf("  predicate sweep (push-down vs post-filter, top-%d)\n", topN)
+	sc := ta.GetScratch()
+	defer ta.PutScratch(sc)
+
+	postFilter := func(q []float32, ex int32, pred ta.EventPredicate, dst []ta.Result) []ta.Result {
+		for over := topN; ; over *= 4 {
+			res, _ := f.TopNExcludingScratch(q, over, ex, sc)
+			dst = dst[:0]
+			for _, r := range res {
+				if pred[r.Event] {
+					dst = append(dst, r)
+					if len(dst) == topN {
+						return dst
+					}
+				}
+			}
+			if len(res) < over {
+				return dst // the candidate space is exhausted
+			}
+		}
+	}
+
+	var curve []predCurvePoint
+	for _, stride := range []int{2, 4, 10, 20} {
+		pred := make(ta.EventPredicate, nEvents)
+		allowed := 0
+		for e := range pred {
+			if e%stride == 0 {
+				pred[e] = true
+				allowed++
+			}
+		}
+		pt := predCurvePoint{
+			SelectivityPct: 100 / float64(stride),
+			AllowedEvents:  allowed,
+		}
+
+		// Bit-identity first: both paths rank by the same exact scores
+		// with the same tie order, so the push-down result must equal the
+		// filtered unconstrained ranking entry for entry, score bits
+		// included.
+		scratch := make([]ta.Result, 0, 4*topN)
+		pt.BitIdentical = true
+		for i := 0; i < 200 && pt.BitIdentical; i++ {
+			q := queries[i%len(queries)]
+			ex := int32(i % nPartners)
+			want := postFilter(q, ex, pred, scratch)
+			got, _ := f.TopNExcludingPredScratch(q, topN, ex, pred, sc)
+			if len(want) != len(got) {
+				pt.BitIdentical = false
+				break
+			}
+			for j := range want {
+				if want[j].Event != got[j].Event || want[j].Partner != got[j].Partner ||
+					math.Float32bits(want[j].Score) != math.Float32bits(got[j].Score) {
+					pt.BitIdentical = false
+					break
+				}
+			}
+		}
+		if !pt.BitIdentical {
+			return nil, fmt.Errorf("pred sweep: push-down diverges from the post-filter oracle at selectivity %.0f%%", pt.SelectivityPct)
+		}
+
+		f.TopNExcludingPredScratch(queries[0], topN, 0, pred, sc) // warm
+		m := measureQueries(func(i int) {
+			f.TopNExcludingPredScratch(queries[i%len(queries)], topN, int32(i%nPartners), pred, sc)
+		})
+		pt.PredNsOp, pt.PredP50Us, pt.PredP95Us = m.nsOp, m.p50Us, m.p95Us
+
+		mp := measureQueries(func(i int) {
+			postFilter(queries[i%len(queries)], int32(i%nPartners), pred, scratch)
+		})
+		pt.PostNsOp, pt.PostP50Us, pt.PostP95Us = mp.nsOp, mp.p50Us, mp.p95Us
+		if pt.PredNsOp > 0 {
+			pt.Speedup = pt.PostNsOp / pt.PredNsOp
+		}
+
+		curve = append(curve, pt)
+		fmt.Printf("    selectivity=%.0f%%  push-down %.0f ns/op (p50 %.1fµs p95 %.1fµs)   post-filter %.0f ns/op (p50 %.1fµs p95 %.1fµs)   %.2fx   bit-identical\n",
+			pt.SelectivityPct, pt.PredNsOp, pt.PredP50Us, pt.PredP95Us,
+			pt.PostNsOp, pt.PostP50Us, pt.PostP95Us, pt.Speedup)
+		if pt.SelectivityPct <= 25 && pt.PredNsOp > pt.PostNsOp {
+			return nil, fmt.Errorf("pred sweep: push-down slower than post-filtering at selectivity %.0f%% (%.0f vs %.0f ns/op)",
+				pt.SelectivityPct, pt.PredNsOp, pt.PostNsOp)
+		}
+	}
+	return curve, nil
 }
 
 // runQuantizedBench packs the int8 mirrors and measures the quantized

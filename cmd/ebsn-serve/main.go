@@ -54,6 +54,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		cache       = flag.Int("cache", 4096, "result cache capacity in entries (0 = default, negative disables)")
 		cacheTTL    = flag.Duration("cachettl", time.Minute, "result cache TTL")
+		feedTTL     = flag.Duration("feed-ttl", 30*time.Second, "max staleness of a cached /v1/feed answer (negative = bounded only by -cachettl)")
 		maxInflight = flag.Int("maxinflight", 256, "concurrent requests before load shedding with 503")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request handler timeout")
 		drain       = flag.Duration("drain", 10*time.Second, "connection-drain budget on shutdown")
@@ -119,6 +120,7 @@ func main() {
 		ArtifactPath:       *artifact,
 		CacheCapacity:      *cache,
 		CacheTTL:           *cacheTTL,
+		FeedTTL:            *feedTTL,
 		MaxInFlight:        *maxInflight,
 		RequestTimeout:     *timeout,
 		DrainTimeout:       *drain,

@@ -32,6 +32,7 @@ var auditedPackages = []string{
 	"internal/vecmath",
 	"internal/ta",
 	"internal/engine",
+	"internal/workload",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

@@ -69,6 +69,7 @@ type fanoutScratch struct {
 	userVec []float32
 	n       int
 	exclude int32
+	pred    ta.EventPredicate
 
 	// Batch fan-out state.
 	absc   *ta.BatchScratch
@@ -99,6 +100,7 @@ func (fs *fanoutScratch) ensureFns(e *Engine, ns int) {
 				ExcludePartner: fs.exclude,
 				EventAff:       fs.aff,
 				Quantized:      e.quantized,
+				Pred:           fs.pred,
 				Dst:            fs.dsts[i],
 			}
 			fs.resp[i], fs.errs[i] = e.shards[i].Search(req)
@@ -344,12 +346,34 @@ func (e *Engine) Search(userVec []float32, n int, exclude int32) ([]ta.Result, S
 	return out, stats, nil
 }
 
+// SearchPred is Search restricted to predicate-allowed events: the
+// predicate is shipped to every shard (events are replicated, so it is
+// shard-invariant) and pushed into each shard's threshold walk. Each
+// shard's constrained answer is exact, so the canonical merge is exact
+// too. A nil predicate is bit-identical to Search.
+func (e *Engine) SearchPred(userVec []float32, n int, exclude int32, pred ta.EventPredicate) ([]ta.Result, Stats, error) {
+	out, stats, err := e.SearchIntoPred(userVec, n, exclude, pred, nil, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	owned := make([]ShardStats, len(stats.Shards))
+	copy(owned, stats.Shards)
+	stats.Shards = owned
+	return out, stats, nil
+}
+
 // SearchInto is Search with caller-managed storage: results are
 // appended to dst[:0] and Stats.Shards reuses shardStats when its
 // capacity suffices (both are grown — and thus allocated — only when
 // too small). With warmed buffers a steady-state sharded query
 // allocates nothing.
 func (e *Engine) SearchInto(userVec []float32, n int, exclude int32, dst []ta.Result, shardStats []ShardStats) ([]ta.Result, Stats, error) {
+	return e.SearchIntoPred(userVec, n, exclude, nil, dst, shardStats)
+}
+
+// SearchIntoPred is SearchPred with caller-managed storage, exactly as
+// SearchInto manages it.
+func (e *Engine) SearchIntoPred(userVec []float32, n int, exclude int32, pred ta.EventPredicate, dst []ta.Result, shardStats []ShardStats) ([]ta.Result, Stats, error) {
 	start := time.Now()
 	var stats Stats
 	if n <= 0 {
@@ -357,6 +381,9 @@ func (e *Engine) SearchInto(userVec []float32, n int, exclude int32, dst []ta.Re
 	}
 	if len(userVec) != e.k {
 		return nil, stats, fmt.Errorf("engine: user vector length %d, want %d", len(userVec), e.k)
+	}
+	if pred != nil && len(pred) != len(e.affSet.Events) {
+		return nil, stats, fmt.Errorf("engine: predicate has %d entries, want %d events", len(pred), len(e.affSet.Events))
 	}
 	fs := e.pool.Get().(*fanoutScratch)
 	defer e.pool.Put(fs)
@@ -379,7 +406,7 @@ func (e *Engine) SearchInto(userVec []float32, n int, exclude int32, dst []ta.Re
 	fs.walls = resize(fs.walls, ns)
 	fs.dsts = resize(fs.dsts, ns)
 	fs.ensureFns(e, ns)
-	fs.userVec, fs.n, fs.exclude = userVec, n, exclude
+	fs.userVec, fs.n, fs.exclude, fs.pred = userVec, n, exclude, pred
 	if ns == 1 {
 		fs.wg.Add(1)
 		fs.fns[0]()
@@ -390,7 +417,7 @@ func (e *Engine) SearchInto(userVec []float32, n int, exclude int32, dst []ta.Re
 		}
 		fs.wg.Wait()
 	}
-	fs.userVec = nil // do not retain the caller's vector in the pool
+	fs.userVec, fs.pred = nil, nil // do not retain caller data in the pool
 
 	if cap(shardStats) < ns {
 		shardStats = make([]ShardStats, ns)

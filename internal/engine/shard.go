@@ -31,6 +31,12 @@ type Request struct {
 	// mirrors (the shard must have been packed via PackQuantized — the
 	// engine's EnableQuantized packs every shard).
 	Quantized bool
+	// Pred optionally restricts the search to predicate-allowed events.
+	// Events are replicated across shards, so the same predicate — indexed
+	// by candidate-set event — is valid on every shard unchanged; the
+	// fan-out ships one predicate to all shards exactly like EventAff.
+	// Nil means unrestricted.
+	Pred ta.EventPredicate
 	// Dst, when non-nil, offers a buffer Response.Results may reuse — an
 	// allocation optimization for in-process shards; transports ignore
 	// it.
@@ -64,6 +70,9 @@ type BatchRequest struct {
 	EventAff []float32
 	// Quantized routes the batch through the shard's int8 mirrors.
 	Quantized bool
+	// Pred optionally restricts every query of the batch to
+	// predicate-allowed events (shard-invariant, like Request.Pred).
+	Pred ta.EventPredicate
 	// Dst and DstStats, when non-nil, offer buffers the response may
 	// reuse; transports ignore them.
 	Dst      [][]ta.Result
@@ -123,9 +132,14 @@ func (s *localShard) Search(req Request) (Response, error) {
 		res   []ta.Result
 		stats ta.SearchStats
 	)
-	if req.Quantized {
+	switch {
+	case req.Quantized && req.Pred != nil:
+		res, stats = s.idx.TopNExcludingQuantizedPredAffScratch(req.UserVec, req.EventAff, req.N, exclude, req.Pred, sc)
+	case req.Quantized:
 		res, stats = s.idx.TopNExcludingQuantizedAffScratch(req.UserVec, req.EventAff, req.N, exclude, sc)
-	} else {
+	case req.Pred != nil:
+		res, stats = s.idx.TopNExcludingPredAffScratch(req.UserVec, req.EventAff, req.N, exclude, req.Pred, sc)
+	default:
 		res, stats = s.idx.TopNExcludingAffScratch(req.UserVec, req.EventAff, req.N, exclude, sc)
 	}
 	// The raw results alias the scratch; copy them out (into the
@@ -188,6 +202,7 @@ func (s *localShard) SearchBatch(req BatchRequest) (BatchResponse, error) {
 		Exclude:   excl,
 		EventAff:  req.EventAff,
 		Quantized: req.Quantized,
+		Pred:      req.Pred,
 	}, sb.bsc)
 
 	// Copy out of the pooled scratch into caller-offered (and otherwise

@@ -1,0 +1,264 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/rng"
+	"ebsn/internal/workload"
+)
+
+// This file holds the scenario-workload protocols layered on the paper's
+// two base tasks: group event recommendation (member preferences
+// aggregated per strategy), constrained event recommendation (the
+// candidate universe restricted by a hard filter), and the joint feed
+// protocol (an event hit only counts when the joined partner ranks too).
+// All three keep the base protocols' determinism contract: per-case RNG
+// streams keyed on the case index, so results are independent of the
+// worker count.
+
+// GroupEventRecommendation runs the cold-start event protocol for
+// groups: every holdout attendance pair (u, x) whose event has at least
+// two attendees becomes one case, with the group formed from u plus up
+// to groupSize-1 other attendees of x — people who really did attend
+// together. The group's score for an event aggregates the members'
+// scores under the strategy (mean or least-misery), and negatives are
+// drawn from holdout events none of the members attended, mirroring the
+// partner task's tightening.
+func GroupEventRecommendation(sc EventScorer, d *ebsnet.Dataset, s *ebsnet.Split, class ebsnet.EventClass, groupSize int, strategy workload.Strategy, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if groupSize < 2 {
+		return Result{}, fmt.Errorf("eval: group size %d below 2", groupSize)
+	}
+	all := s.HoldoutAttendance(class)
+	cases := make([][2]int32, 0, len(all))
+	for _, c := range all {
+		if len(d.EventUsers(c[1])) >= 2 {
+			cases = append(cases, c)
+		}
+	}
+	cases = subsamplePairs(cases, cfg.MaxCases)
+	if len(cases) == 0 {
+		return Result{}, fmt.Errorf("eval: no %v attendance cases with co-attendees", class)
+	}
+	pool := s.HoldoutEvents(class)
+	if len(pool) < 2 {
+		return Result{}, fmt.Errorf("eval: %v event pool too small (%d)", class, len(pool))
+	}
+
+	maxN := maxOf(cfg.Ns)
+	hits := make([]int64, len(cfg.Ns))
+	var mu sync.Mutex
+	parallelFor(len(cases), cfg.Workers, func(lo, hi int) {
+		local := make([]int64, len(cfg.Ns))
+		members := make([]int32, 0, groupSize)
+		scores := make([]float32, 0, groupSize)
+		for i := lo; i < hi; i++ {
+			u, x := cases[i][0], cases[i][1]
+			members = members[:0]
+			members = append(members, u)
+			for _, v := range d.EventUsers(x) {
+				if len(members) == groupSize {
+					break
+				}
+				if v != u {
+					members = append(members, v)
+				}
+			}
+			group := func(ev int32) float32 {
+				scores = scores[:0]
+				for _, m := range members {
+					scores = append(scores, sc.ScoreUserEvent(m, ev))
+				}
+				return strategy.Reduce(scores)
+			}
+			src := rng.New(cfg.Seed ^ (uint64(i)+1)*0x94d049bb133111eb)
+			pos := group(x)
+			rank := 1
+			for got, tries := 0, 0; got < cfg.NegativeEvents && tries < cfg.NegativeEvents*10 && rank <= maxN; tries++ {
+				neg := pool[src.Intn(len(pool))]
+				if neg == x || attendedByAny(d, members, neg) {
+					continue
+				}
+				got++
+				if s := group(neg); s >= pos {
+					rank++
+				}
+			}
+			for j, n := range cfg.Ns {
+				if rank <= n {
+					local[j]++
+				}
+			}
+		}
+		mu.Lock()
+		for j := range hits {
+			hits[j] += local[j]
+		}
+		mu.Unlock()
+	})
+	return tally(cfg.Ns, hits, len(cases)), nil
+}
+
+func attendedByAny(d *ebsnet.Dataset, users []int32, x int32) bool {
+	for _, u := range users {
+		if d.Attended(u, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConstrainedEventRecommendation runs the cold-start event protocol with
+// a hard candidate filter: only allowed events can be recommended, so
+// cases whose true event is disallowed are dropped (no recommender could
+// surface them) and negatives are drawn from the allowed holdout pool
+// only. The returned accuracy therefore measures ranking quality within
+// the filtered universe — the quantity the constrained endpoints serve.
+func ConstrainedEventRecommendation(sc EventScorer, d *ebsnet.Dataset, s *ebsnet.Split, class ebsnet.EventClass, allow func(x int32) bool, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if allow == nil {
+		return Result{}, fmt.Errorf("eval: allow predicate is nil")
+	}
+	all := s.HoldoutAttendance(class)
+	cases := make([][2]int32, 0, len(all))
+	for _, c := range all {
+		if allow(c[1]) {
+			cases = append(cases, c)
+		}
+	}
+	cases = subsamplePairs(cases, cfg.MaxCases)
+	if len(cases) == 0 {
+		return Result{}, fmt.Errorf("eval: no %v attendance cases satisfy the constraint", class)
+	}
+	fullPool := s.HoldoutEvents(class)
+	pool := make([]int32, 0, len(fullPool))
+	for _, x := range fullPool {
+		if allow(x) {
+			pool = append(pool, x)
+		}
+	}
+	if len(pool) < 2 {
+		return Result{}, fmt.Errorf("eval: allowed %v event pool too small (%d of %d)", class, len(pool), len(fullPool))
+	}
+
+	maxN := maxOf(cfg.Ns)
+	hits := make([]int64, len(cfg.Ns))
+	var mu sync.Mutex
+	parallelFor(len(cases), cfg.Workers, func(lo, hi int) {
+		local := make([]int64, len(cfg.Ns))
+		for i := lo; i < hi; i++ {
+			u, x := cases[i][0], cases[i][1]
+			src := rng.New(cfg.Seed ^ (uint64(i)+1)*0xd6e8feb86659fd93)
+			pos := sc.ScoreUserEvent(u, x)
+			rank := 1
+			for got, tries := 0, 0; got < cfg.NegativeEvents && tries < cfg.NegativeEvents*10 && rank <= maxN; tries++ {
+				neg := pool[src.Intn(len(pool))]
+				if neg == x || d.Attended(u, neg) {
+					continue
+				}
+				got++
+				if s := sc.ScoreUserEvent(u, neg); s >= pos {
+					rank++
+				}
+			}
+			for j, n := range cfg.Ns {
+				if rank <= n {
+					local[j]++
+				}
+			}
+		}
+		mu.Lock()
+		for j := range hits {
+			hits[j] += local[j]
+		}
+		mu.Unlock()
+	})
+	return tally(cfg.Ns, hits, len(cases)), nil
+}
+
+// FeedRecommendation runs the joint feed protocol over ground-truth
+// triples: a case (u, u', x) counts as a hit at cutoff n only when the
+// event survives the feed's first stage AND the joined partner survives
+// the second — i.e. x ranks within the top n against NegativeEvents
+// event negatives under the user's own score (the feed's ordering key),
+// and u' ranks within the top m against NegativeUsers partner negatives
+// under the full joint score with (u, x) fixed. Accuracy at each cutoff
+// is the fraction of triples passing both stages.
+func FeedRecommendation(esc EventScorer, tsc TripleScorer, d *ebsnet.Dataset, s *ebsnet.Split, triples []ebsnet.PartnerTriple, class ebsnet.EventClass, m int, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if m <= 0 {
+		return Result{}, fmt.Errorf("eval: feed partner cutoff m must be positive")
+	}
+	if cfg.NegativeUsers <= 0 {
+		return Result{}, fmt.Errorf("eval: NegativeUsers must be positive for the feed task")
+	}
+	triples = subsampleTriples(triples, cfg.MaxCases)
+	if len(triples) == 0 {
+		return Result{}, fmt.Errorf("eval: no ground-truth triples")
+	}
+	pool := s.HoldoutEvents(class)
+	if len(pool) < 2 {
+		return Result{}, fmt.Errorf("eval: %v event pool too small (%d)", class, len(pool))
+	}
+
+	maxN := maxOf(cfg.Ns)
+	hits := make([]int64, len(cfg.Ns))
+	var mu sync.Mutex
+	parallelFor(len(triples), cfg.Workers, func(lo, hi int) {
+		local := make([]int64, len(cfg.Ns))
+		for i := lo; i < hi; i++ {
+			tr := triples[i]
+			src := rng.New(cfg.Seed ^ (uint64(i)+1)*0x2545f4914f6cdd1d)
+			// Stage 1: does the event make the feed? Ranked by the user's
+			// own affinity, exactly how the feed orders events.
+			posE := esc.ScoreUserEvent(tr.User, tr.Event)
+			eventRank := 1
+			for got, tries := 0, 0; got < cfg.NegativeEvents && tries < cfg.NegativeEvents*10 && eventRank <= maxN; tries++ {
+				neg := pool[src.Intn(len(pool))]
+				if neg == tr.Event || d.Attended(tr.User, neg) {
+					continue
+				}
+				got++
+				if s := esc.ScoreUserEvent(tr.User, neg); s >= posE {
+					eventRank++
+				}
+			}
+			// Stage 2: does the partner make the event's join? Ranked by
+			// the full joint score with (u, x) fixed.
+			posP := tsc.ScoreTriple(tr.User, tr.Partner, tr.Event)
+			partnerRank := 1
+			for got, tries := 0, 0; got < cfg.NegativeUsers && tries < cfg.NegativeUsers*10 && partnerRank <= m; tries++ {
+				neg := int32(src.Intn(d.NumUsers))
+				if neg == tr.User || neg == tr.Partner || d.Attended(neg, tr.Event) {
+					continue
+				}
+				got++
+				if s := tsc.ScoreTriple(tr.User, neg, tr.Event); s >= posP {
+					partnerRank++
+				}
+			}
+			if partnerRank > m {
+				continue // the join misses regardless of the event cutoff
+			}
+			for j, n := range cfg.Ns {
+				if eventRank <= n {
+					local[j]++
+				}
+			}
+		}
+		mu.Lock()
+		for j := range hits {
+			hits[j] += local[j]
+		}
+		mu.Unlock()
+	})
+	return tally(cfg.Ns, hits, len(triples)), nil
+}

@@ -265,3 +265,42 @@ func TestAblationsShape(t *testing.T) {
 		t.Errorf("first row = %v", tbl.Rows[0])
 	}
 }
+
+func TestScenarioTablesShape(t *testing.T) {
+	env, opts := tinyEnv(t), tinyOpts()
+
+	group, err := ScenarioGroup(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group.Rows) != 3 || len(group.Header) != 7 {
+		t.Fatalf("group table shape: %d rows × %d cols", len(group.Rows), len(group.Header))
+	}
+
+	constrained, err := ScenarioConstrained(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(constrained.Rows) != 4 {
+		t.Fatalf("constrained rows = %d", len(constrained.Rows))
+	}
+	if constrained.Rows[0][0] != "100%" || constrained.Rows[3][0] != "10%" {
+		t.Errorf("selectivity column = %v ... %v", constrained.Rows[0][0], constrained.Rows[3][0])
+	}
+
+	feed, err := ScenarioFeed(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Rows) != 5 || feed.Rows[4][0] != "event-only bound" {
+		t.Fatalf("feed table shape: %d rows, last = %v", len(feed.Rows), feed.Rows[len(feed.Rows)-1])
+	}
+	// Every m-row must sit at or below the event-only upper bound.
+	for _, row := range feed.Rows[:4] {
+		for c := 1; c < len(row); c++ {
+			if row[c] > feed.Rows[4][c] { // Cell renders %.3f: string order = numeric order
+				t.Errorf("feed m=%s acc %s exceeds event-only bound %s", row[0], row[c], feed.Rows[4][c])
+			}
+		}
+	}
+}

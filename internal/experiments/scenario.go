@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ebsn/internal/core"
+	"ebsn/internal/ebsnet"
+	"ebsn/internal/eval"
+	"ebsn/internal/workload"
+)
+
+// This file holds the scenario-workload tables served by the workload
+// subsystem (group aggregation, predicate-constrained queries, the joint
+// feed). They are not figures from the paper — they quantify the derived
+// workloads EXPERIMENTS.md documents under "Scenario workloads" — so
+// cmd/ebsn-bench treats them as extras: run with
+// `ebsn-bench -exp group,constrained,feed`, never as part of "all".
+
+// scenarioModel trains the GEM-A model every scenario table evaluates.
+func scenarioModel(env *Env, opts Options) (*core.Model, eval.Config, error) {
+	opts.fill()
+	m, err := opts.TrainGEM(env.Graphs, core.GEMAConfig(), opts.budgetGEMA())
+	if err != nil {
+		return nil, eval.Config{}, err
+	}
+	cfg := opts.evalConfig()
+	cfg.Ns = []int{5, 10, 20}
+	return m, cfg, nil
+}
+
+// ScenarioGroup compares the two group-aggregation strategies across
+// group sizes: each row is one size, with Accuracy@5/@10/@20 under mean
+// and least-misery aggregation over real co-attendee groups.
+func ScenarioGroup(env *Env, opts Options) (*Table, error) {
+	m, cfg, err := scenarioModel(env, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Scenario: group event recommendation (" + env.Cfg.Name + ")",
+		Header: []string{"group size",
+			"mean@5", "mean@10", "mean@20",
+			"least-misery@5", "least-misery@10", "least-misery@20"},
+	}
+	for _, size := range []int{2, 3, 5} {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, strat := range []workload.Strategy{workload.StrategyMean, workload.StrategyLeastMisery} {
+			res, err := eval.GroupEventRecommendation(m, env.Dataset, env.Split, ebsnet.Test, size, strat, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("group size %d, %v: %w", size, strat, err)
+			}
+			row = append(row, Cell(res.MustAt(5)), Cell(res.MustAt(10)), Cell(res.MustAt(20)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ScenarioConstrained sweeps the filter selectivity of the constrained
+// event protocol: an event-ID stride filter keeps 1/stride of the
+// holdout universe, so accuracy is measured within progressively smaller
+// allowed pools — the regime the predicate push-down path serves.
+func ScenarioConstrained(env *Env, opts Options) (*Table, error) {
+	m, cfg, err := scenarioModel(env, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Scenario: constrained event recommendation (" + env.Cfg.Name + ")",
+		Header: []string{"selectivity", "cases", "acc@5", "acc@10", "acc@20"},
+	}
+	for _, stride := range []int32{1, 2, 4, 10} {
+		stride := stride
+		allow := func(x int32) bool { return x%stride == 0 }
+		res, err := eval.ConstrainedEventRecommendation(m, env.Dataset, env.Split, ebsnet.Test, allow, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("stride %d: %w", stride, err)
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", 100/float64(stride)),
+			fmt.Sprintf("%d", res.Cases),
+			Cell(res.MustAt(5)), Cell(res.MustAt(10)), Cell(res.MustAt(20)))
+	}
+	return t, nil
+}
+
+// ScenarioFeed reports joint feed accuracy as the partner cutoff m
+// varies: a ground-truth triple is a hit at n only when the event ranks
+// within the top n AND its true partner survives the top-m join. The
+// last row sets m to the user count — the partner stage cannot fail, so
+// it is the event-only upper bound every m-row must stay below.
+func ScenarioFeed(env *Env, opts Options) (*Table, error) {
+	m, cfg, err := scenarioModel(env, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(env.TriplesTest) == 0 {
+		return nil, fmt.Errorf("experiments: no ground-truth triples for the feed scenario")
+	}
+	t := &Table{
+		Title:  "Scenario: feed (joint event+partner) recommendation (" + env.Cfg.Name + ")",
+		Header: []string{"partner cutoff m", "acc@5", "acc@10", "acc@20"},
+	}
+	cutoffs := []int{1, 5, 10, 20}
+	for _, mc := range cutoffs {
+		res, err := eval.FeedRecommendation(m, m, env.Dataset, env.Split, env.TriplesTest, ebsnet.Test, mc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("feed m=%d: %w", mc, err)
+		}
+		t.AddRow(fmt.Sprintf("%d", mc), Cell(res.MustAt(5)), Cell(res.MustAt(10)), Cell(res.MustAt(20)))
+	}
+	// The partner stage can rank at most 1+NegativeUsers deep, so this
+	// cutoff makes it un-failable even when users outnumber the budget.
+	unfailable := env.Dataset.NumUsers
+	if unfailable <= cfg.NegativeUsers {
+		unfailable = cfg.NegativeUsers + 1
+	}
+	res, err := eval.FeedRecommendation(m, m, env.Dataset, env.Split, env.TriplesTest, ebsnet.Test, unfailable, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("feed event-only bound: %w", err)
+	}
+	t.AddRow("event-only bound", Cell(res.MustAt(5)), Cell(res.MustAt(10)), Cell(res.MustAt(20)))
+	return t, nil
+}

@@ -38,6 +38,12 @@ type BatchQuery struct {
 	// Quantized routes the search through the int8 mirrors with exact
 	// re-ranking; the set must have been packed with PackQuantized.
 	Quantized bool
+	// Pred optionally restricts every query in the batch to
+	// predicate-allowed events (the batch shares one predicate — callers
+	// with per-user predicates issue single queries instead; see the
+	// serving coalescer, which never folds constrained requests). Nil
+	// means unrestricted and is bit-identical to the unconstrained batch.
+	Pred EventPredicate
 }
 
 // BatchScratch owns every per-batch buffer of TopNBatch: the packed
@@ -134,6 +140,7 @@ func (f *FastIndex) TopNBatch(q BatchQuery, bsc *BatchScratch) ([][]Result, []Se
 	if q.Quantized && !set.quantized {
 		panic("ta: quantized batch on a set without PackQuantized")
 	}
+	set.checkPred(q.Pred)
 	bsc.res = resizeSlice(bsc.res, nb)
 	bsc.stats = resizeSlice(bsc.stats, nb)
 	if nb == 0 {
@@ -186,9 +193,14 @@ func (f *FastIndex) TopNBatch(q BatchQuery, bsc *BatchScratch) ([][]Result, []Se
 			a := aff[j*nx : (j+1)*nx]
 			b := bsc.bp[j*nu : (j+1)*nu]
 			dst := bsc.out[j*n : j*n : j*n+n]
-			if q.Quantized {
+			switch {
+			case q.Quantized && q.Pred != nil:
+				res = f.walkQuantizedPred(bsc.qs[j*k:(j+1)*k], a, b, n, exclude, q.Pred, &bsc.per, &stats, dst)
+			case q.Quantized:
 				res = f.walkQuantized(bsc.qs[j*k:(j+1)*k], a, b, n, exclude, &bsc.per, &stats, dst)
-			} else {
+			case q.Pred != nil:
+				res = f.walkTopNPred(a, b, n, exclude, q.Pred, &bsc.per, &stats, dst)
+			default:
 				res = f.walkTopN(a, b, n, exclude, &bsc.per, &stats, dst)
 			}
 		}

@@ -1,0 +1,11 @@
+// Package workload implements the scenario layer on top of the joint
+// event-partner engine: group recommendation (member vectors aggregated
+// into one query point under a mean or least-misery strategy),
+// constrained recommendation (time-window and geo-radius constraints
+// compiled into ta.EventPredicate masks the threshold walk consumes
+// directly), and the "for you" feed join (top events each joined with
+// their top partners via the (u+x)·u' identity). Everything here is
+// pure computation over embeddings and dataset metadata — no index,
+// cache, or transport state — so the facade and the serving layer can
+// share one implementation of each scenario. See DESIGN.md §3.10.
+package workload

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"ebsn/internal/vecmath"
+)
+
+// FeedPartner is one recommended companion for a feed event.
+type FeedPartner struct {
+	// Partner is the companion's user ID.
+	Partner int32 `json:"partner"`
+	// Score is the full joint score of Eqn. 8 for (user, partner, event):
+	// u·x + u·u' + x·u'.
+	Score float32 `json:"score"`
+}
+
+// FeedItem is one entry of a user's "for you" feed: an event joined
+// with the companions it is best attended with.
+type FeedItem struct {
+	// Event is the event ID (dataset space).
+	Event int32 `json:"event"`
+	// Score is the user's own affinity u·x for the event — the key the
+	// feed is ordered by.
+	Score float32 `json:"score"`
+	// Partners holds the top companions for this event, best first.
+	Partners []FeedPartner `json:"partners"`
+}
+
+// JoinPartners ranks every partner for a fixed (user, event) pair and
+// returns the top m by the joint score of Eqn. 8. For a fixed event x
+// the partner-dependent part collapses to one dot product:
+//
+//	u·u' + x·u' = (u + x)·u'
+//
+// so the join is a single pass over the partner rows with the combined
+// query q = u + x, plus the constant u·x. Ties break by ascending
+// partner ID (the repo's canonical order). exclude drops one partner —
+// the querying user, whose self-pair is degenerate. q is scratch for
+// the combined query, grown as needed; the returned slice is freshly
+// allocated.
+func JoinPartners(userVec, eventVec []float32, partners [][]float32, exclude int32, m int, q []float32) ([]FeedPartner, []float32) {
+	k := len(userVec)
+	if len(eventVec) != k {
+		panic(fmt.Sprintf("workload: event dim %d, want %d", len(eventVec), k))
+	}
+	if cap(q) < k {
+		q = make([]float32, k)
+	}
+	q = q[:k]
+	for i := range q {
+		q[i] = userVec[i] + eventVec[i]
+	}
+	base := vecmath.Dot(userVec, eventVec)
+	if m > len(partners) {
+		m = len(partners)
+	}
+	best := make([]FeedPartner, 0, m)
+	for u, p := range partners {
+		if int32(u) == exclude {
+			continue
+		}
+		s := base + vecmath.Dot(q, p)
+		if len(best) < m {
+			best = append(best, FeedPartner{int32(u), s})
+			up := len(best) - 1
+			for up > 0 && best[up].Score > best[up-1].Score {
+				best[up], best[up-1] = best[up-1], best[up]
+				up--
+			}
+		} else if m > 0 && s > best[m-1].Score {
+			best[m-1] = FeedPartner{int32(u), s}
+			up := m - 1
+			for up > 0 && best[up].Score > best[up-1].Score {
+				best[up], best[up-1] = best[up-1], best[up]
+				up--
+			}
+		}
+	}
+	return best, q
+}

@@ -1,0 +1,101 @@
+package workload
+
+import "fmt"
+
+// Strategy selects how a group's member preferences combine into one
+// group score. The paper's score is an inner product, so the mean
+// strategy collapses to a single query: mean_m(u_m·x) = (mean_m u_m)·x —
+// one averaged vector queries any index unchanged. Least misery is not
+// linear (min does not distribute over the dot product) and reduces
+// per-member score panels instead.
+type Strategy uint8
+
+// The supported aggregation strategies.
+const (
+	// StrategyMean averages member scores — equivalently, queries with
+	// the averaged member vector.
+	StrategyMean Strategy = iota
+	// StrategyLeastMisery takes the minimum member score: the group goes
+	// where its least-enthusiastic member still wants to go.
+	StrategyLeastMisery
+)
+
+// String returns the wire name used by the API and the bench flags.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyMean:
+		return "mean"
+	case StrategyLeastMisery:
+		return "least-misery"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy parses a wire name ("mean" or "least-misery"); the
+// empty string defaults to mean.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "", "mean":
+		return StrategyMean, nil
+	case "least-misery":
+		return StrategyLeastMisery, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown strategy %q (want \"mean\" or \"least-misery\")", s)
+	}
+}
+
+// Reduce collapses one item's member-score row to the group score under
+// the strategy. Panics on an empty row — a group always has members.
+func (s Strategy) Reduce(memberScores []float32) float32 {
+	if len(memberScores) == 0 {
+		panic("workload: Reduce on empty member scores")
+	}
+	switch s {
+	case StrategyLeastMisery:
+		min := memberScores[0]
+		for _, v := range memberScores[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	default:
+		var sum float32
+		for _, v := range memberScores {
+			sum += v
+		}
+		return sum / float32(len(memberScores))
+	}
+}
+
+// MeanVector averages the member vectors into dst (grown as needed) —
+// the single query point the mean strategy hands to any event index.
+// All members must share one dimension; panics otherwise or when the
+// member list is empty.
+func MeanVector(members [][]float32, dst []float32) []float32 {
+	if len(members) == 0 {
+		panic("workload: MeanVector on empty member list")
+	}
+	k := len(members[0])
+	if cap(dst) < k {
+		dst = make([]float32, k)
+	}
+	dst = dst[:k]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, m := range members {
+		if len(m) != k {
+			panic(fmt.Sprintf("workload: member %d has dim %d, want %d", j, len(m), k))
+		}
+		for i, v := range m {
+			dst[i] += v
+		}
+	}
+	inv := 1 / float32(len(members))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}

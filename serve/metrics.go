@@ -106,6 +106,11 @@ type Metrics struct {
 	compactionDuration *obs.Histogram
 	compactedEvents    *obs.Counter
 
+	// Scenario-workload panel: requests answered by the group,
+	// constrained, and feed surfaces, by kind. The kind set is fixed at
+	// startup so recording stays lock-free.
+	workload map[string]*obs.Counter
+
 	// Zero-copy index-artifact panel: successful mapped loads (with
 	// their map+verify duration), preparations that fell back to a full
 	// rebuild, and artifact rewrites after such a rebuild.
@@ -196,6 +201,13 @@ func NewMetrics(endpointNames ...string) *Metrics {
 		compactionBoundsSeconds)
 	m.compactedEvents = m.reg.Counter("ebsn_serve_compacted_events_total",
 		"Live events folded from the delta into the main index.")
+	wl := m.reg.CounterVec("ebsn_serve_workload_requests_total",
+		"Scenario workload requests served, by kind (group aggregation, predicate-constrained, feed).",
+		"kind")
+	m.workload = make(map[string]*obs.Counter, len(workloadKinds))
+	for _, kind := range workloadKinds {
+		m.workload[kind] = wl.With(kind)
+	}
 	m.artifactLoads = m.reg.Counter("ebsn_serve_artifact_loads_total",
 		"Joint indexes brought up by mapping a zero-copy artifact instead of rebuilding.")
 	m.artifactFallbacks = m.reg.Counter("ebsn_serve_artifact_fallback_rebuilds_total",
@@ -259,6 +271,27 @@ func (m *Metrics) IngestSources() map[string]uint64 {
 	out := make(map[string]uint64, len(m.ingestSrc))
 	for src, c := range m.ingestSrc {
 		out[src] = c.Value()
+	}
+	return out
+}
+
+// workloadKinds is the fixed label set of the workload request counter.
+var workloadKinds = []string{workloadGroup, workloadConstrained, workloadFeed}
+
+// RecordWorkload counts one scenario-workload request of the given kind
+// (one of workloadKinds; unknown kinds are dropped rather than grown
+// into new series).
+func (m *Metrics) RecordWorkload(kind string) {
+	if c := m.workload[kind]; c != nil {
+		c.Inc()
+	}
+}
+
+// WorkloadCounts snapshots the per-kind workload request totals.
+func (m *Metrics) WorkloadCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(m.workload))
+	for kind, c := range m.workload {
+		out[kind] = c.Value()
 	}
 	return out
 }
@@ -401,6 +434,7 @@ type MetricsSnapshot struct {
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	TA            TASnapshot                  `json:"ta"`
 	Batch         BatchSnapshot               `json:"batch"`
+	Workload      map[string]uint64           `json:"workload"`
 }
 
 // Snapshot renders the current counters. Values are read without
@@ -450,5 +484,6 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		snap.Batch.P50Size = m.batchSize.Quantile(0.50)
 		snap.Batch.P95Size = m.batchSize.Quantile(0.95)
 	}
+	snap.Workload = m.WorkloadCounts()
 	return snap
 }

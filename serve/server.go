@@ -60,6 +60,11 @@ type Config struct {
 	CacheShards int
 	// CacheTTL bounds entry staleness (default 60s; < 0 disables expiry).
 	CacheTTL time.Duration
+	// FeedTTL bounds GET /v1/feed staleness: cached feed renders expire
+	// at most this long after they were computed, even when the cache
+	// generation has not moved (default 30s; < 0 leaves feeds bounded
+	// only by CacheTTL and generation bumps).
+	FeedTTL time.Duration
 	// AutoCompactEvents kicks a background delta compaction once the
 	// pending live-event count reaches this threshold (0 disables —
 	// compaction then runs only on explicit /v1/compact).
@@ -122,6 +127,9 @@ func (c *Config) fill() {
 	}
 	if c.CacheTTL == 0 {
 		c.CacheTTL = time.Minute
+	}
+	if c.FeedTTL == 0 {
+		c.FeedTTL = 30 * time.Second
 	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 256
@@ -223,6 +231,8 @@ const (
 	epExplain       = "explain"
 	epIngest        = "ingest"
 	epCompact       = "compact"
+	epGroup         = "group_events"
+	epFeed          = "feed"
 )
 
 // New assembles the server around a trained recommender. The joint
@@ -234,7 +244,7 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 		rec: rec,
 		cfg: cfg,
 		metrics: NewMetrics(epEvents, epEventsBatch, epPartners, epPartnersBatch,
-			epPartnersLive, epExplain, epIngest, epCompact),
+			epPartnersLive, epExplain, epIngest, epCompact, epGroup, epFeed),
 		tracer: obs.NewTracer(cfg.SlowLogSize, cfg.SlowQueryThreshold),
 	}
 	s.tracer.SetEnabled(cfg.TraceEnabled)
@@ -252,6 +262,8 @@ func New(rec *ebsn.Recommender, cfg Config) *Server {
 	api.HandleFunc("GET /v1/partners", s.api(epPartners, s.handlePartners))
 	api.HandleFunc("POST /v1/partners", s.api(epPartnersBatch, s.handlePartnersBatch))
 	api.HandleFunc("GET /v1/partners/live", s.api(epPartnersLive, s.handlePartnersLive))
+	api.HandleFunc("POST /v1/group/events", s.api(epGroup, s.handleGroupEvents))
+	api.HandleFunc("GET /v1/feed", s.api(epFeed, s.handleFeed))
 	api.HandleFunc("GET /v1/explain", s.api(epExplain, s.handleExplain))
 	api.HandleFunc("POST /v1/ingest", s.api(epIngest, s.handleIngest))
 	api.HandleFunc("POST /v1/compact", s.api(epCompact, s.handleCompact))
@@ -898,6 +910,13 @@ type CacheSnapshot struct {
 // ---- handlers ----
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if c, err := parseConstraintParams(r); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	} else if !c.IsZero() {
+		s.handleEventsConstrained(w, r, c)
+		return
+	}
 	sp := s.tracer.Start(epEvents)
 	defer sp.End()
 	s.mu.RLock()
@@ -942,6 +961,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePartners(w http.ResponseWriter, r *http.Request) {
+	if c, err := parseConstraintParams(r); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	} else if !c.IsZero() {
+		// Constrained requests bypass the coalescer unconditionally —
+		// requests with different predicates must never share a dispatch
+		// (see handlePartnersConstrained).
+		s.handlePartnersConstrained(w, r, c)
+		return
+	}
 	if s.coalesce != nil {
 		// Micro-batching admission: cache misses park in the coalescer
 		// and share one engine traversal per window.
